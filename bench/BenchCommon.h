@@ -1,0 +1,42 @@
+//===- bench/BenchCommon.h - Shared benchmark scaffolding ----*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment benchmarks. Each bench binary
+/// regenerates one claim/figure series from DESIGN.md's experiment
+/// index; EXPERIMENTS.md records the measured outcomes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_BENCH_BENCHCOMMON_H
+#define GENGC_BENCH_BENCHCOMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+
+namespace gengc {
+
+/// A heap configuration sized for benchmarking: manual collection only,
+/// so each benchmark controls exactly when GC work happens.
+inline HeapConfig benchConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 512u * 1024 * 1024;
+  C.AutoCollect = false;
+  return C;
+}
+
+/// Ages everything currently live into the oldest generation.
+inline void ageHeapFully(Heap &H) {
+  for (unsigned G = 0; G + 1 < H.config().Generations; ++G)
+    H.collect(G);
+}
+
+} // namespace gengc
+
+#endif // GENGC_BENCH_BENCHCOMMON_H

@@ -1,0 +1,224 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations ----------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// Ablations for the implementation choices DESIGN.md calls out:
+//
+//  * write-barrier cost -- the filter sequence (heap value? young
+//    container? young value?) on stores into young vs. old containers;
+//  * the guardian fixpoint loop -- chains of guardians registered with
+//    guardians force extra pend-final rounds; cost per round;
+//  * the weak-pair second pass -- scales with weak pairs copied this
+//    cycle plus mutated old weak pairs, not with all weak pairs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/Guardian.h"
+
+#include <memory>
+#include <vector>
+
+using namespace gengc;
+
+namespace {
+
+//===--- Write barrier -----------------------------------------------------===//
+
+void BM_StoreIntoYoungContainer(benchmark::State &State) {
+  Heap H(benchConfig());
+  Root P(H, H.cons(Value::nil(), Value::nil()));
+  Root V(H, H.cons(Value::fixnum(1), Value::nil()));
+  // Both generation 0: barrier exits at the container-generation check.
+  for (auto _ : State)
+    H.setCar(P.get(), V.get());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_StoreIntoYoungContainer);
+
+void BM_StoreOldToOld(benchmark::State &State) {
+  Heap H(benchConfig());
+  Root P(H, H.cons(Value::nil(), Value::nil()));
+  Root V(H, H.cons(Value::fixnum(1), Value::nil()));
+  ageHeapFully(H);
+  // Old container, old value: barrier exits at the generation compare.
+  for (auto _ : State)
+    H.setCar(P.get(), V.get());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_StoreOldToOld);
+
+void BM_StoreOldToYoung(benchmark::State &State) {
+  Heap H(benchConfig());
+  Root P(H, H.cons(Value::nil(), Value::nil()));
+  ageHeapFully(H);
+  Root V(H, H.cons(Value::fixnum(1), Value::nil()));
+  // The expensive path: remembered-set insert (deduplicated, so after
+  // the first store it is a hash probe).
+  for (auto _ : State)
+    H.setCar(P.get(), V.get());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_StoreOldToYoung);
+
+void BM_StoreImmediate(benchmark::State &State) {
+  Heap H(benchConfig());
+  Root P(H, H.cons(Value::nil(), Value::nil()));
+  ageHeapFully(H);
+  // Immediates exit the barrier at the first test.
+  for (auto _ : State)
+    H.setCar(P.get(), Value::fixnum(7));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_StoreImmediate);
+
+//===--- Guardian fixpoint loop ---------------------------------------------===//
+
+// A chain: guardian[i]'s tconc is registered with guardian[i+1], and
+// only the head object is otherwise dead. Each pend-final round can
+// only salvage one link, so the loop runs Depth rounds -- the worst
+// case for the Section 4 algorithm.
+void BM_GuardianChainCollapse(benchmark::State &State) {
+  const int64_t Depth = State.range(0);
+  uint64_t LoopRounds = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Heap H(benchConfig());
+    // Build the chain. guardians[0] guards the payload; each tconc is
+    // guarded by the next guardian; only the LAST guardian is rooted.
+    std::vector<std::unique_ptr<Guardian>> Chain;
+    Chain.reserve(static_cast<size_t>(Depth));
+    for (int64_t I = 0; I != Depth; ++I)
+      Chain.push_back(std::make_unique<Guardian>(H));
+    {
+      Root Payload(H, H.cons(Value::fixnum(1), Value::nil()));
+      Chain[0]->protect(Payload.get());
+    }
+    for (int64_t I = 0; I + 1 != Depth; ++I)
+      (*Chain[static_cast<size_t>(I + 1)])
+          .protect(Chain[static_cast<size_t>(I)]->tconcValue());
+    // Drop all but the final guardian: its accessibility must cascade
+    // back through every link during one collection.
+    std::unique_ptr<Guardian> Last = std::move(Chain.back());
+    Chain.pop_back();
+    Chain.clear();
+    State.ResumeTiming();
+    H.collectMinor();
+    State.PauseTiming();
+    LoopRounds += H.lastStats().GuardianLoopIterations;
+    State.ResumeTiming();
+  }
+  State.counters["chain_depth"] =
+      benchmark::Counter(static_cast<double>(Depth));
+  State.counters["fixpoint_rounds_per_gc"] = benchmark::Counter(
+      static_cast<double>(LoopRounds) /
+      static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_GuardianChainCollapse)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+//===--- Weak-pair pass ------------------------------------------------------===//
+
+void BM_WeakPassVsOldWeakPairs(benchmark::State &State) {
+  // N weak pairs parked old and untouched: the weak pass must not
+  // examine them during a minor collection. They hang off a single
+  // rooted spine so root scanning stays O(1) and the measurement
+  // isolates the weak pass itself.
+  Heap H(benchConfig());
+  Root Spine(H, Value::nil());
+  const int64_t N = State.range(0);
+  for (int64_t I = 0; I != N; ++I) {
+    Root W(H, H.weakCons(Value::fixnum(I), Value::nil()));
+    Spine = H.cons(W.get(), Spine.get());
+  }
+  ageHeapFully(H);
+  uint64_t Examined = 0;
+  for (auto _ : State) {
+    H.collectMinor();
+    Examined += H.lastStats().WeakPairsExamined;
+  }
+  State.counters["old_weak_pairs"] =
+      benchmark::Counter(static_cast<double>(N));
+  State.counters["examined_per_gc"] = benchmark::Counter(
+      static_cast<double>(Examined) /
+      static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_WeakPassVsOldWeakPairs)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536);
+
+void BM_WeakPassVsMutatedOldWeakPairs(benchmark::State &State) {
+  // M old weak pairs are re-pointed at young data before each minor
+  // collection: the weak pass examines exactly those M.
+  Heap H(benchConfig());
+  RootVector Pairs(H);
+  const int64_t M = State.range(0);
+  for (int64_t I = 0; I != M; ++I)
+    Pairs.push_back(H.weakCons(Value::nil(), Value::nil()));
+  ageHeapFully(H);
+  Root Young(H, Value::nil());
+  uint64_t Examined = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Young = H.cons(Value::fixnum(1), Value::nil());
+    for (int64_t I = 0; I != M; ++I)
+      H.setCar(Pairs[static_cast<size_t>(I)], Young.get());
+    State.ResumeTiming();
+    H.collectMinor();
+    Examined += H.lastStats().WeakPairsExamined;
+  }
+  State.counters["mutated_old_weak_pairs"] =
+      benchmark::Counter(static_cast<double>(M));
+  State.counters["examined_per_gc"] = benchmark::Counter(
+      static_cast<double>(Examined) /
+      static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_WeakPassVsMutatedOldWeakPairs)
+    ->RangeMultiplier(8)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+//===--- Tenure policy -------------------------------------------------------===//
+
+// Medium-lived objects (they survive a couple of minor collections and
+// then die) are the classic premature-tenuring workload: with
+// TenureCopies == 1 they get promoted and become old-generation garbage
+// that minor collections can never reclaim; with a higher tenure they
+// die young. The counter to watch is old-generation segment usage.
+void BM_TenurePolicyMediumLived(benchmark::State &State) {
+  HeapConfig C = benchConfig();
+  C.TenureCopies = static_cast<unsigned>(State.range(0));
+  Heap H(C);
+  constexpr size_t RingSlots = 2048; // Lifetime ~= 2 minor GC periods.
+  RootVector Ring(H);
+  for (size_t I = 0; I != RingSlots; ++I)
+    Ring.push_back(Value::nil());
+  size_t Next = 0;
+  int Step = 0;
+  for (auto _ : State) {
+    for (int I = 0; I != 1024; ++I) {
+      Ring[Next] = H.cons(Value::fixnum(I), Value::nil());
+      Next = (Next + 1) % RingSlots;
+    }
+    if (++Step % 1 == 0)
+      H.collectMinor();
+  }
+  State.counters["tenure_copies"] =
+      benchmark::Counter(static_cast<double>(State.range(0)));
+  State.counters["bytes_copied_total"] = benchmark::Counter(
+      static_cast<double>(H.totals().BytesCopied));
+  State.counters["segments_in_use_final"] =
+      benchmark::Counter(static_cast<double>(H.segmentsInUse()));
+}
+BENCHMARK(BM_TenurePolicyMediumLived)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+//===- bench/bench_mutator_overhead.cpp - Experiment C2 ------------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// C2 -- "the overhead within the mutator is proportional to the number
+// of clean-up actions actually performed; it does no good to eliminate
+// the overhead of scanning older objects in the collector if the
+// mutator must do so."
+//
+// Series: a guardian with Registered objects of which Dead died before
+// the last collection. Draining costs O(Dead); the emptiness check when
+// nothing died is O(1), independent of Registered.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/Guardian.h"
+
+using namespace gengc;
+
+namespace {
+
+// Emptiness polling with a large registered-but-live population: the
+// cost the paper demands be O(1).
+void BM_PollNothingPending(benchmark::State &State) {
+  Heap H(benchConfig());
+  Guardian G(H);
+  RootVector Keep(H);
+  const int64_t Registered = State.range(0);
+  for (int64_t I = 0; I != Registered; ++I) {
+    Keep.push_back(H.cons(Value::fixnum(I), Value::nil()));
+    G.protect(Keep.back());
+  }
+  ageHeapFully(H);
+  for (auto _ : State) {
+    bool Pending = G.hasPending();
+    benchmark::DoNotOptimize(Pending);
+  }
+  State.counters["registered"] =
+      benchmark::Counter(static_cast<double>(Registered));
+}
+BENCHMARK(BM_PollNothingPending)->RangeMultiplier(16)->Range(1024, 262144);
+
+// Retrieval cost per actually-finalized object: drain K dead objects
+// out of 64k registrations. Reported as time per drained object.
+void BM_DrainDeadObjects(benchmark::State &State) {
+  const int64_t Registered = 65536;
+  const int64_t Dead = State.range(0);
+  for (auto _ : State) {
+    State.PauseTiming();
+    Heap H(benchConfig());
+    Guardian G(H);
+    {
+      RootVector Keep(H);
+      for (int64_t I = 0; I != Registered; ++I) {
+        Keep.push_back(H.cons(Value::fixnum(I), Value::nil()));
+        G.protect(Keep.back());
+      }
+      // Drop the last Dead objects, keep the rest alive forever via a
+      // leaked root vector conceptually; here: re-rooting the survivors.
+      Keep.truncate(static_cast<size_t>(Registered - Dead));
+      H.collectMinor();
+      State.ResumeTiming();
+      size_t N = G.drain([](Value) {});
+      State.PauseTiming();
+      if (N != static_cast<size_t>(Dead))
+        State.SkipWithError("unexpected drain count");
+    }
+    State.ResumeTiming();
+  }
+  State.SetItemsProcessed(State.iterations() * Dead);
+  State.counters["dead"] = benchmark::Counter(static_cast<double>(Dead));
+  State.counters["registered"] =
+      benchmark::Counter(static_cast<double>(Registered));
+}
+BENCHMARK(BM_DrainDeadObjects)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+//===- bench/bench_tconc.cpp - Experiments F3/F4 and C9 ------------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// C9 -- "We have chosen to use the tconc representation and designed the
+// protocols for manipulating the tconc so that critical sections are
+// unnecessary in both the mutator and collector." The baseline pays a
+// mutex acquire/release per operation instead.
+//
+// Series: enqueue+dequeue cost per element, tconc (Figures 3/4
+// protocols) vs. a mutex-protected queue; plus the retrieval-only cost
+// that the guardian mutator path pays.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "baseline/LockedQueue.h"
+#include "gc/Tconc.h"
+
+using namespace gengc;
+
+namespace {
+
+void BM_TconcEnqueueDequeue(benchmark::State &State) {
+  Heap H(benchConfig());
+  Root T(H, tconcMake(H));
+  int64_t Since = 0;
+  for (auto _ : State) {
+    tconcAppend(H, T.get(), Value::fixnum(1));
+    Value V = tconcRetrieve(H, T.get());
+    benchmark::DoNotOptimize(V);
+    if (++Since == 1 << 16) { // Bound the garbage from retired cells.
+      State.PauseTiming();
+      H.collectMinor();
+      Since = 0;
+      State.ResumeTiming();
+    }
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_TconcEnqueueDequeue);
+
+void BM_LockedQueueEnqueueDequeue(benchmark::State &State) {
+  LockedQueue Q;
+  for (auto _ : State) {
+    Q.enqueue(1);
+    auto V = Q.dequeue();
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_LockedQueueEnqueueDequeue);
+
+// The Figure 4 retrieval path alone (the guardian poll the mutator pays
+// per clean-up action): swing the header car, clear the vacated cell.
+void BM_TconcRetrieveOnly(benchmark::State &State) {
+  Heap H(benchConfig());
+  Root T(H, tconcMake(H));
+  constexpr int64_t Batch = 4096;
+  int64_t Available = 0;
+  for (auto _ : State) {
+    if (Available == 0) {
+      State.PauseTiming();
+      for (int64_t I = 0; I != Batch; ++I)
+        tconcAppend(H, T.get(), Value::fixnum(I));
+      H.collectMinor(); // Clean up retired cells from earlier batches.
+      Available = Batch;
+      State.ResumeTiming();
+    }
+    Value V = tconcRetrieve(H, T.get());
+    benchmark::DoNotOptimize(V);
+    --Available;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_TconcRetrieveOnly);
+
+// Emptiness check (the common case in a poll loop): one comparison of
+// the header's car and cdr, no synchronization.
+void BM_TconcEmptinessCheck(benchmark::State &State) {
+  Heap H(benchConfig());
+  Root T(H, tconcMake(H));
+  for (auto _ : State) {
+    bool Empty = tconcEmpty(T.get());
+    benchmark::DoNotOptimize(Empty);
+  }
+}
+BENCHMARK(BM_TconcEmptinessCheck);
+
+void BM_LockedQueueEmptinessCheck(benchmark::State &State) {
+  LockedQueue Q;
+  for (auto _ : State) {
+    bool Empty = Q.empty();
+    benchmark::DoNotOptimize(Empty);
+  }
+}
+BENCHMARK(BM_LockedQueueEmptinessCheck);
+
+} // namespace
+
+BENCHMARK_MAIN();

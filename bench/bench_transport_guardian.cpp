@@ -1,0 +1,124 @@
+//===- bench/bench_transport_guardian.cpp - Experiments S3c and C6 -------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// C6 -- eq hash-table rehashing: "often solved by rehashing such tables
+// after a collection ... In a generation-based collector much of this
+// work is wasted for keys that ... have advanced to older generations.
+// One solution ... is to use a transport guardian ... The system could
+// then rehash only those objects that have been moved since the last
+// rehash."
+//
+// Series: a table of N aged keys under a steady minor-collection
+// workload. RehashAll pays N key-rehashes per touched epoch;
+// TransportMarkers pays only for markers actually returned (0 once the
+// markers have aged).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/EqHashTable.h"
+
+using namespace gengc;
+
+namespace {
+
+/// Table with N aged keys; a lookup after each setup collection keeps
+/// both strategies honest.
+struct AgedTable {
+  AgedTable(EqRehashStrategy Strategy, int64_t N)
+      : H(benchConfig()), T(H, Strategy), Spine(H, Value::nil()) {
+    // Keys hang off one rooted spine (O(1) root scanning per GC).
+    for (int64_t I = 0; I != N; ++I) {
+      Root Key(H, H.cons(Value::fixnum(I), Value::nil()));
+      T.put(Key.get(), Value::fixnum(I));
+      Spine = H.cons(Key.get(), Spine.get());
+    }
+    // Age keys and markers to the oldest generation.
+    for (unsigned G = 0; G + 1 < H.config().Generations; ++G) {
+      H.collect(G);
+      T.get(firstKey());
+    }
+  }
+  Value firstKey() const { return pairCar(Spine.get()); }
+  Heap H;
+  EqHashTable T;
+  Root Spine;
+};
+
+/// One workload step: allocate a little garbage, minor-collect, then
+/// probe the table (which triggers whatever rehash the strategy needs).
+void workloadStep(AgedTable &S) {
+  for (int I = 0; I != 64; ++I)
+    S.H.cons(Value::fixnum(I), Value::nil());
+  S.H.collectMinor();
+  benchmark::DoNotOptimize(S.T.get(S.firstKey()));
+}
+
+void BM_RehashAllUnderMinorGc(benchmark::State &State) {
+  AgedTable S(EqRehashStrategy::RehashAllAfterGc, State.range(0));
+  uint64_t Before = S.T.keysRehashed();
+  for (auto _ : State)
+    workloadStep(S);
+  State.counters["keys"] =
+      benchmark::Counter(static_cast<double>(State.range(0)));
+  State.counters["rehashes_per_step"] = benchmark::Counter(
+      static_cast<double>(S.T.keysRehashed() - Before) /
+      static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_RehashAllUnderMinorGc)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TransportMarkersUnderMinorGc(benchmark::State &State) {
+  AgedTable S(EqRehashStrategy::TransportMarkers, State.range(0));
+  uint64_t Before = S.T.keysRehashed();
+  for (auto _ : State)
+    workloadStep(S);
+  State.counters["keys"] =
+      benchmark::Counter(static_cast<double>(State.range(0)));
+  State.counters["rehashes_per_step"] = benchmark::Counter(
+      static_cast<double>(S.T.keysRehashed() - Before) /
+      static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_TransportMarkersUnderMinorGc)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->Unit(benchmark::kMicrosecond);
+
+// Full collections move everything: both strategies must then rehash
+// everything, and the transport guardian's conservatism costs nothing
+// extra (the returned set is exactly the moved set).
+void BM_RehashAllUnderFullGc(benchmark::State &State) {
+  AgedTable S(EqRehashStrategy::RehashAllAfterGc, State.range(0));
+  for (auto _ : State) {
+    S.H.collectFull();
+    benchmark::DoNotOptimize(S.T.get(S.firstKey()));
+  }
+  State.counters["keys"] =
+      benchmark::Counter(static_cast<double>(State.range(0)));
+}
+BENCHMARK(BM_RehashAllUnderFullGc)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TransportMarkersUnderFullGc(benchmark::State &State) {
+  AgedTable S(EqRehashStrategy::TransportMarkers, State.range(0));
+  for (auto _ : State) {
+    S.H.collectFull();
+    benchmark::DoNotOptimize(S.T.get(S.firstKey()));
+  }
+  State.counters["keys"] =
+      benchmark::Counter(static_cast<double>(State.range(0)));
+}
+BENCHMARK(BM_TransportMarkersUnderFullGc)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+//===- bench/bench_vm.cpp - Execution-engine comparison ------------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// Not a paper experiment: an engineering series for the two Scheme
+// execution engines over the same heap (tree-walking interpreter vs.
+// bytecode VM with compile-time lexical addressing). It doubles as a
+// whole-system allocation/GC workout: both engines allocate
+// environments and data on the collected heap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "scheme/Interpreter.h"
+#include "scheme/VM.h"
+
+using namespace gengc;
+
+namespace {
+
+const char *FibProgram =
+    "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+const char *LoopProgram =
+    "(define (spin n) (let loop ([i 0] [acc 0])"
+    "  (if (= i n) acc (loop (+ i 1) (+ acc i)))))";
+
+const char *ListProgram =
+    "(define (build n) (let loop ([i 0] [acc '()])"
+    "  (if (= i n) acc (loop (+ i 1) (cons i acc)))))"
+    "(define (sum l) (let loop ([l l] [acc 0])"
+    "  (if (null? l) acc (loop (cdr l) (+ acc (car l))))))";
+
+HeapConfig schemeConfig() {
+  HeapConfig C = benchConfig();
+  C.AutoCollect = true; // Realistic: engines run under automatic GC.
+  return C;
+}
+
+void BM_InterpFib(benchmark::State &State) {
+  Heap H(schemeConfig());
+  Interpreter I(H);
+  I.evalString(FibProgram);
+  for (auto _ : State) {
+    Value V = I.evalString("(fib 15)");
+    benchmark::DoNotOptimize(V);
+  }
+  State.counters["collections"] =
+      benchmark::Counter(static_cast<double>(H.collectionCount()));
+}
+BENCHMARK(BM_InterpFib)->Unit(benchmark::kMillisecond);
+
+void BM_VmFib(benchmark::State &State) {
+  Heap H(schemeConfig());
+  Interpreter I(H);
+  VirtualMachine VM(I);
+  VM.evalString(FibProgram);
+  // Compile the call expression once; re-run the compiled unit.
+  for (auto _ : State) {
+    Value V = VM.evalString("(fib 15)");
+    benchmark::DoNotOptimize(V);
+  }
+  State.counters["collections"] =
+      benchmark::Counter(static_cast<double>(H.collectionCount()));
+}
+BENCHMARK(BM_VmFib)->Unit(benchmark::kMillisecond);
+
+void BM_InterpTailLoop(benchmark::State &State) {
+  Heap H(schemeConfig());
+  Interpreter I(H);
+  I.evalString(LoopProgram);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(I.evalString("(spin 100000)"));
+}
+BENCHMARK(BM_InterpTailLoop)->Unit(benchmark::kMillisecond);
+
+void BM_VmTailLoop(benchmark::State &State) {
+  Heap H(schemeConfig());
+  Interpreter I(H);
+  VirtualMachine VM(I);
+  VM.evalString(LoopProgram);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(VM.evalString("(spin 100000)"));
+}
+BENCHMARK(BM_VmTailLoop)->Unit(benchmark::kMillisecond);
+
+void BM_InterpListChurn(benchmark::State &State) {
+  Heap H(schemeConfig());
+  Interpreter I(H);
+  I.evalString(ListProgram);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(I.evalString("(sum (build 5000))"));
+}
+BENCHMARK(BM_InterpListChurn)->Unit(benchmark::kMillisecond);
+
+void BM_VmListChurn(benchmark::State &State) {
+  Heap H(schemeConfig());
+  Interpreter I(H);
+  VirtualMachine VM(I);
+  VM.evalString(ListProgram);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(VM.evalString("(sum (build 5000))"));
+}
+BENCHMARK(BM_VmListChurn)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+//===- bench/bench_weaklist_baseline.cpp - Experiment C3 -----------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// C3 -- Section 2: with a weak-pointer list "the entire list must be
+// traversed to find the pointers that have been broken, even if none or
+// only a few of the elements have been dropped by the collector."
+//
+// Series: poll/drain cost with N watched objects, none of which died.
+// WeakListPoll/N is O(N); GuardianPoll/N is O(1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "baseline/WeakListFinalizer.h"
+#include "core/Guardian.h"
+
+using namespace gengc;
+
+namespace {
+
+void BM_WeakListPollNothingDead(benchmark::State &State) {
+  Heap H(benchConfig());
+  WeakListFinalizer F(H);
+  RootVector Keep(H);
+  const int64_t N = State.range(0);
+  for (int64_t I = 0; I != N; ++I) {
+    Keep.push_back(H.cons(Value::fixnum(I), Value::nil()));
+    F.watch(Keep.back(), I, [](intptr_t) {});
+  }
+  ageHeapFully(H);
+  for (auto _ : State) {
+    size_t Fired = F.poll();
+    benchmark::DoNotOptimize(Fired);
+  }
+  State.counters["watched"] = benchmark::Counter(static_cast<double>(N));
+  State.counters["entries_scanned_per_poll"] = benchmark::Counter(
+      static_cast<double>(F.entriesScanned()) /
+      static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_WeakListPollNothingDead)
+    ->RangeMultiplier(8)
+    ->Range(1024, 524288);
+
+void BM_GuardianPollNothingDead(benchmark::State &State) {
+  Heap H(benchConfig());
+  Guardian G(H);
+  RootVector Keep(H);
+  const int64_t N = State.range(0);
+  for (int64_t I = 0; I != N; ++I) {
+    Keep.push_back(H.cons(Value::fixnum(I), Value::nil()));
+    G.protect(Keep.back());
+  }
+  ageHeapFully(H);
+  for (auto _ : State) {
+    size_t Fired = G.drain([](Value) {});
+    benchmark::DoNotOptimize(Fired);
+  }
+  State.counters["watched"] = benchmark::Counter(static_cast<double>(N));
+}
+BENCHMARK(BM_GuardianPollNothingDead)
+    ->RangeMultiplier(8)
+    ->Range(1024, 524288);
+
+// With K of N objects dead, both mechanisms do K clean-ups -- but the
+// weak list still scans all N.
+void BM_WeakListPollSomeDead(benchmark::State &State) {
+  const int64_t N = 65536, DeadCount = 64;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Heap H(benchConfig());
+    WeakListFinalizer F(H);
+    int Fired = 0;
+    {
+      RootVector Keep(H);
+      for (int64_t I = 0; I != N; ++I) {
+        Keep.push_back(H.cons(Value::fixnum(I), Value::nil()));
+        F.watch(Keep.back(), I, [&Fired](intptr_t) { ++Fired; });
+      }
+      Keep.truncate(static_cast<size_t>(N - DeadCount));
+      H.collectMinor();
+      State.ResumeTiming();
+      size_t Polled = F.poll();
+      State.PauseTiming();
+      benchmark::DoNotOptimize(Polled);
+    }
+    State.ResumeTiming();
+  }
+  State.counters["watched"] = benchmark::Counter(static_cast<double>(N));
+  State.counters["dead"] =
+      benchmark::Counter(static_cast<double>(DeadCount));
+}
+BENCHMARK(BM_WeakListPollSomeDead)->Unit(benchmark::kMicrosecond);
+
+void BM_GuardianDrainSomeDead(benchmark::State &State) {
+  const int64_t N = 65536, DeadCount = 64;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Heap H(benchConfig());
+    Guardian G(H);
+    {
+      RootVector Keep(H);
+      for (int64_t I = 0; I != N; ++I) {
+        Keep.push_back(H.cons(Value::fixnum(I), Value::nil()));
+        G.protect(Keep.back());
+      }
+      Keep.truncate(static_cast<size_t>(N - DeadCount));
+      H.collectMinor();
+      State.ResumeTiming();
+      size_t Drained = G.drain([](Value) {});
+      State.PauseTiming();
+      benchmark::DoNotOptimize(Drained);
+    }
+    State.ResumeTiming();
+  }
+  State.counters["watched"] = benchmark::Counter(static_cast<double>(N));
+  State.counters["dead"] =
+      benchmark::Counter(static_cast<double>(DeadCount));
+}
+BENCHMARK(BM_GuardianDrainSomeDead)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+//===- examples/external_resources.cpp - malloc/free and object pools ----===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// Two of Section 1's motivating uses:
+//  * freeing external (malloc-style) memory through a Scheme header
+//    guarded against collection, and
+//  * recycling expensive-to-initialize objects (display bitmaps) via a
+//    guardian-fed free list.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resource/ExternalMemory.h"
+#include "resource/ResourcePool.h"
+#include "gc/Roots.h"
+
+#include <cstdio>
+
+using namespace gengc;
+
+int main() {
+  Heap H;
+
+  std::printf("== external memory via guarded headers ==\n\n");
+  ExternalMemoryManager Malloc;
+  GuardedExternalMemory GM(H, Malloc);
+  {
+    RootVector Held(H);
+    for (int I = 0; I != 64; ++I)
+      Held.push_back(GM.allocate(1024));
+    std::printf("64 blocks allocated: %zu live, %zu bytes\n",
+                Malloc.liveBlocks(), Malloc.liveBytes());
+  } // Every header dropped; the external blocks would leak under
+    // explicit management.
+  H.collectFull();
+  H.collectFull();
+  size_t Freed = GM.reclaimDropped();
+  std::printf("after collection + reclaim: freed %zu, %zu live "
+              "(leak check: %s)\n\n",
+              Freed, Malloc.liveBlocks(),
+              Malloc.liveBlocks() == 0 ? "clean" : "LEAK");
+
+  std::printf("== bitmap free list (expensive initialization) ==\n\n");
+  ResourcePool Pool(H, /*BitmapBytes=*/64 * 1024, /*InitSweeps=*/8);
+  for (int Frame = 0; Frame != 100; ++Frame) {
+    // Each "frame" grabs a bitmap, uses it, and drops it.
+    Root Bitmap(H, Pool.acquire());
+    bytevectorData(Bitmap.get())[0] = static_cast<uint8_t>(Frame);
+    // Bitmap dropped at scope exit.
+    if (Frame % 10 == 9)
+      H.collectFull(); // Surfacing dropped bitmaps for reuse.
+  }
+  std::printf("100 frames rendered: %llu expensive initializations, "
+              "%llu reuses\n",
+              static_cast<unsigned long long>(Pool.initializations()),
+              static_cast<unsigned long long>(Pool.reuses()));
+  std::printf("free list currently holds %zu recycled bitmap(s)\n",
+              Pool.freeListSize());
+  H.verifyHeap();
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/guarded_hash_table.cpp - Figure 1 in C++ -----------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// A property cache keyed by session objects: while a session is alive,
+// its cached value is reachable through the table; once the program
+// drops the session, the whole association disappears -- without ever
+// scanning the table. The unguarded variant run side by side shows the
+// leak Figure 1's shaded lines prevent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GuardedHashTable.h"
+#include "gc/Roots.h"
+
+#include <cstdio>
+
+using namespace gengc;
+
+int main() {
+  Heap H;
+  GuardedHashTable Guarded(H, 64);
+  GuardedHashTable Unguarded(H, 64, stableValueHash, /*Guarded=*/false);
+
+  std::printf("== Figure 1: guarded vs. unguarded hash tables ==\n\n");
+  std::printf("%8s  %16s  %16s\n", "round", "guarded entries",
+              "unguarded entries");
+
+  Root PermanentKey(H, H.intern("permanent-session"));
+  Guarded.access(PermanentKey.get(), Value::fixnum(0));
+  Unguarded.access(PermanentKey.get(), Value::fixnum(0));
+
+  for (int Round = 1; Round <= 8; ++Round) {
+    // A burst of short-lived sessions, each caching a value.
+    {
+      RootVector Sessions(H);
+      for (int I = 0; I != 100; ++I) {
+        Sessions.push_back(H.makeUninternedSymbol(
+            "session-" + std::to_string(Round) + "-" +
+            std::to_string(I)));
+        Guarded.access(Sessions.back(), Value::fixnum(Round * 100 + I));
+        Unguarded.access(Sessions.back(),
+                         Value::fixnum(Round * 100 + I));
+      }
+      // While alive, lookups hit.
+      Value V = Guarded.lookup(Sessions[0]);
+      if (V.isUnbound() || V.asFixnum() != Round * 100) {
+        std::printf("lookup mismatch!\n");
+        return 1;
+      }
+    } // All 100 sessions dropped here.
+    H.collectFull();
+    // The next access cleans the guarded table (cost: 100 removals,
+    // not a table scan); the unguarded table just grows.
+    Guarded.access(PermanentKey.get(), Value::fixnum(0));
+    Unguarded.access(PermanentKey.get(), Value::fixnum(0));
+    std::printf("%8d  %16zu  %16zu\n", Round, Guarded.entryCount(),
+                Unguarded.entryCount());
+  }
+
+  std::printf("\nguarded table removed %llu dead associations; the "
+              "unguarded table\nretains %zu broken weak entries whose "
+              "values can never be reclaimed\nwithout a full scan.\n",
+              static_cast<unsigned long long>(Guarded.removedTotal()),
+              Unguarded.brokenEntryCount());
+  H.verifyHeap();
+  return 0;
+}

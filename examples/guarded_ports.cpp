@@ -1,0 +1,78 @@
+//===- examples/guarded_ports.cpp - Dropped-port clean-up ----------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// The paper's motivating scenario: "a port may not be closed explicitly
+// by a user program before the last reference to it is dropped. This can
+// tie up system resources and may result in data associated with output
+// ports remaining unwritten until the system exits." Guarded open
+// operations fix this without finalizer restrictions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/GuardedPorts.h"
+#include "gc/Roots.h"
+
+#include <cstdio>
+
+using namespace gengc;
+
+// A "report generator" that carelessly drops its port on an early
+// return -- the nonlocal-exit pattern the paper worries about.
+static void writeReportCarelessly(Heap &H, GuardedPortSystem &GP,
+                                  int Id, bool BailOutEarly) {
+  Root Port(H, GP.openOutput("report-" + std::to_string(Id) + ".txt"));
+  GP.writeString(Port.get(), "header\n");
+  if (BailOutEarly)
+    return; // Port dropped, buffer unflushed, file descriptor leaked...
+  GP.writeString(Port.get(), "body\n");
+  GP.close(Port.get());
+}
+
+int main() {
+  Heap H;
+  MemoryFileSystem FS;
+  PortTable Ports(FS, /*BufferSize=*/4096);
+  GuardedPortSystem GP(H, Ports);
+
+  std::printf("== guarded ports: rescuing dropped output ports ==\n\n");
+
+  // Wire clean-up to the collector, as the end of Section 3 suggests:
+  // (collect-request-handler (lambda () (collect) (close-dropped-ports)))
+  GP.installCollectRequestHandler();
+
+  for (int I = 0; I != 10; ++I)
+    writeReportCarelessly(H, GP, I, /*BailOutEarly=*/I % 2 == 0);
+
+  std::printf("after careless writers: %zu port(s) still open\n",
+              Ports.openPortCount());
+
+  // Opening one more port triggers close-dropped-ports (after the
+  // collector has proven the drops).
+  H.collectFull();
+  H.collectFull(); // Handles promoted once before dying.
+  Root Fresh(H, GP.openOutput("fresh.txt"));
+  std::printf("after guarded open:     %zu port(s) still open "
+              "(the fresh one)\n",
+              Ports.openPortCount());
+  std::printf("dropped ports closed so far: %llu\n",
+              static_cast<unsigned long long>(GP.droppedPortsClosed()));
+
+  // Every half-written report was flushed on clean-up: the buffered
+  // "header" line reached the file system.
+  std::string Contents;
+  FS.read("report-0.txt", Contents);
+  std::printf("report-0.txt contents:  \"%s\" (%zu bytes, flushed at "
+              "clean-up)\n",
+              Contents == "header\n" ? "header\\n" : Contents.c_str(),
+              Contents.size());
+
+  GP.close(Fresh.get());
+  GP.exitCleanup(); // (guarded-exit)
+  std::printf("after guarded-exit:     %zu port(s) open, "
+              "%llu flushes total\n",
+              Ports.openPortCount(),
+              static_cast<unsigned long long>(Ports.totalFlushes()));
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- examples/quickstart.cpp - Guardians in five minutes ---------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// Walks through the Section 3 interface in C++: create a heap and a
+// guardian, register objects, drop them, collect, and retrieve them for
+// clean-up -- entirely under program control.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Guardian.h"
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+#include "scheme/Printer.h"
+
+#include <cstdio>
+
+using namespace gengc;
+
+int main() {
+  // A heap with the paper's default setup: 4 generations, automatic
+  // minor collections as allocation proceeds.
+  Heap H;
+
+  std::printf("== gengc quickstart: the Section 3 transcript ==\n\n");
+
+  // > (define G (make-guardian))
+  Guardian G(H);
+
+  // > (define x (cons 'a 'b))
+  Root X(H, H.cons(H.intern("a"), H.intern("b")));
+
+  // > (G x)           ; register x for preservation
+  G.protect(X.get());
+
+  // > (G)             ; still accessible -> #f
+  H.collectFull();
+  std::printf("(G) while x is accessible     => %s\n",
+              writeToString(H, G.retrieve()).c_str());
+
+  // > (set! x #f)     ; drop the only reference
+  X = Value::nil();
+
+  // ... after collection, the pair moves to the inaccessible group:
+  H.collectFull();
+  Root Y(H, G.retrieve());
+  std::printf("(G) after x was dropped       => %s\n",
+              writeToString(H, Y.get()).c_str());
+  std::printf("(G) again                     => %s\n",
+              writeToString(H, G.retrieve()).c_str());
+
+  // The retrieved object has no special status: it is a perfectly
+  // ordinary pair that was saved from deallocation so *we* can decide
+  // what clean-up means. Here we simply print and re-drop it.
+  std::printf("\nretrieved pair's car          => %s\n",
+              writeToString(H, pairCar(Y.get())).c_str());
+  Y = Value::nil();
+  H.collectFull(); // Now it is really reclaimed.
+
+  // Guardians also drain in bulk; clean-up code may allocate and even
+  // collect -- it is ordinary mutator code.
+  std::printf("\n== bulk clean-up ==\n");
+  {
+    RootVector Temp(H);
+    for (int I = 0; I != 5; ++I) {
+      Temp.push_back(H.cons(Value::fixnum(I), Value::nil()));
+      G.protect(Temp.back());
+    }
+  } // All five dropped.
+  H.collectFull();
+  size_t N = G.drain([&](Value V) {
+    std::printf("cleaning up: %s\n", writeToString(H, V).c_str());
+  });
+  std::printf("clean-up actions performed    => %zu\n", N);
+
+  // Collector statistics for the curious.
+  const GcTotals &T = H.totals();
+  std::printf("\ncollections: %llu, objects copied: %llu, "
+              "guardian saves: %llu\n",
+              static_cast<unsigned long long>(T.Collections),
+              static_cast<unsigned long long>(T.ObjectsCopied),
+              static_cast<unsigned long long>(T.GuardianObjectsSaved));
+  return 0;
+}

@@ -1,0 +1,152 @@
+//===- examples/scheme_repl.cpp - Run the paper's Scheme ----------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// A read-eval-print loop over the collected heap. With no arguments it
+// replays the paper's Section 3 transcript and Figure 1 as a scripted
+// demo; `scheme_repl -i` starts an interactive session; `scheme_repl -e
+// '<expr>'` evaluates one expression.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/Interpreter.h"
+#include "scheme/Printer.h"
+#include "scheme/VM.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace gengc;
+
+namespace {
+
+/// When non-null, forms are compiled and run on the bytecode VM
+/// instead of tree-walked (scheme_repl --vm ...).
+VirtualMachine *ActiveVm = nullptr;
+
+void evalAndPrint(Interpreter &I, const std::string &Src) {
+  Value V;
+  bool Failed;
+  std::string Message;
+  if (ActiveVm) {
+    V = ActiveVm->evalString(Src);
+    Failed = ActiveVm->hadError();
+    Message = ActiveVm->errorMessage();
+    ActiveVm->clearError();
+  } else {
+    V = I.evalString(Src);
+    Failed = I.hadError();
+    Message = I.errorMessage();
+    I.clearError();
+  }
+  std::fputs(I.takeOutput().c_str(), stdout);
+  if (Failed) {
+    std::printf("error: %s\n", Message.c_str());
+    return;
+  }
+  if (!V.isVoid())
+    std::printf("%s\n", writeToString(I.heap(), V).c_str());
+}
+
+void runScriptedDemo(Interpreter &I) {
+  struct Step {
+    const char *Comment;
+    const char *Code;
+  };
+  const Step Steps[] = {
+      {"; Section 3: the basic guardian transcript",
+       "(define G (make-guardian))"},
+      {nullptr, "(define x (cons 'a 'b))"},
+      {nullptr, "(G x)"},
+      {"; x is still accessible:", "(G)"},
+      {nullptr, "(set! x #f)"},
+      {"; after collection:", "(collect 3)"},
+      {nullptr, "(G)"},
+      {nullptr, "(G)"},
+      {"; Figure 1: a guarded hash table (hash parameterized as in the "
+       "figure)",
+       "(define make-guarded-hash-table"
+       "  (lambda (hash size)"
+       "    (let ([g (make-guardian)] [v (make-vector size '())])"
+       "      (lambda (key value)"
+       "        (let loop ([z (g)])"
+       "          (if z"
+       "              (begin"
+       "                (let ([h (hash z size)])"
+       "                  (let ([bucket (vector-ref v h)])"
+       "                    (vector-set! v h (remq (assq z bucket) "
+       "bucket))))"
+       "                (loop (g)))))"
+       "        (let ([h (hash key size)])"
+       "          (let ([bucket (vector-ref v h)])"
+       "            (let ([a (assq key bucket)])"
+       "              (if a"
+       "                  (cdr a)"
+       "                  (let ([a (weak-cons key value)])"
+       "                    (vector-set! v h (cons a bucket))"
+       "                    (g key)"
+       "                    value)))))))))"},
+      {nullptr,
+       "(define table (make-guarded-hash-table"
+       "  (lambda (k size) (modulo (car k) size)) 8))"},
+      {nullptr, "(define key (cons 1 'session))"},
+      {nullptr, "(table key 'cached-value)"},
+      {"; present while the key lives:", "(table key 'ignored)"},
+      {nullptr, "(set! key #f)"},
+      {nullptr, "(collect 3)"},
+      {"; a fresh eq-distinct key gets a fresh slot (old entry removed):",
+       "(table (cons 1 'session) 'new-value)"},
+  };
+  for (const Step &S : Steps) {
+    if (S.Comment)
+      std::printf("%s\n", S.Comment);
+    std::printf("> %s\n", S.Code);
+    evalAndPrint(I, S.Code);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Heap H;
+  Interpreter I(H);
+  VirtualMachine VM(I);
+
+  // --vm as the first argument switches the execution engine.
+  if (Argc >= 2 && std::strcmp(Argv[1], "--vm") == 0) {
+    ActiveVm = &VM;
+    --Argc;
+    ++Argv;
+  }
+
+  if (Argc >= 3 && std::strcmp(Argv[1], "-e") == 0) {
+    evalAndPrint(I, Argv[2]);
+    return I.hadError() ? 1 : 0;
+  }
+
+  if (Argc >= 2 && std::strcmp(Argv[1], "-i") == 0) {
+    std::printf("gengc scheme repl (%s) -- guardians, weak pairs, "
+                "(collect n)\nCtrl-D to exit.\n",
+                ActiveVm ? "bytecode vm" : "interpreter");
+    std::string Line;
+    for (;;) {
+      std::printf("> ");
+      std::fflush(stdout);
+      int C;
+      Line.clear();
+      while ((C = std::fgetc(stdin)) != EOF && C != '\n')
+        Line.push_back(static_cast<char>(C));
+      if (C == EOF && Line.empty())
+        break;
+      if (!Line.empty())
+        evalAndPrint(I, Line);
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  runScriptedDemo(I);
+  return 0;
+}

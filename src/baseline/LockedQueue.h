@@ -1,0 +1,57 @@
+//===- baseline/LockedQueue.h - Mutex-protected queue baseline -----------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison point for the tconc protocol's "no critical sections"
+/// claim (experiment C9): a queue whose producer/consumer safety comes
+/// from a mutex instead of the tconc's ownership discipline (mutator
+/// owns the header's car, collector owns its cdr, publication happens on
+/// the final cdr store).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_BASELINE_LOCKEDQUEUE_H
+#define GENGC_BASELINE_LOCKEDQUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace gengc {
+
+/// Queue of raw word payloads (callers keep heap values rooted
+/// elsewhere; the benches enqueue fixnums).
+class LockedQueue {
+public:
+  void enqueue(uintptr_t V) {
+    std::lock_guard<std::mutex> Lock(M);
+    Q.push_back(V);
+  }
+
+  std::optional<uintptr_t> dequeue() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Q.empty())
+      return std::nullopt;
+    uintptr_t V = Q.front();
+    Q.pop_front();
+    return V;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Q.empty();
+  }
+
+private:
+  mutable std::mutex M;
+  std::deque<uintptr_t> Q;
+};
+
+} // namespace gengc
+
+#endif // GENGC_BASELINE_LOCKEDQUEUE_H

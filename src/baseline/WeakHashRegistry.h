@@ -1,0 +1,82 @@
+//===- baseline/WeakHashRegistry.h - MIT-style hash/unhash ----*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 2: "MIT Scheme and recent versions of T support a weak
+/// hashing feature ... The primitive hash accepts an object and returns
+/// an integer that is unique to that object ... The primitive unhash
+/// accepts an integer and returns the associated object, if the object
+/// has not been reclaimed by the garbage collector. If the object has
+/// been reclaimed, unhash returns false. The integer can be used as a
+/// weak pointer to the object."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_BASELINE_WEAKHASHREGISTRY_H
+#define GENGC_BASELINE_WEAKHASHREGISTRY_H
+
+#include <unordered_map>
+
+#include "core/Guardian.h"
+
+namespace gengc {
+
+class WeakHashRegistry {
+public:
+  explicit WeakHashRegistry(Heap &H) : H(H), Boxes(H) {}
+
+  /// (hash obj): a stable integer unique to \p V. The same integer is
+  /// never returned for a different object.
+  intptr_t hash(Value V) {
+    GENGC_ASSERT(V.isHeapPointer(), "hash registers heap objects");
+    Root RV(H, V);
+    refreshIndex();
+    auto It = BitsToId.find(RV.get().bits());
+    if (It != BitsToId.end()) {
+      // Ids are never reused, so a match against a *live* box is the
+      // same object; a dead box's bits were removed by refreshIndex.
+      return It->second;
+    }
+    intptr_t Id = static_cast<intptr_t>(Boxes.size());
+    Boxes.push_back(H.weakCons(RV, Value::nil()));
+    BitsToId.emplace(RV.get().bits(), Id);
+    return Id;
+  }
+
+  /// (unhash n): the object, or #f if it has been reclaimed.
+  Value unhash(intptr_t Id) {
+    if (Id < 0 || static_cast<size_t>(Id) >= Boxes.size())
+      return Value::falseV();
+    return pairCar(Boxes[static_cast<size_t>(Id)]);
+  }
+
+  size_t registeredCount() const { return Boxes.size(); }
+
+private:
+  /// The address-to-id index goes stale when objects move or die;
+  /// rebuild lazily per collection epoch.
+  void refreshIndex() {
+    if (Epoch == H.collectionCount())
+      return;
+    Epoch = H.collectionCount();
+    BitsToId.clear();
+    for (size_t I = 0; I != Boxes.size(); ++I) {
+      Value Obj = pairCar(Boxes[I]);
+      if (!Obj.isFalse())
+        BitsToId.emplace(Obj.bits(), static_cast<intptr_t>(I));
+    }
+  }
+
+  Heap &H;
+  RootVector Boxes; ///< Weak pairs; index == id.
+  std::unordered_map<uintptr_t, intptr_t> BitsToId;
+  uint64_t Epoch = ~0ull;
+};
+
+} // namespace gengc
+
+#endif // GENGC_BASELINE_WEAKHASHREGISTRY_H

@@ -1,0 +1,82 @@
+//===- baseline/WeakListFinalizer.h - Scan-the-list finalization ---------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The weak-pointer finalization pattern of Section 2: keep a list of
+/// weak pointers to headers paired with the data needed for clean-up,
+/// and poll it. Its two defects, both measurable here:
+///
+///  * "the entire list must be traversed to find the pointers that have
+///    been broken, even if none or only a few of the elements have been
+///    dropped by the collector" -- poll() is O(registered), the C3
+///    comparison against guardians' O(actually dropped);
+///  * the object itself is gone by the time the cleanup runs; only the
+///    side payload survives (guardians preserve the object).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_BASELINE_WEAKLISTFINALIZER_H
+#define GENGC_BASELINE_WEAKLISTFINALIZER_H
+
+#include <functional>
+#include <vector>
+
+#include "core/Guardian.h"
+
+namespace gengc {
+
+class WeakListFinalizer {
+public:
+  using Cleanup = std::function<void(intptr_t Payload)>;
+
+  explicit WeakListFinalizer(Heap &H) : H(H), Boxes(H) {}
+
+  /// Registers \p Obj; when it is reclaimed, \p Action runs with
+  /// \p Payload (the external data needed for clean-up, since the object
+  /// itself will no longer exist).
+  void watch(Value Obj, intptr_t Payload, Cleanup Action) {
+    Root RObj(H, Obj);
+    Boxes.push_back(H.weakCons(RObj, Value::fixnum(Payload)));
+    Actions.push_back(std::move(Action));
+  }
+
+  /// Scans the entire list, firing clean-ups for broken entries and
+  /// compacting. Returns the number of clean-ups performed.
+  size_t poll() {
+    size_t Fired = 0;
+    size_t Keep = 0;
+    for (size_t I = 0; I != Boxes.size(); ++I) {
+      ++EntriesScanned; // The O(all registered) cost, paid every poll.
+      Value Box = Boxes[I];
+      if (pairCar(Box).isFalse()) {
+        Actions[I](pairCdr(Box).asFixnum());
+        ++Fired;
+        continue;
+      }
+      Boxes[Keep] = Boxes[I];
+      Actions[Keep] = std::move(Actions[I]);
+      ++Keep;
+    }
+    Boxes.truncate(Keep);
+    Actions.resize(Keep);
+    return Fired;
+  }
+
+  size_t watchedCount() const { return Boxes.size(); }
+  /// Total entries examined across all polls: the scanning-cost metric.
+  uint64_t entriesScanned() const { return EntriesScanned; }
+
+private:
+  Heap &H;
+  RootVector Boxes; ///< Weak pairs (object . payload).
+  std::vector<Cleanup> Actions;
+  uint64_t EntriesScanned = 0;
+};
+
+} // namespace gengc
+
+#endif // GENGC_BASELINE_WEAKLISTFINALIZER_H

@@ -1,0 +1,126 @@
+//===- baseline/WeakSet.h - T's weak sets ("populations") -----*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 2: "Guardians are related to the weak sets (originally called
+/// populations) provided by the T language. A weak set is a data
+/// structure containing a set of objects. Operations are provided to add
+/// new objects, remove objects, and retrieve a list of the objects in
+/// the set ... an object that is not accessible except by way of one or
+/// more weak sets is ultimately discarded and removed from the weak sets
+/// to which it belonged."
+///
+/// Implemented as a heap list of weak pairs. Note the contrast the paper
+/// draws: enumerating or compacting the set traverses the entire list,
+/// "even if none or only a few of the elements have been dropped".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_BASELINE_WEAKSET_H
+#define GENGC_BASELINE_WEAKSET_H
+
+#include <vector>
+
+#include "core/Guardian.h"
+#include "core/ListOps.h"
+
+namespace gengc {
+
+class WeakSet {
+public:
+  explicit WeakSet(Heap &H) : H(H), Spine(H, Value::nil()) {}
+
+  /// Adds \p V (no-op if already present).
+  void add(Value V) {
+    Root RV(H, V);
+    if (containsLive(RV))
+      return;
+    Spine = H.weakCons(RV, Spine.get());
+    ++Size;
+  }
+
+  /// Removes \p V; returns true if it was present.
+  bool remove(Value V) {
+    Root RV(H, V);
+    RootVector Kept(H);
+    bool Found = false;
+    for (Value L = Spine.get(); L.isPair(); L = pairCdr(L)) {
+      Value Elem = pairCar(L);
+      if (!Found && Elem == RV.get()) {
+        Found = true;
+        continue;
+      }
+      if (!Elem.isFalse())
+        Kept.push_back(Elem);
+    }
+    if (!Found)
+      return false;
+    rebuild(Kept);
+    return true;
+  }
+
+  /// Retrieves the list of live members. This is the operation whose
+  /// cost is O(set size) regardless of how many members died -- the
+  /// inefficiency guardians avoid.
+  std::vector<Value> liveMembers() {
+    std::vector<Value> Out;
+    for (Value L = Spine.get(); L.isPair(); L = pairCdr(L)) {
+      ++TraversedCells;
+      Value Elem = pairCar(L);
+      if (!Elem.isFalse())
+        Out.push_back(Elem);
+    }
+    return Out;
+  }
+
+  /// Drops broken cells from the spine (full traversal).
+  size_t compact() {
+    RootVector Kept(H);
+    size_t Dropped = 0;
+    for (Value L = Spine.get(); L.isPair(); L = pairCdr(L)) {
+      ++TraversedCells;
+      Value Elem = pairCar(L);
+      if (Elem.isFalse())
+        ++Dropped;
+      else
+        Kept.push_back(Elem);
+    }
+    rebuild(Kept);
+    return Dropped;
+  }
+
+  /// Spine cells currently allocated (live + broken).
+  size_t spineLength() const { return listLength(Spine.get()); }
+  /// Total cells examined by liveMembers()/compact() so far: the
+  /// scanning-cost metric for the C3 comparison.
+  uint64_t cellsTraversed() const { return TraversedCells; }
+
+private:
+  bool containsLive(Value V) {
+    for (Value L = Spine.get(); L.isPair(); L = pairCdr(L))
+      if (pairCar(L) == V)
+        return true;
+    return false;
+  }
+
+  void rebuild(RootVector &Kept) {
+    Root NewSpine(H, Value::nil());
+    for (size_t I = Kept.size(); I != 0; --I)
+      NewSpine = H.weakCons(Kept[I - 1], NewSpine.get());
+    Spine = NewSpine.get();
+    Size = Kept.size();
+  }
+
+  Heap &H;
+  Root Spine;
+  size_t Size = 0;
+  uint64_t TraversedCells = 0;
+};
+
+} // namespace gengc
+
+#endif // GENGC_BASELINE_WEAKSET_H

@@ -1,0 +1,216 @@
+//===- core/EqHashTable.cpp - Address-hashed tables and rehashing --------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EqHashTable.h"
+
+#include <algorithm>
+
+#include "support/MathExtras.h"
+
+using namespace gengc;
+
+EqHashTable::EqHashTable(Heap &H, EqRehashStrategy Strategy)
+    : H(H), Strategy(Strategy), Markers(H),
+      KeysVec(H, H.makeVector(16, Value::nil())),
+      ValsVec(H, H.makeVector(16, Value::nil())) {
+  Buckets.assign(16, EmptySlot);
+  LastEpoch = H.collectionCount();
+}
+
+void EqHashTable::ensureEntryCapacity(size_t Needed) {
+  size_t Capacity = objectLength(ValsVec.get());
+  if (Needed <= Capacity)
+    return;
+  size_t NewCapacity = std::max<size_t>(16, Capacity * 2);
+  while (NewCapacity < Needed)
+    NewCapacity *= 2;
+  Root NewKeys(H, H.makeVector(NewCapacity, Value::nil()));
+  Root NewVals(H, H.makeVector(NewCapacity, Value::nil()));
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    H.vectorSet(NewKeys, I, objectField(KeysVec.get(), I));
+    H.vectorSet(NewVals, I, objectField(ValsVec.get(), I));
+  }
+  KeysVec = NewKeys.get();
+  ValsVec = NewVals.get();
+}
+
+//===----------------------------------------------------------------------===//
+// Bucket index primitives.
+//===----------------------------------------------------------------------===//
+
+void EqHashTable::bucketInsert(uintptr_t KeyBits, uint32_t EntryIndex) {
+  size_t Mask = Buckets.size() - 1;
+  size_t I = static_cast<size_t>(hashPointerBits(KeyBits)) & Mask;
+  while (Buckets[I] != EmptySlot && Buckets[I] != TombstoneSlot)
+    I = (I + 1) & Mask;
+  if (Buckets[I] == TombstoneSlot)
+    --Tombstones;
+  Buckets[I] = EntryIndex + 1;
+}
+
+size_t EqHashTable::bucketFind(uintptr_t KeyBits,
+                               uint32_t EntryIndex) const {
+  size_t Mask = Buckets.size() - 1;
+  size_t I = static_cast<size_t>(hashPointerBits(KeyBits)) & Mask;
+  while (Buckets[I] != EmptySlot) {
+    if (Buckets[I] != TombstoneSlot && Buckets[I] - 1 == EntryIndex)
+      return I;
+    I = (I + 1) & Mask;
+  }
+  return SIZE_MAX;
+}
+
+uint32_t EqHashTable::lookupEntry(uintptr_t KeyBits) const {
+  size_t Mask = Buckets.size() - 1;
+  size_t I = static_cast<size_t>(hashPointerBits(KeyBits)) & Mask;
+  while (Buckets[I] != EmptySlot) {
+    if (Buckets[I] != TombstoneSlot) {
+      uint32_t E = Buckets[I] - 1;
+      if (Entries[E].Live && Entries[E].CachedKeyBits == KeyBits)
+        return E;
+    }
+    I = (I + 1) & Mask;
+  }
+  return UINT32_MAX;
+}
+
+void EqHashTable::growIfNeeded() {
+  if ((Entries.size() + Tombstones + 1) * 4 < Buckets.size() * 3)
+    return;
+  size_t NewSize = nextPowerOf2(std::max<size_t>(16, Entries.size() * 4));
+  Buckets.assign(NewSize, EmptySlot);
+  Tombstones = 0;
+  for (uint32_t E = 0; E != Entries.size(); ++E)
+    if (Entries[E].Live)
+      bucketInsert(Entries[E].CachedKeyBits, E);
+}
+
+//===----------------------------------------------------------------------===//
+// Freshness.
+//===----------------------------------------------------------------------===//
+
+void EqHashTable::ensureFresh() {
+  if (Strategy == EqRehashStrategy::RehashAllAfterGc) {
+    if (H.collectionCount() != LastEpoch) {
+      rebuildAll();
+      LastEpoch = H.collectionCount();
+    }
+    return;
+  }
+  drainMarkers();
+}
+
+void EqHashTable::rebuildAll() {
+  ++FullRehashes;
+  std::fill(Buckets.begin(), Buckets.end(), EmptySlot);
+  Tombstones = 0;
+  for (uint32_t E = 0; E != Entries.size(); ++E) {
+    if (!Entries[E].Live)
+      continue;
+    // The keys vector is traced by the collector, so keyAt(E) is the
+    // key's current location; the cached address bits are refreshed.
+    Entries[E].CachedKeyBits = keyAt(E).bits();
+    bucketInsert(Entries[E].CachedKeyBits, E);
+    ++KeysRehashed;
+  }
+}
+
+void EqHashTable::drainMarkers() {
+  // Each returned marker is a weak pair (key . entry-index): the
+  // Section 5 "agent" pattern. A live car means the key may have moved;
+  // a broken car means the key died and the entry is removed outright.
+  while (true) {
+    Root Marker(H, Markers.retrieve());
+    if (Marker.get().isFalse())
+      return;
+    Value Key = pairCar(Marker);
+    uint32_t E = static_cast<uint32_t>(pairCdr(Marker.get()).asFixnum());
+    GENGC_ASSERT(E < Entries.size(), "marker names a bad entry");
+    Entry &Ent = Entries[E];
+    if (Key.isFalse()) {
+      if (Ent.Live) {
+        size_t Slot = bucketFind(Ent.CachedKeyBits, E);
+        if (Slot != SIZE_MAX) {
+          Buckets[Slot] = TombstoneSlot;
+          ++Tombstones;
+        }
+        Ent.Live = false;
+        // Release the value so it (and anything it holds) can be
+        // reclaimed -- the property plain weak keys cannot provide.
+        H.vectorSet(ValsVec, E, Value::nil());
+        --LiveEntries;
+        ++DeadKeysRemoved;
+      }
+      continue; // Marker is dropped with its key.
+    }
+    if (Ent.Live) {
+      ++KeysRehashed; // Conservative: counted even if the address is
+                      // unchanged, matching the paper's "may also return
+                      // some objects that have not moved".
+      uintptr_t NewBits = Key.bits();
+      if (NewBits != Ent.CachedKeyBits) {
+        size_t Slot = bucketFind(Ent.CachedKeyBits, E);
+        if (Slot != SIZE_MAX) {
+          Buckets[Slot] = TombstoneSlot;
+          ++Tombstones;
+        }
+        Ent.CachedKeyBits = NewBits;
+        bucketInsert(NewBits, E);
+      }
+    }
+    // Re-register the same marker so it ages along with the key.
+    Markers.protect(Marker);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Public operations.
+//===----------------------------------------------------------------------===//
+
+void EqHashTable::put(Value Key, Value Val) {
+  GENGC_ASSERT(Key.isHeapPointer(),
+               "eq hash tables hash addresses; use fixnum/immediate keys "
+               "with GuardedHashTable instead");
+  Root RKey(H, Key), RVal(H, Val);
+  ensureFresh();
+
+  uint32_t Existing = lookupEntry(RKey.get().bits());
+  if (Existing != UINT32_MAX) {
+    H.vectorSet(ValsVec, Existing, RVal);
+    return;
+  }
+
+  uint32_t E = static_cast<uint32_t>(Entries.size());
+  ensureEntryCapacity(Entries.size() + 1);
+  if (Strategy == EqRehashStrategy::TransportMarkers) {
+    // Allocate the marker *before* caching the key's address: the
+    // allocation may collect and move the key.
+    Root Marker(H, H.weakCons(RKey, Value::fixnum(E)));
+    // Key is held weakly via the marker; the keys vector keeps nil.
+    H.vectorSet(ValsVec, E, RVal);
+    Entries.push_back({RKey.get().bits(), true});
+    growIfNeeded();
+    bucketInsert(RKey.get().bits(), E);
+    Markers.protect(Marker); // ... and the marker reference is dropped.
+  } else {
+    H.vectorSet(KeysVec, E, RKey);
+    H.vectorSet(ValsVec, E, RVal);
+    Entries.push_back({RKey.get().bits(), true});
+    growIfNeeded();
+    bucketInsert(RKey.get().bits(), E);
+  }
+  ++LiveEntries;
+}
+
+Value EqHashTable::get(Value Key) {
+  Root RKey(H, Key);
+  ensureFresh();
+  uint32_t E = lookupEntry(RKey.get().bits());
+  if (E == UINT32_MAX)
+    return Value::unbound();
+  return valueAt(E);
+}

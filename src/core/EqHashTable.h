@@ -1,0 +1,126 @@
+//===- core/EqHashTable.h - Address-hashed tables and rehashing -*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eq hash tables hash on the key's virtual-memory address, so "since an
+/// object may be moved during a garbage collection ... its hash value may
+/// change" (Section 3). Two rehash strategies are implemented for the C6
+/// experiment:
+///
+///  * RehashAllAfterGc -- the conventional fix: rebuild the whole index
+///    the first time the table is touched after any collection. "In a
+///    generation-based collector much of this work is wasted for keys
+///    that are no longer forwarded during every collection because they
+///    have survived long enough to have advanced to older generations."
+///    Keys are retained strongly.
+///
+///  * TransportMarkers -- the paper's proposal: rehash "only those
+///    objects that have been moved since the last rehash", discovered
+///    through transport-guardian markers. Each key is watched by a weak
+///    marker pair (key . entry-index) registered with a guardian; the
+///    marker doubles as the paper's Section 5 "agent", telling the table
+///    *which* entry to rehash without any search. With this strategy the
+///    table holds its keys weakly, so entries of dead keys are removed
+///    as their markers come back -- eq tables and guardian clean-up in
+///    one mechanism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_CORE_EQHASHTABLE_H
+#define GENGC_CORE_EQHASHTABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/Guardian.h"
+
+namespace gengc {
+
+enum class EqRehashStrategy {
+  RehashAllAfterGc,
+  TransportMarkers,
+};
+
+class EqHashTable {
+public:
+  EqHashTable(Heap &H, EqRehashStrategy Strategy);
+
+  /// Inserts or updates the association for \p Key (eq identity).
+  void put(Value Key, Value Val);
+  /// The associated value, or Value::unbound() if absent.
+  Value get(Value Key);
+  bool contains(Value Key) { return !get(Key).isUnbound(); }
+
+  /// Live entry count.
+  size_t size() const { return LiveEntries; }
+
+  EqRehashStrategy strategy() const { return Strategy; }
+
+  /// Number of individual key rehashes performed so far (the C6 cost
+  /// metric: RehashAllAfterGc pays size() per post-collection touch,
+  /// TransportMarkers pays one per actually-returned marker).
+  uint64_t keysRehashed() const { return KeysRehashed; }
+  /// Number of whole-table rebuilds (RehashAllAfterGc only).
+  uint64_t fullRehashes() const { return FullRehashes; }
+  /// Entries dropped because their key died (TransportMarkers only).
+  uint64_t deadKeysRemoved() const { return DeadKeysRemoved; }
+
+private:
+  struct Entry {
+    uintptr_t CachedKeyBits; ///< Key address bits at last (re)hash.
+    bool Live;
+  };
+
+  static constexpr uint32_t EmptySlot = 0;
+  static constexpr uint32_t TombstoneSlot = UINT32_MAX;
+
+  /// Brings the index up to date with any collections since the last
+  /// operation (strategy-dependent).
+  void ensureFresh();
+  void rebuildAll();
+  void drainMarkers();
+
+  void bucketInsert(uintptr_t KeyBits, uint32_t EntryIndex);
+  /// Finds the bucket slot holding \p EntryIndex under \p KeyBits;
+  /// returns the slot position or SIZE_MAX.
+  size_t bucketFind(uintptr_t KeyBits, uint32_t EntryIndex) const;
+  /// Finds the entry index for key bits, or UINT32_MAX.
+  uint32_t lookupEntry(uintptr_t KeyBits) const;
+  void growIfNeeded();
+
+  /// Entry storage grows like a vector (doubling heap vectors). Keys
+  /// and values live in *heap* vectors rather than C++ root vectors so
+  /// they age into older generations with the table: a minor collection
+  /// then costs the table nothing, which is the whole point of the
+  /// transport-marker strategy.
+  void ensureEntryCapacity(size_t Needed);
+  Value keyAt(uint32_t E) const { return objectField(KeysVec.get(), E); }
+  Value valueAt(uint32_t E) const {
+    return objectField(ValsVec.get(), E);
+  }
+
+  Heap &H;
+  EqRehashStrategy Strategy;
+  Guardian Markers; ///< TransportMarkers: guardian of (key . index) weak
+                    ///< marker pairs.
+  Root KeysVec;     ///< Heap vector: strong keys (RehashAllAfterGc) or
+                    ///< nil placeholders (TransportMarkers).
+  Root ValsVec;     ///< Heap vector of values.
+  std::vector<Entry> Entries;
+  std::vector<uint32_t> Buckets; ///< EntryIndex + 1, EmptySlot, or
+                                 ///< TombstoneSlot.
+  size_t LiveEntries = 0;
+  size_t Tombstones = 0;
+  uint64_t LastEpoch = 0;
+  uint64_t KeysRehashed = 0;
+  uint64_t FullRehashes = 0;
+  uint64_t DeadKeysRemoved = 0;
+};
+
+} // namespace gengc
+
+#endif // GENGC_CORE_EQHASHTABLE_H

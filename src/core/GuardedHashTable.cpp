@@ -1,0 +1,114 @@
+//===- core/GuardedHashTable.cpp - Figure 1's guarded hash table ---------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GuardedHashTable.h"
+
+#include "core/ListOps.h"
+#include "support/MathExtras.h"
+
+using namespace gengc;
+
+uint64_t gengc::stableValueHash(Heap &H, Value Key) {
+  if (Key.isFixnum())
+    return hashPointerBits(static_cast<uint64_t>(Key.asFixnum()));
+  if (Key.isImmediate())
+    return hashPointerBits(Key.bits());
+  if (isSymbol(Key)) {
+    Value Name = objectField(Key, SymName);
+    Key = Name; // Hash the name string below.
+  }
+  if (isString(Key)) {
+    // FNV-1a over the contents.
+    const char *Data = stringData(Key);
+    uint64_t Hash = 1469598103934665603ULL;
+    for (size_t I = 0, E = objectLength(Key); I != E; ++I) {
+      Hash ^= static_cast<uint8_t>(Data[I]);
+      Hash *= 1099511628211ULL;
+    }
+    return Hash;
+  }
+  (void)H;
+  GENGC_UNREACHABLE("stableValueHash: key type has no content identity; "
+                    "supply a custom hash or use EqHashTable");
+}
+
+GuardedHashTable::GuardedHashTable(Heap &H, size_t BucketCount,
+                                   HashFunction Hash, bool Guarded)
+    : H(H), Size(BucketCount), Hash(std::move(Hash)), Guarded(Guarded),
+      Buckets(H, H.makeVector(BucketCount, Value::nil())), G(H) {
+  GENGC_ASSERT(BucketCount > 0, "guarded hash table needs a bucket");
+}
+
+size_t GuardedHashTable::removeDroppedEntries() {
+  if (!Guarded)
+    return 0;
+  size_t N = 0;
+  // (let loop ([z (g)]) (if z ... (loop (g))))
+  while (true) {
+    Root Z(H, G.retrieve());
+    if (Z.get().isFalse())
+      return N;
+    size_t B = bucketIndexOf(Z);
+    Value Bucket = objectField(Buckets, B);
+    Value Entry = listAssq(Z, Bucket);
+    // The key may have been registered while already present (re-access
+    // after a previous drop), so a missing entry is tolerated.
+    if (Entry.isPair()) {
+      Value NewBucket = listRemq(H, Entry, Bucket);
+      H.vectorSet(Buckets, B, NewBucket);
+      ++Removed;
+      ++N;
+    }
+  }
+}
+
+Value GuardedHashTable::access(Value Key, Value Val) {
+  GENGC_ASSERT(!Key.isFalse(), "#f cannot be a guarded hash table key");
+  Root RKey(H, Key), RVal(H, Val);
+  removeDroppedEntries();
+
+  const size_t B = bucketIndexOf(RKey);
+  Value Bucket = objectField(Buckets, B);
+  Value Existing = listAssq(RKey, Bucket);
+  if (Existing.isPair())
+    return pairCdr(Existing);
+
+  // (let ([a (weak-cons key value)])
+  //   (vector-set! v h (cons a bucket)) value)
+  Root Entry(H, H.weakCons(RKey, RVal));
+  Value NewBucket = H.cons(Entry, objectField(Buckets, B));
+  H.vectorSet(Buckets, B, NewBucket);
+  if (Guarded)
+    G.protect(RKey);
+  return RVal;
+}
+
+Value GuardedHashTable::lookup(Value Key) {
+  Root RKey(H, Key);
+  removeDroppedEntries();
+  Value Bucket = objectField(Buckets, bucketIndexOf(RKey));
+  Value Entry = listAssq(RKey, Bucket);
+  if (Entry.isPair())
+    return pairCdr(Entry);
+  return Value::unbound();
+}
+
+size_t GuardedHashTable::entryCount() const {
+  size_t N = 0;
+  for (size_t B = 0; B != Size; ++B)
+    N += listLength(objectField(Buckets.get(), B));
+  return N;
+}
+
+size_t GuardedHashTable::brokenEntryCount() const {
+  size_t N = 0;
+  for (size_t B = 0; B != Size; ++B)
+    for (Value L = objectField(Buckets.get(), B); L.isPair(); L = pairCdr(L))
+      if (pairCar(pairCar(L)).isFalse())
+        ++N;
+  return N;
+}

@@ -1,0 +1,92 @@
+//===- core/GuardedHashTable.h - Figure 1's guarded hash table -*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guarded hash table of Figure 1: guardians and weak pairs working
+/// together so that a key/value association is dropped "whenever the key
+/// becomes inaccessible outside of the table", without ever scanning the
+/// table.
+///
+/// Buckets are heap lists of weak pairs (key . value): the weak car does
+/// not retain the key, and -- crucially -- when the guardian salvages a
+/// dropped key the weak pointer is *not* broken, so the retrieved key
+/// still finds its entry by eq. Each access first drains the guardian and
+/// removes the entries of the returned (now provably dropped) keys, so
+/// "the overhead within the mutator is proportional to the number of
+/// clean-up actions actually performed".
+///
+/// Constructing with Guarded = false gives the paper's unguarded
+/// variant ("obtained by deleting the shaded areas"), which leaks
+/// associations of dead keys -- the comparison baseline.
+///
+/// The hash function plays the figure's (hash key size) role and must be
+/// stable under object movement (hash contents, not addresses); the
+/// default hashes fixnums, characters, booleans, symbols and strings.
+/// For address-keyed (eq) tables, see core/EqHashTable.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_CORE_GUARDEDHASHTABLE_H
+#define GENGC_CORE_GUARDEDHASHTABLE_H
+
+#include <functional>
+
+#include "core/Guardian.h"
+
+namespace gengc {
+
+/// Content hash for the common stable-key types. Aborts on keys whose
+/// only identity is their (movable) address.
+uint64_t stableValueHash(Heap &H, Value Key);
+
+class GuardedHashTable {
+public:
+  using HashFunction = std::function<uint64_t(Heap &, Value)>;
+
+  GuardedHashTable(Heap &H, size_t BucketCount,
+                   HashFunction Hash = stableValueHash, bool Guarded = true);
+
+  /// Figure 1's access procedure: returns the existing value if \p Key
+  /// is present, otherwise inserts (\p Key, \p Value) and returns
+  /// \p Value. Keys must not be #f.
+  Value access(Value Key, Value Val);
+
+  /// Pure lookup: the associated value, or Value::unbound() if absent.
+  /// Drains dropped keys first when the table is guarded.
+  Value lookup(Value Key);
+
+  /// The shaded clean-up loop, callable directly: retrieves every
+  /// dropped key from the guardian and removes its entry. Returns how
+  /// many entries were removed.
+  size_t removeDroppedEntries();
+
+  /// Number of entries currently chained in the buckets (dead ones
+  /// included, which is how the unguarded variant's leak shows up).
+  size_t entryCount() const;
+  /// Entries whose weak key pointer has been broken (only the unguarded
+  /// variant accumulates these).
+  size_t brokenEntryCount() const;
+  /// Total entries removed by guardian-driven clean-up so far.
+  uint64_t removedTotal() const { return Removed; }
+
+  size_t bucketCount() const { return Size; }
+
+private:
+  size_t bucketIndexOf(Value Key) { return Hash(H, Key) % Size; }
+
+  Heap &H;
+  size_t Size;
+  HashFunction Hash;
+  bool Guarded;
+  Root Buckets; ///< Heap vector of association lists.
+  Guardian G;
+  uint64_t Removed = 0;
+};
+
+} // namespace gengc
+
+#endif // GENGC_CORE_GUARDEDHASHTABLE_H

@@ -1,0 +1,107 @@
+//===- core/Guardian.h - User-level guardian API --------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 3 guardian interface. In Scheme a guardian is a procedure:
+/// (make-guardian) creates one, (G obj) registers obj for preservation,
+/// and (G) retrieves one object proven inaccessible (or #f). This class
+/// is the C++ packaging of the same tconc-based low-level interface; the
+/// Scheme layer exposes the procedure form.
+///
+/// Key properties (all tested):
+///  * objects may be registered with multiple guardians, or several
+///    times with one guardian, and are retrieved once per registration;
+///  * a retrieved object has "no special status": it can be stored,
+///    re-registered, or let loose into the system again;
+///  * dropping every reference to the guardian cancels finalization of
+///    its registered group.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_CORE_GUARDIAN_H
+#define GENGC_CORE_GUARDIAN_H
+
+#include <optional>
+
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+
+namespace gengc {
+
+class Guardian {
+public:
+  /// (make-guardian)
+  explicit Guardian(Heap &H) : H(H), Tconc(H, H.makeGuardianTconc()) {}
+
+  /// (G obj): registers \p V for preservation.
+  void protect(Value V) { H.guardianProtect(Tconc, V); }
+
+  /// (G obj agent): the Section 5 generalization. When \p V becomes
+  /// inaccessible, \p Agent (not V) is delivered; V itself is
+  /// discarded, which "allows objects to be discarded if something less
+  /// than the object is needed to perform the finalization".
+  void protectWithAgent(Value V, Value Agent) {
+    H.guardianProtectWithAgent(Tconc, V, Agent);
+  }
+
+  /// (G): retrieves one object from the inaccessible group, or #f.
+  Value retrieve() { return H.guardianRetrieve(Tconc); }
+
+  /// retrieve() with an explicit empty state, for call sites where #f is
+  /// a legitimate registered value.
+  std::optional<Value> tryRetrieve() {
+    if (!H.guardianHasPending(Tconc))
+      return std::nullopt;
+    return H.guardianRetrieve(Tconc);
+  }
+
+  /// True if at least one object is retrievable right now.
+  bool hasPending() const { return H.guardianHasPending(Tconc.get()); }
+
+  /// Invokes \p Fn on every currently retrievable object; returns how
+  /// many were processed. The callback may allocate, collect, signal
+  /// errors, and re-register objects -- the whole point of guardians is
+  /// that clean-up runs as ordinary mutator code.
+  template <typename Fn> size_t drain(Fn Callback) {
+    size_t N = 0;
+    while (H.guardianHasPending(Tconc)) {
+      Root Obj(H, H.guardianRetrieve(Tconc));
+      Callback(Obj.get());
+      ++N;
+    }
+    return N;
+  }
+
+  /// The underlying tconc (for registering one guardian with another,
+  /// as in the Section 3 example of guarding a guardian).
+  Value tconcValue() const { return Tconc.get(); }
+
+  Heap &heap() { return H; }
+
+private:
+  Heap &H;
+  Root Tconc;
+};
+
+/// A weak box: holds its contents weakly. Implemented as a weak pair
+/// whose cdr is unused, the MultiScheme encoding the paper builds on.
+inline Value makeWeakBox(Heap &H, Value V) {
+  return H.weakCons(V, Value::nil());
+}
+
+/// The boxed value, or #f if it has been reclaimed ("the pointers are
+/// broken and the object is released").
+inline Value weakBoxValue(Value Box) { return pairCar(Box); }
+
+/// True if the box's contents have been reclaimed. Note: a box holding a
+/// literal #f is indistinguishable from a broken one, the classic weak
+/// pointer ambiguity guardians avoid.
+inline bool weakBoxBroken(Value Box) { return pairCar(Box).isFalse(); }
+
+} // namespace gengc
+
+#endif // GENGC_CORE_GUARDIAN_H

@@ -1,0 +1,93 @@
+//===- core/ListOps.h - Heap list helpers ---------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// assq/remq/length over heap-allocated lists, as used by the guarded
+/// hash table of Figure 1. "Weak pairs are ... manipulated using normal
+/// list processing operations, car, cdr, pair?, map, etc.", so these
+/// helpers work uniformly on ordinary and weak pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_CORE_LISTOPS_H
+#define GENGC_CORE_LISTOPS_H
+
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+
+namespace gengc {
+
+/// (assq key alist): the first pair in \p AList whose car is eq? to
+/// \p Key, or #f. Association entries may be weak pairs.
+inline Value listAssq(Value Key, Value AList) {
+  for (Value L = AList; L.isPair(); L = pairCdr(L)) {
+    Value Entry = pairCar(L);
+    if (Entry.isPair() && pairCar(Entry) == Key)
+      return Entry;
+  }
+  return Value::falseV();
+}
+
+/// (memq key list): the first tail of \p List whose car is eq? to
+/// \p Key, or #f.
+inline Value listMemq(Value Key, Value List) {
+  for (Value L = List; L.isPair(); L = pairCdr(L))
+    if (pairCar(L) == Key)
+      return L;
+  return Value::falseV();
+}
+
+/// (remq elem list): a copy of \p List with every element eq? to
+/// \p Elem removed. Allocates; the input values are rooted internally.
+inline Value listRemq(Heap &H, Value Elem, Value List) {
+  Root RElem(H, Elem), RList(H, List);
+  RootVector Kept(H);
+  for (Value L = RList; L.isPair(); L = pairCdr(L))
+    if (pairCar(L) != RElem.get())
+      Kept.push_back(pairCar(L));
+  Root Result(H, Value::nil());
+  for (size_t I = Kept.size(); I != 0; --I)
+    Result = H.cons(Kept[I - 1], Result);
+  return Result;
+}
+
+/// (length list)
+inline size_t listLength(Value List) {
+  size_t N = 0;
+  for (Value L = List; L.isPair(); L = pairCdr(L))
+    ++N;
+  return N;
+}
+
+/// (list-ref list i)
+inline Value listRef(Value List, size_t I) {
+  Value L = List;
+  while (I--) {
+    GENGC_ASSERT(L.isPair(), "listRef out of range");
+    L = pairCdr(L);
+  }
+  GENGC_ASSERT(L.isPair(), "listRef out of range");
+  return pairCar(L);
+}
+
+/// (reverse list). Allocates; safe under collection because the
+/// elements are gathered into a rooted scratch vector before any
+/// allocation happens.
+inline Value listReverse(Heap &H, Value List) {
+  Root RList(H, List);
+  RootVector Elements(H);
+  for (Value L = RList; L.isPair(); L = pairCdr(L))
+    Elements.push_back(pairCar(L));
+  Root Result(H, Value::nil());
+  for (size_t I = 0; I != Elements.size(); ++I)
+    Result = H.cons(Elements[I], Result);
+  return Result;
+}
+
+} // namespace gengc
+
+#endif // GENGC_CORE_LISTOPS_H

@@ -1,0 +1,84 @@
+//===- core/TransportGuardian.h - Conservative transport guardians -------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3's conservative transport guardian: "returns an object when
+/// it has been moved (transported) rather than when it has become
+/// inaccessible", so eq hash tables can rehash only the keys whose
+/// addresses changed.
+///
+/// The implementation is the paper's make-transport-guardian, verbatim:
+/// a fresh marker (a weak pair holding the object) is guaranteed to be no
+/// older than the object; the marker is registered with an ordinary
+/// guardian and its only reference dropped, so the guardian returns it
+/// after any collection the marker was subjected to. Since the object is
+/// at least as old, any collection that moved the object also returned
+/// its marker -- the returned set is a superset of the moved set
+/// (conservative). Re-registering the same marker lets it "gradually age
+/// along with the object providing the desired generation-friendly
+/// behavior", and making the marker a weak pair keeps the transport
+/// guardian from retaining an otherwise inaccessible object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_CORE_TRANSPORTGUARDIAN_H
+#define GENGC_CORE_TRANSPORTGUARDIAN_H
+
+#include "core/Guardian.h"
+
+namespace gengc {
+
+class TransportGuardian {
+public:
+  explicit TransportGuardian(Heap &H) : H(H), G(H) {}
+
+  /// [(z) (g (weak-cons z #f))]: starts watching \p V for transport.
+  void watch(Value V) {
+    Root RV(H, V);
+    Value Marker = H.weakCons(RV, Value::falseV());
+    G.protect(Marker);
+  }
+
+  /// [() (let loop ([m (g)]) ...)]: returns an object that may have
+  /// moved since it was last returned (or watched), or #f if there are
+  /// none. Objects that died are silently dropped.
+  Value retrieveMoved() {
+    while (true) {
+      Root Marker(H, G.retrieve());
+      if (Marker.get().isFalse())
+        return Value::falseV();
+      Value Obj = pairCar(Marker);
+      if (Obj.isTruthy()) {
+        // Re-register the same marker so it ages with the object.
+        G.protect(Marker);
+        return Obj;
+      }
+      // Weak car broken: the watched object is gone; drop the marker.
+    }
+  }
+
+  /// Drains every currently pending marker, invoking \p Fn for each
+  /// possibly-moved object. Returns the number processed.
+  template <typename Fn> size_t drainMoved(Fn Callback) {
+    size_t N = 0;
+    while (true) {
+      Root Obj(H, retrieveMoved());
+      if (Obj.get().isFalse())
+        return N;
+      Callback(Obj.get());
+      ++N;
+    }
+  }
+
+private:
+  Heap &H;
+  Guardian G;
+};
+
+} // namespace gengc
+
+#endif // GENGC_CORE_TRANSPORTGUARDIAN_H

@@ -1,0 +1,634 @@
+//===- gc/Collector.cpp - Stop-and-copy generational collector -*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Collector.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "gc/Roots.h"
+#include "gc/Tconc.h"
+
+using namespace gengc;
+
+void Collector::run(unsigned G) {
+  auto Start = std::chrono::steady_clock::now();
+  H.InGc = true;
+
+  const unsigned Oldest = H.oldestGeneration();
+  GENGC_ASSERT(G <= Oldest, "collected generation out of range");
+  T = std::min(G + 1, Oldest);
+  S.CollectedGeneration = G;
+  S.TargetGeneration = T;
+
+  detachFromSpace(G);
+
+  // Record the sweep start of every context copies can land in:
+  // generations 0..T at every tenure age. Contexts of the collected
+  // generations were just detached (empty, cursor {0,0}); anything
+  // already in generation T (when T > G) is an older object covered by
+  // the remembered sets, so its sweep starts at the current frontier.
+  for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+    for (unsigned Gen = 0; Gen <= T; ++Gen)
+      for (unsigned Age = 0; Age != H.Cfg.TenureCopies; ++Age) {
+        SpaceContext &Ctx = H.Contexts[Sp][Gen][Age];
+        if (Ctx.runs().empty()) {
+          Cursors[Sp][Gen][Age] = SweepCursor{0, 0};
+        } else {
+          size_t Last = Ctx.runs().size() - 1;
+          Cursors[Sp][Gen][Age] =
+              SweepCursor{Last, Ctx.usedWordsOf(H.Segments, Last)};
+        }
+        if (Sp == static_cast<unsigned>(SpaceKind::WeakPair))
+          WeakScanStarts[Gen][Age] = Cursors[Sp][Gen][Age];
+      }
+
+  // Stale remembered entries of collected generations refer to
+  // from-space containers; their survivors are rescanned by the sweep.
+  for (unsigned I = 0; I <= G; ++I) {
+    H.Remembered[I].clear();
+    H.WeakRemembered[I].clear();
+  }
+
+  forwardRoots();
+  processRememberedSets(G);
+  kleeneSweep();
+
+  processGuardians(G);
+
+  std::vector<uint32_t> ThunkQueue;
+  processFinalizeLists(G, ThunkQueue);
+
+  weakPairPass(G);
+  updateSymbolTable();
+  freeFromSpace();
+
+  H.BytesSinceGc = 0;
+  H.GcPending = false;
+  H.InGc = false;
+
+  S.DurationNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  H.Totals.accumulate(S, Oldest);
+  S.CollectionIndex = H.Totals.Collections;
+  H.LastStats = S;
+
+  // Dickey-style finalization thunks run "as part of the garbage
+  // collection process and must not cause another garbage collection":
+  // allocation stays disabled while they run.
+  if (!ThunkQueue.empty()) {
+    H.NoAllocMode = true;
+    for (uint32_t Id : ThunkQueue) {
+      H.FinalizerThunks[Id]();
+      ++H.LastStats.FinalizerThunksRun;
+    }
+    H.NoAllocMode = false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// From-space management.
+//===----------------------------------------------------------------------===//
+
+void Collector::detachFromSpace(unsigned G) {
+  for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
+    for (unsigned I = 0; I <= G; ++I) {
+      for (unsigned Age = 0; Age != H.Cfg.TenureCopies; ++Age) {
+        std::vector<SegmentRun> Runs =
+            H.Contexts[Sp][I][Age].takeRuns(H.Segments);
+        for (const SegmentRun &R : Runs)
+          for (uint32_t Seg = R.FirstSegment;
+               Seg != R.FirstSegment + R.SegmentCount; ++Seg)
+            H.Segments.infoAt(Seg).Flags |= SegmentInfo::FlagFromSpace;
+        FromRuns[Sp].insert(FromRuns[Sp].end(), Runs.begin(), Runs.end());
+      }
+    }
+  }
+}
+
+void Collector::freeFromSpace() {
+  for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+    for (const SegmentRun &R : FromRuns[Sp]) {
+      H.Segments.freeRun(R.FirstSegment, R.SegmentCount);
+      S.SegmentsFreed += R.SegmentCount;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Copying.
+//===----------------------------------------------------------------------===//
+
+void Collector::targetFor(unsigned Gen, unsigned Age, unsigned &NewGen,
+                          unsigned &NewAge) const {
+  const unsigned NextAge = Age + 1;
+  if (NextAge >= H.Cfg.TenureCopies) {
+    // Aged out: promoted into the collection's target generation,
+    // "objects in generations less than or equal to g that survive a
+    // collection of generation g are placed in generation g+1" (capped
+    // at the oldest generation). With TenureCopies == 1 every survivor
+    // takes this branch, reproducing the paper exactly.
+    NewGen = T;
+    NewAge = 0;
+    return;
+  }
+  // Not yet tenured: another round in its own generation, one age up.
+  NewGen = Gen;
+  NewAge = NextAge;
+}
+
+Value Collector::forward(Value V) {
+  if (!V.isHeapPointer())
+    return V;
+  const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
+  if (!Info.isFromSpace())
+    return V;
+
+  unsigned NewGen, NewAge;
+  targetFor(Info.Generation, Info.Age, NewGen, NewAge);
+
+  if (V.isPair()) {
+    PairCell *Cell = V.pairCell();
+    if (Value::fromBits(Cell->Car).isForwardMarker())
+      return Value::fromBits(Cell->Cdr);
+    // Copy, preserving the pair's space (ordinary vs. weak).
+    uintptr_t *NewCell = H.allocateInGeneration(Info.Space, NewGen, NewAge, 2);
+    NewCell[0] = Cell->Car;
+    NewCell[1] = Cell->Cdr;
+    Value NewV = Value::pair(reinterpret_cast<PairCell *>(NewCell));
+    Cell->Car = Value::forwardMarker().bits();
+    Cell->Cdr = NewV.bits();
+    ++S.ObjectsCopied;
+    S.BytesCopied += 2 * sizeof(uintptr_t);
+    return NewV;
+  }
+
+  uintptr_t *Header = V.objectHeader();
+  if (headerKind(*Header) == ObjectKind::Forward)
+    return Value::fromBits(Header[1]);
+  const size_t Words = objectSizeInWords(*Header);
+  const size_t AllocWords = objectAllocWords(*Header);
+  uintptr_t *NewObj =
+      H.allocateInGeneration(Info.Space, NewGen, NewAge, AllocWords);
+  std::memcpy(NewObj, Header, Words * sizeof(uintptr_t));
+  if (AllocWords > Words)
+    NewObj[Words] = 0; // Deterministic padding for the verifier.
+  Value NewV = Value::object(NewObj);
+  Header[0] = makeHeader(ObjectKind::Forward, 0);
+  Header[1] = NewV.bits();
+  ++S.ObjectsCopied;
+  S.BytesCopied += AllocWords * sizeof(uintptr_t);
+  return NewV;
+}
+
+bool Collector::isForwarded(Value V) const {
+  if (!V.isHeapPointer())
+    return true;
+  const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
+  if (!Info.isFromSpace())
+    return true;
+  if (V.isPair())
+    return Value::fromBits(V.pairCell()->Car).isForwardMarker();
+  return headerKind(*V.objectHeader()) == ObjectKind::Forward;
+}
+
+Value Collector::forwardedAddress(Value V) const {
+  if (!V.isHeapPointer())
+    return V;
+  const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
+  if (!Info.isFromSpace())
+    return V;
+  if (V.isPair()) {
+    GENGC_ASSERT(Value::fromBits(V.pairCell()->Car).isForwardMarker(),
+                 "get-fwd-addr on unforwarded pair");
+    return Value::fromBits(V.pairCell()->Cdr);
+  }
+  GENGC_ASSERT(headerKind(*V.objectHeader()) == ObjectKind::Forward,
+               "get-fwd-addr on unforwarded object");
+  return Value::fromBits(V.objectHeader()[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Roots and remembered sets.
+//===----------------------------------------------------------------------===//
+
+void Collector::forwardRoots() {
+  for (Value *Slot : H.RootSlots) {
+    forwardSlot(Slot);
+    ++S.RootsScanned;
+  }
+  for (RootVector *Vec : H.RootVectors)
+    for (Value &V : Vec->Slots) {
+      forwardSlot(&V);
+      ++S.RootsScanned;
+    }
+  if (!H.Cfg.WeakSymbolTable) {
+    // Strong interning: every table entry is a root.
+    for (auto &Entry : H.SymbolTable) {
+      Value Sym = forward(Value::fromBits(Entry.second));
+      Entry.second = Sym.bits();
+      ++S.RootsScanned;
+    }
+  }
+}
+
+void Collector::processRememberedSets(unsigned G) {
+  for (unsigned I = G + 1; I < H.Cfg.Generations; ++I) {
+    std::vector<uintptr_t> Snapshot = H.Remembered[I].takeSnapshot();
+    H.Remembered[I].clear();
+    for (uintptr_t Bits : Snapshot) {
+      Value Container = Value::fromBits(Bits);
+      forwardRememberedObject(Container);
+      ++S.RememberedObjectsScanned;
+      if (pointsBelowGeneration(Container, I))
+        H.Remembered[I].insert(Bits);
+    }
+  }
+}
+
+void Collector::forwardRememberedObject(Value Container) {
+  if (Container.isPair()) {
+    PairCell *Cell = Container.pairCell();
+    // A weak pair's car is weak and handled by the weak-pair pass; only
+    // its cdr is a strong pointer.
+    if (H.Segments.infoFor(Container.heapAddress()).Space !=
+        SpaceKind::WeakPair)
+      forwardWord(&Cell->Car);
+    forwardWord(&Cell->Cdr);
+    return;
+  }
+  uintptr_t *Header = Container.objectHeader();
+  const size_t Fields = objectPointerFieldCount(*Header);
+  for (size_t I = 0; I != Fields; ++I)
+    forwardWord(Header + 1 + I);
+}
+
+bool Collector::pointsBelowGeneration(Value Container,
+                                      unsigned Generation) const {
+  auto Below = [&](uintptr_t Bits) {
+    Value V = Value::fromBits(Bits);
+    return V.isHeapPointer() &&
+           H.Segments.infoFor(V.heapAddress()).Generation < Generation;
+  };
+  if (Container.isPair()) {
+    PairCell *Cell = Container.pairCell();
+    bool Weak = H.Segments.infoFor(Container.heapAddress()).Space ==
+                SpaceKind::WeakPair;
+    return (!Weak && Below(Cell->Car)) || Below(Cell->Cdr);
+  }
+  uintptr_t *Header = Container.objectHeader();
+  const size_t Fields = objectPointerFieldCount(*Header);
+  for (size_t I = 0; I != Fields; ++I)
+    if (Below(Header[1 + I]))
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Sweeping.
+//===----------------------------------------------------------------------===//
+
+void Collector::kleeneSweep() {
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (unsigned Gen = 0; Gen <= T; ++Gen)
+      for (unsigned Age = 0; Age != H.Cfg.TenureCopies; ++Age) {
+        Progress |= sweepContext(SpaceKind::Pair, Gen, Age);
+        Progress |= sweepContext(SpaceKind::Typed, Gen, Age);
+        Progress |= sweepContext(SpaceKind::WeakPair, Gen, Age);
+        // The data space is pointerless; nothing to sweep.
+      }
+  }
+}
+
+bool Collector::sweepContext(SpaceKind Space, unsigned Gen, unsigned Age) {
+  const unsigned Sp = static_cast<unsigned>(Space);
+  SpaceContext &Ctx = H.Contexts[Sp][Gen][Age];
+  SweepCursor &Cur = Cursors[Sp][Gen][Age];
+  bool Progress = false;
+
+  while (true) {
+    const std::vector<SegmentRun> &Runs = Ctx.runs();
+    if (Cur.RunIndex >= Runs.size())
+      break;
+    const size_t Used = Ctx.usedWordsOf(H.Segments, Cur.RunIndex);
+    if (Cur.OffsetWords >= Used) {
+      if (Cur.RunIndex + 1 < Runs.size()) {
+        ++Cur.RunIndex;
+        Cur.OffsetWords = 0;
+        continue;
+      }
+      break; // Caught up with the allocation frontier.
+    }
+    uintptr_t *P =
+        H.Segments.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
+        Cur.OffsetWords;
+    if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair) {
+      sweepPairAt(P, Space == SpaceKind::WeakPair, Gen);
+      Cur.OffsetWords += 2;
+    } else {
+      sweepTypedAt(P, Gen);
+      Cur.OffsetWords += objectAllocWords(*P);
+    }
+    Progress = true;
+  }
+  return Progress;
+}
+
+void Collector::maybeReRemember(uintptr_t ContainerBits,
+                                unsigned ContainerGen,
+                                uintptr_t FieldBits) {
+  // Only tenure policies > 1 can leave a survivor in a generation older
+  // than something it points to; the paper's simple strategy never
+  // does, so the check is skipped entirely then.
+  if (ContainerGen == 0)
+    return;
+  Value Field = Value::fromBits(FieldBits);
+  if (!Field.isHeapPointer())
+    return;
+  if (H.Segments.infoFor(Field.heapAddress()).Generation < ContainerGen)
+    H.Remembered[ContainerGen].insert(ContainerBits);
+}
+
+void Collector::sweepPairAt(uintptr_t *Cell, bool Weak,
+                            unsigned ContainerGen) {
+  // "When pairs found in the weak-pair space are traced during the
+  // normal garbage collection, they are treated like normal pairs
+  // except that the car field is not touched."
+  if (!Weak)
+    forwardWord(&Cell[0]);
+  forwardWord(&Cell[1]);
+  if (H.Cfg.TenureCopies > 1) {
+    Value Pair = Value::pair(reinterpret_cast<PairCell *>(Cell));
+    if (!Weak)
+      maybeReRemember(Pair.bits(), ContainerGen, Cell[0]);
+    maybeReRemember(Pair.bits(), ContainerGen, Cell[1]);
+  }
+}
+
+void Collector::sweepTypedAt(uintptr_t *Header, unsigned ContainerGen) {
+  GENGC_ASSERT(headerKind(*Header) != ObjectKind::Forward,
+               "forwarding marker found in to-space");
+  const size_t Fields = objectPointerFieldCount(*Header);
+  for (size_t I = 0; I != Fields; ++I)
+    forwardWord(Header + 1 + I);
+  if (H.Cfg.TenureCopies > 1) {
+    Value Obj = Value::object(Header);
+    for (size_t I = 0; I != Fields; ++I)
+      maybeReRemember(Obj.bits(), ContainerGen, Header[1 + I]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Guardians (the Section 4 algorithm).
+//===----------------------------------------------------------------------===//
+
+unsigned Collector::entryListIndex(Value Obj, Value Tconc,
+                                   Value Agent) const {
+  unsigned Index = H.oldestGeneration();
+  for (Value V : {Obj, Tconc, Agent})
+    if (V.isHeapPointer())
+      Index = std::min(
+          Index,
+          static_cast<unsigned>(
+              H.Segments.infoFor(V.heapAddress()).Generation));
+  return Index;
+}
+
+void Collector::processGuardians(unsigned G) {
+  using Entry = Heap::ProtectedEntry;
+  std::vector<Entry> PendHold, PendFinal;
+
+  // First block: separate accessible from inaccessible registered
+  // objects. forwarded?(obj) covers both "copied this cycle" and
+  // "resides in an older generation". Section 5 agents are retained for
+  // the lifetime of the registration, so every visited entry's agent is
+  // forwarded here (for plain registrations the agent IS the object and
+  // this is a no-op for inaccessible ones, preserving the Section 4
+  // algorithm: forward() only marks it live if it was already live).
+  bool ForwardedAnAgent = false;
+  for (unsigned I = 0; I <= G; ++I) {
+    for (Entry E : H.Protected[I]) {
+      ++S.ProtectedEntriesVisited;
+      if (isForwarded(Value::fromBits(E.ObjectBits))) {
+        if (E.AgentBits != E.ObjectBits) {
+          E.AgentBits = forward(Value::fromBits(E.AgentBits)).bits();
+          ForwardedAnAgent = true;
+        } else {
+          E.AgentBits =
+              forwardedAddress(Value::fromBits(E.ObjectBits)).bits();
+        }
+        PendHold.push_back(E);
+      } else {
+        PendFinal.push_back(E);
+      }
+    }
+    H.Protected[I].clear();
+  }
+  if (ForwardedAnAgent)
+    kleeneSweep();
+
+  // Second block: repeatedly salvage objects whose guardian (tconc) is
+  // accessible. Salvaging can make more tconcs accessible (an object may
+  // point to another guardian), hence the fixpoint loop; a tconc that
+  // never becomes accessible means the guardian was dropped and the
+  // entry is discarded, letting its objects be reclaimed.
+  while (true) {
+    ++S.GuardianLoopIterations;
+    std::vector<Entry> FinalList;
+    size_t Keep = 0;
+    for (const Entry &E : PendFinal) {
+      if (isForwarded(Value::fromBits(E.TconcBits)))
+        FinalList.push_back(E);
+      else
+        PendFinal[Keep++] = E;
+    }
+    PendFinal.resize(Keep);
+    if (FinalList.empty())
+      break;
+    for (const Entry &E : FinalList) {
+      // Deliver the agent (== the object for plain registrations,
+      // saving it from destruction; a distinct Section 5 agent lets the
+      // object itself be discarded).
+      Value Agent = forward(Value::fromBits(E.AgentBits));
+      Value Tconc = forwardedAddress(Value::fromBits(E.TconcBits));
+      appendToTconc(Tconc, Agent);
+      ++S.GuardianObjectsSaved;
+    }
+    kleeneSweep();
+  }
+  S.GuardianEntriesDropped += PendFinal.size();
+
+  // Third block: entries whose object survived. If the guardian survived
+  // too, the entry moves to the protected list of the youngest
+  // generation among its participants (the target generation, under the
+  // paper's tenure policy); otherwise the registration dies with the
+  // guardian.
+  for (const Entry &E : PendHold) {
+    Value Tconc = Value::fromBits(E.TconcBits);
+    if (isForwarded(Tconc)) {
+      // The agent was already forwarded during classification.
+      Value NewObj = forwardedAddress(Value::fromBits(E.ObjectBits));
+      Value NewTconc = forwardedAddress(Tconc);
+      Value NewAgent = Value::fromBits(E.AgentBits);
+      unsigned Index = entryListIndex(NewObj, NewTconc, NewAgent);
+      H.Protected[Index].push_back(
+          {NewObj.bits(), NewTconc.bits(), NewAgent.bits()});
+      ++S.ProtectedEntriesKept;
+    } else {
+      ++S.GuardianEntriesDropped;
+    }
+  }
+}
+
+void Collector::appendToTconc(Value Tconc, Value Obj) {
+  // Figure 3, with the fresh last pair allocated directly in the target
+  // generation. The stores go through the barriered setters: when the
+  // tconc lives in an older generation, linking in target-generation
+  // cells creates old-to-young pointers that must be remembered.
+  uintptr_t *NewCell =
+      H.allocateInGeneration(SpaceKind::Pair, T, /*Age=*/0, 2);
+  NewCell[0] = Value::falseV().bits();
+  NewCell[1] = Value::falseV().bits();
+  Value NewLast = Value::pair(reinterpret_cast<PairCell *>(NewCell));
+  tconcAppendWithCell(H, Tconc, Obj, NewLast);
+}
+
+//===----------------------------------------------------------------------===//
+// register-for-finalization lists.
+//===----------------------------------------------------------------------===//
+
+void Collector::processFinalizeLists(unsigned G,
+                                     std::vector<uint32_t> &RunQueue) {
+  std::vector<Heap::FinalizeEntry> Kept;
+  for (unsigned I = 0; I <= G; ++I) {
+    for (const Heap::FinalizeEntry &E : H.FinalizeLists[I]) {
+      Value Obj = Value::fromBits(E.ObjectBits);
+      if (isForwarded(Obj))
+        Kept.push_back({forwardedAddress(Obj).bits(), E.ThunkId});
+      else
+        RunQueue.push_back(E.ThunkId); // Object is NOT preserved.
+    }
+    H.FinalizeLists[I].clear();
+  }
+  for (const Heap::FinalizeEntry &E : Kept) {
+    Value Obj = Value::fromBits(E.ObjectBits);
+    unsigned Index = Obj.isHeapPointer()
+                         ? H.Segments.infoFor(Obj.heapAddress()).Generation
+                         : H.oldestGeneration();
+    H.FinalizeLists[Index].push_back(E);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Weak pairs.
+//===----------------------------------------------------------------------===//
+
+void Collector::weakPairPass(unsigned G) {
+  // (a) Weak pairs copied during this collection, in every to-space
+  // context.
+  const unsigned Sp = static_cast<unsigned>(SpaceKind::WeakPair);
+  for (unsigned Gen = 0; Gen <= T; ++Gen) {
+    for (unsigned Age = 0; Age != H.Cfg.TenureCopies; ++Age) {
+      SpaceContext &Ctx = H.Contexts[Sp][Gen][Age];
+      SweepCursor Cur = WeakScanStarts[Gen][Age];
+      while (true) {
+        const std::vector<SegmentRun> &Runs = Ctx.runs();
+        if (Cur.RunIndex >= Runs.size())
+          break;
+        const size_t Used = Ctx.usedWordsOf(H.Segments, Cur.RunIndex);
+        if (Cur.OffsetWords >= Used) {
+          if (Cur.RunIndex + 1 < Runs.size()) {
+            ++Cur.RunIndex;
+            Cur.OffsetWords = 0;
+            continue;
+          }
+          break;
+        }
+        uintptr_t *Cell =
+            H.Segments.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
+            Cur.OffsetWords;
+        fixWeakCar(Value::pair(reinterpret_cast<PairCell *>(Cell)));
+        Cur.OffsetWords += 2;
+      }
+    }
+  }
+
+  // (b) Older weak pairs whose car was mutated to point at a younger
+  // generation. Only these can reference the from-space, so the pass
+  // stays proportional to the collected work.
+  for (unsigned I = G + 1; I < H.Cfg.Generations; ++I) {
+    std::vector<uintptr_t> Snapshot = H.WeakRemembered[I].takeSnapshot();
+    H.WeakRemembered[I].clear();
+    for (uintptr_t Bits : Snapshot) {
+      Value P = Value::fromBits(Bits);
+      fixWeakCar(P);
+      Value Car = pairCar(P);
+      if (Car.isHeapPointer() &&
+          H.Segments.infoFor(Car.heapAddress()).Generation < I)
+        H.WeakRemembered[I].insert(Bits);
+    }
+  }
+}
+
+void Collector::fixWeakCar(Value WeakPair) {
+  ++S.WeakPairsExamined;
+  PairCell *Cell = WeakPair.pairCell();
+  Value Car = Value::fromBits(Cell->Car);
+  if (!Car.isHeapPointer())
+    return;
+  const SegmentInfo &Info = H.Segments.infoFor(Car.heapAddress());
+  if (!Info.isFromSpace())
+    return;
+  // "If the object pointed to by the car field has been forwarded, the
+  // new address is placed in the car field. Otherwise, #f is placed in
+  // the car field." Guardian-salvaged objects were forwarded before this
+  // pass runs, so they are updated, not broken.
+  if (isForwarded(Car)) {
+    Cell->Car = forwardedAddress(Car).bits();
+    Value NewCar = Value::fromBits(Cell->Car);
+    // Track a young car (possible under tenure policies, or after this
+    // pair was copied while its car stayed behind) so later collections
+    // can find it.
+    unsigned PairGen =
+        H.Segments.infoFor(WeakPair.heapAddress()).Generation;
+    if (NewCar.isHeapPointer() &&
+        H.Segments.infoFor(NewCar.heapAddress()).Generation < PairGen)
+      H.WeakRemembered[PairGen].insert(WeakPair.bits());
+  } else {
+    Cell->Car = Value::falseV().bits();
+    ++S.WeakPointersBroken;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Symbol table.
+//===----------------------------------------------------------------------===//
+
+void Collector::updateSymbolTable() {
+  if (!H.Cfg.WeakSymbolTable)
+    return; // Handled as strong roots in forwardRoots().
+  // Friedman-Wise scatter-table collection: drop entries whose symbol
+  // died; update entries whose symbol moved.
+  for (auto It = H.SymbolTable.begin(); It != H.SymbolTable.end();) {
+    Value Sym = Value::fromBits(It->second);
+    const SegmentInfo &Info = H.Segments.infoFor(Sym.heapAddress());
+    if (!Info.isFromSpace()) {
+      ++It;
+      continue;
+    }
+    if (isForwarded(Sym)) {
+      It->second = forwardedAddress(Sym).bits();
+      ++It;
+    } else {
+      It = H.SymbolTable.erase(It);
+      ++S.SymbolsDropped;
+    }
+  }
+}

@@ -1,0 +1,77 @@
+//===- gc/GcStats.h - Per-collection statistics ---------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters gathered during each collection. The generation-friendliness
+/// experiments (DESIGN.md C1/C2) are stated in terms of these counters:
+/// e.g. ProtectedEntriesVisited must not grow with the number of
+/// registered objects parked in generations older than the one collected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_GCSTATS_H
+#define GENGC_GC_GCSTATS_H
+
+#include <cstdint>
+
+namespace gengc {
+
+struct GcStats {
+  uint64_t CollectionIndex = 0;
+  unsigned CollectedGeneration = 0; ///< The paper's g.
+  unsigned TargetGeneration = 0;    ///< The paper's target generation.
+
+  uint64_t ObjectsCopied = 0;
+  uint64_t BytesCopied = 0;
+  uint64_t RootsScanned = 0;
+  uint64_t RememberedObjectsScanned = 0;
+
+  /// Guardian bookkeeping (Section 4 algorithm).
+  uint64_t ProtectedEntriesVisited = 0; ///< Entries in protected[i], i<=g.
+  uint64_t GuardianObjectsSaved = 0;    ///< Moved to an inaccessible group.
+  uint64_t ProtectedEntriesKept = 0;    ///< Moved to protected[target].
+  uint64_t GuardianEntriesDropped = 0;  ///< Guardian itself was dropped.
+  uint64_t GuardianLoopIterations = 0;  ///< Iterations of the pend-final
+                                        ///< fixpoint loop.
+
+  uint64_t WeakPairsExamined = 0;
+  uint64_t WeakPointersBroken = 0;
+
+  uint64_t FinalizerThunksRun = 0; ///< register-for-finalization baseline.
+  uint64_t SymbolsDropped = 0;     ///< Weak symbol-table entries removed.
+
+  uint64_t SegmentsFreed = 0;
+  uint64_t DurationNanos = 0;
+};
+
+/// Running totals across all collections of a heap.
+struct GcTotals {
+  uint64_t Collections = 0;
+  uint64_t FullCollections = 0;
+  uint64_t ObjectsCopied = 0;
+  uint64_t BytesCopied = 0;
+  uint64_t ProtectedEntriesVisited = 0;
+  uint64_t GuardianObjectsSaved = 0;
+  uint64_t WeakPointersBroken = 0;
+  uint64_t DurationNanos = 0;
+
+  void accumulate(const GcStats &S, unsigned OldestGeneration) {
+    ++Collections;
+    if (S.CollectedGeneration == OldestGeneration)
+      ++FullCollections;
+    ObjectsCopied += S.ObjectsCopied;
+    BytesCopied += S.BytesCopied;
+    ProtectedEntriesVisited += S.ProtectedEntriesVisited;
+    GuardianObjectsSaved += S.GuardianObjectsSaved;
+    WeakPointersBroken += S.WeakPointersBroken;
+    DurationNanos += S.DurationNanos;
+  }
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_GCSTATS_H

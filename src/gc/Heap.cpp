@@ -1,0 +1,458 @@
+//===- gc/Heap.cpp - The mutator-facing heap ------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "gc/Collector.h"
+#include "gc/Roots.h"
+#include "gc/Tconc.h"
+
+using namespace gengc;
+
+Heap::Heap(HeapConfig Config) : Cfg(Config), Segments(Config.ArenaBytes) {
+  GENGC_ASSERT(Cfg.Generations >= 1 && Cfg.Generations <= MaxGenerations,
+               "generation count out of range");
+  GENGC_ASSERT(Cfg.CollectionRadix >= 2, "collection radix must be >= 2");
+  GENGC_ASSERT(Cfg.TenureCopies >= 1 && Cfg.TenureCopies <= MaxTenureCopies,
+               "tenure copy count out of range");
+}
+
+Heap::~Heap() = default;
+
+//===----------------------------------------------------------------------===//
+// Allocation.
+//===----------------------------------------------------------------------===//
+
+uintptr_t *Heap::allocateRaw(SpaceKind Space, size_t Words) {
+  GENGC_ASSERT(!NoAllocMode,
+               "allocation inside a register-for-finalization thunk: the "
+               "thunk runs as part of garbage collection and must not "
+               "cause another collection (Section 2)");
+  BytesSinceGc += Words * sizeof(uintptr_t);
+  if (BytesSinceGc >= Cfg.Gen0CollectBytes)
+    GcPending = true;
+  return Contexts[static_cast<unsigned>(Space)][0][0].allocate(
+      Segments, Space, 0, Words, /*Age=*/0);
+}
+
+uintptr_t *Heap::allocateInGeneration(SpaceKind Space, unsigned Generation,
+                                      unsigned Age, size_t Words) {
+  GENGC_ASSERT(Generation < Cfg.Generations, "bad target generation");
+  GENGC_ASSERT(Age < Cfg.TenureCopies, "bad target tenure age");
+  return Contexts[static_cast<unsigned>(Space)][Generation][Age].allocate(
+      Segments, Space, static_cast<uint8_t>(Generation), Words,
+      static_cast<uint8_t>(Age));
+}
+
+void Heap::pollSafepoint() {
+  if (!GcPending || InGc || !Cfg.AutoCollect)
+    return;
+  GcPending = false;
+  unsigned G = chooseAutomaticGeneration();
+  collect(G);
+  if (CollectRequestHandler)
+    CollectRequestHandler(*this);
+}
+
+unsigned Heap::chooseAutomaticGeneration() {
+  // Collect generation g every CollectionRadix^g automatic collections:
+  // "the older the generation, the less frequently it is collected".
+  ++AutomaticCollections;
+  unsigned G = 0;
+  uint64_t Period = 1;
+  for (unsigned I = 1; I < Cfg.Generations; ++I) {
+    Period *= Cfg.CollectionRadix;
+    if (AutomaticCollections % Period == 0)
+      G = I;
+  }
+  return G;
+}
+
+Value Heap::consRaw(Value Car, Value Cdr) {
+  uintptr_t *W = allocateRaw(SpaceKind::Pair, 2);
+  W[0] = Car.bits();
+  W[1] = Cdr.bits();
+  return Value::pair(reinterpret_cast<PairCell *>(W));
+}
+
+Value Heap::cons(Value Car, Value Cdr) {
+  Root RCar(*this, Car), RCdr(*this, Cdr);
+  pollSafepoint();
+  return consRaw(RCar, RCdr);
+}
+
+Value Heap::weakCons(Value Car, Value Cdr) {
+  Root RCar(*this, Car), RCdr(*this, Cdr);
+  pollSafepoint();
+  uintptr_t *W = allocateRaw(SpaceKind::WeakPair, 2);
+  W[0] = RCar.get().bits();
+  W[1] = RCdr.get().bits();
+  Value P = Value::pair(reinterpret_cast<PairCell *>(W));
+  // A freshly allocated weak pair is in generation 0, so its car cannot
+  // point to a younger generation; no weak remembered entry is needed
+  // until it is promoted or mutated.
+  return P;
+}
+
+Value Heap::makeVector(size_t Length, Value Fill) {
+  Root RFill(*this, Fill);
+  pollSafepoint();
+  uintptr_t Header = makeHeader(ObjectKind::Vector, Length);
+  uintptr_t *W = allocateRaw(SpaceKind::Typed, objectAllocWords(Header));
+  W[0] = Header;
+  for (size_t I = 0; I != Length; ++I)
+    W[1 + I] = RFill.get().bits();
+  return Value::object(W);
+}
+
+Value Heap::makeStringRaw(std::string_view Contents) {
+  uintptr_t Header = makeHeader(ObjectKind::String, Contents.size());
+  uintptr_t *W = allocateRaw(SpaceKind::Data, objectAllocWords(Header));
+  W[0] = Header;
+  // Zero the padded tail so the heap verifier sees deterministic bytes.
+  size_t PayloadWords = objectAllocWords(Header) - 1;
+  std::memset(W + 1, 0, PayloadWords * sizeof(uintptr_t));
+  std::memcpy(W + 1, Contents.data(), Contents.size());
+  return Value::object(W);
+}
+
+Value Heap::makeString(std::string_view Contents) {
+  pollSafepoint();
+  return makeStringRaw(Contents);
+}
+
+Value Heap::makeBytevector(size_t Length) {
+  pollSafepoint();
+  uintptr_t Header = makeHeader(ObjectKind::Bytevector, Length);
+  uintptr_t *W = allocateRaw(SpaceKind::Data, objectAllocWords(Header));
+  W[0] = Header;
+  std::memset(W + 1, 0, (objectAllocWords(Header) - 1) * sizeof(uintptr_t));
+  return Value::object(W);
+}
+
+Value Heap::makeFlonum(double D) {
+  pollSafepoint();
+  uintptr_t Header = makeHeader(ObjectKind::Flonum, 0);
+  uintptr_t *W = allocateRaw(SpaceKind::Data, 2);
+  W[0] = Header;
+  std::memcpy(W + 1, &D, sizeof(double));
+  return Value::object(W);
+}
+
+Value Heap::makeBox(Value V) {
+  Root RV(*this, V);
+  pollSafepoint();
+  uintptr_t *W = allocateRaw(SpaceKind::Typed, 2);
+  W[0] = makeHeader(ObjectKind::Box, 0);
+  W[1] = RV.get().bits();
+  return Value::object(W);
+}
+
+Value Heap::makeRecord(Value Tag, size_t FieldCount, Value Fill) {
+  GENGC_ASSERT(FieldCount >= 1, "records have at least the tag field");
+  Root RTag(*this, Tag), RFill(*this, Fill);
+  pollSafepoint();
+  uintptr_t Header = makeHeader(ObjectKind::Record, FieldCount);
+  uintptr_t *W = allocateRaw(SpaceKind::Typed, objectAllocWords(Header));
+  W[0] = Header;
+  W[1] = RTag.get().bits();
+  for (size_t I = 1; I != FieldCount; ++I)
+    W[1 + I] = RFill.get().bits();
+  return Value::object(W);
+}
+
+Value Heap::makeClosure(Value Clauses, Value Env, Value Name) {
+  Root RClauses(*this, Clauses), REnv(*this, Env), RName(*this, Name);
+  pollSafepoint();
+  uintptr_t *W =
+      allocateRaw(SpaceKind::Typed, 1 + ClosureFieldCount);
+  W[0] = makeHeader(ObjectKind::Closure, ClosureFieldCount);
+  W[1 + CloClauses] = RClauses.get().bits();
+  W[1 + CloEnv] = REnv.get().bits();
+  W[1 + CloName] = RName.get().bits();
+  return Value::object(W);
+}
+
+Value Heap::makePrimitive(intptr_t Index, intptr_t MinArgs, intptr_t MaxArgs,
+                          Value Name) {
+  Root RName(*this, Name);
+  pollSafepoint();
+  uintptr_t *W = allocateRaw(SpaceKind::Typed, 1 + PrimitiveFieldCount);
+  W[0] = makeHeader(ObjectKind::Primitive, PrimitiveFieldCount);
+  W[1 + PrimIndex] = Value::fixnum(Index).bits();
+  W[1 + PrimMinArgs] = Value::fixnum(MinArgs).bits();
+  W[1 + PrimMaxArgs] = Value::fixnum(MaxArgs).bits();
+  W[1 + PrimName] = RName.get().bits();
+  return Value::object(W);
+}
+
+Value Heap::makePortHandle(intptr_t PortIdV, intptr_t Direction) {
+  pollSafepoint();
+  uintptr_t *W = allocateRaw(SpaceKind::Typed, 1 + PortHandleFieldCount);
+  W[0] = makeHeader(ObjectKind::PortHandle, PortHandleFieldCount);
+  W[1 + PortId] = Value::fixnum(PortIdV).bits();
+  W[1 + PortDirection] = Value::fixnum(Direction).bits();
+  return Value::object(W);
+}
+
+Value Heap::makeSymbolRaw(Value NameString) {
+  uintptr_t *W = allocateRaw(SpaceKind::Typed, 1 + SymbolFieldCount);
+  W[0] = makeHeader(ObjectKind::Symbol, SymbolFieldCount);
+  W[1 + SymName] = NameString.bits();
+  W[1 + SymHash] = Value::fixnum(0).bits();
+  W[1 + SymPlist] = Value::nil().bits();
+  return Value::object(W);
+}
+
+Value Heap::intern(std::string_view Name) {
+  pollSafepoint();
+  auto It = SymbolTable.find(std::string(Name));
+  if (It != SymbolTable.end())
+    return Value::fromBits(It->second);
+  // No safepoint between these two allocations, so the fresh string
+  // cannot move before the symbol captures it.
+  Value Str = makeStringRaw(Name);
+  Value Sym = makeSymbolRaw(Str);
+  SymbolTable.emplace(std::string(Name), Sym.bits());
+  return Sym;
+}
+
+std::string Heap::symbolName(Value Symbol) const {
+  GENGC_ASSERT(isSymbol(Symbol), "symbolName on non-symbol");
+  Value Str = objectField(Symbol, SymName);
+  return std::string(stringData(Str), objectLength(Str));
+}
+
+Value Heap::makeUninternedSymbol(std::string_view Name) {
+  pollSafepoint();
+  Value Str = makeStringRaw(Name);
+  return makeSymbolRaw(Str);
+}
+
+Value Heap::makeList(const std::vector<Value> &Elements) {
+  RootVector Rooted(*this);
+  for (Value V : Elements)
+    Rooted.push_back(V);
+  Root Result(*this, Value::nil());
+  for (size_t I = Elements.size(); I != 0; --I)
+    Result = cons(Rooted[I - 1], Result);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Barriered mutation.
+//===----------------------------------------------------------------------===//
+
+void Heap::writeBarrier(Value Container, Value V, bool WeakField) {
+  if (!V.isHeapPointer())
+    return;
+  const SegmentInfo &CInfo = Segments.infoFor(Container.heapAddress());
+  if (CInfo.Generation == 0)
+    return;
+  const SegmentInfo &VInfo = Segments.infoFor(V.heapAddress());
+  if (VInfo.Generation >= CInfo.Generation)
+    return;
+  if (WeakField)
+    WeakRemembered[CInfo.Generation].insert(Container.bits());
+  else
+    Remembered[CInfo.Generation].insert(Container.bits());
+}
+
+void Heap::setCar(Value Pair, Value V) {
+  GENGC_ASSERT(Pair.isPair(), "setCar on non-pair");
+  writeBarrier(Pair, V, /*WeakField=*/isWeakPair(Pair));
+  pairSetCarRaw(Pair, V);
+}
+
+void Heap::setCdr(Value Pair, Value V) {
+  GENGC_ASSERT(Pair.isPair(), "setCdr on non-pair");
+  // The cdr of a weak pair is an ordinary (strong) pointer.
+  writeBarrier(Pair, V, /*WeakField=*/false);
+  pairSetCdrRaw(Pair, V);
+}
+
+void Heap::vectorSet(Value Vector, size_t Index, Value V) {
+  GENGC_ASSERT(isVector(Vector), "vectorSet on non-vector");
+  GENGC_ASSERT(Index < objectLength(Vector), "vectorSet index out of range");
+  writeBarrier(Vector, V, /*WeakField=*/false);
+  objectFieldSetRaw(Vector, Index, V);
+}
+
+void Heap::boxSet(Value Box, Value V) {
+  GENGC_ASSERT(isBox(Box), "boxSet on non-box");
+  writeBarrier(Box, V, /*WeakField=*/false);
+  objectFieldSetRaw(Box, 0, V);
+}
+
+void Heap::recordSet(Value Record, size_t Index, Value V) {
+  GENGC_ASSERT(isRecord(Record), "recordSet on non-record");
+  writeBarrier(Record, V, /*WeakField=*/false);
+  objectFieldSetRaw(Record, Index, V);
+}
+
+void Heap::objectFieldSet(Value Object, size_t Index, Value V) {
+  GENGC_ASSERT(Object.isObject(), "objectFieldSet on non-object");
+  GENGC_ASSERT(kindHasPointers(objectKind(Object)),
+               "objectFieldSet on pointerless object");
+  writeBarrier(Object, V, /*WeakField=*/false);
+  objectFieldSetRaw(Object, Index, V);
+}
+
+//===----------------------------------------------------------------------===//
+// Inspection.
+//===----------------------------------------------------------------------===//
+
+unsigned Heap::generationOf(Value V) const {
+  if (!V.isHeapPointer())
+    return 0;
+  return Segments.infoFor(V.heapAddress()).Generation;
+}
+
+bool Heap::isWeakPair(Value V) const {
+  return V.isPair() &&
+         Segments.infoFor(V.heapAddress()).Space == SpaceKind::WeakPair;
+}
+
+SpaceKind Heap::spaceOf(Value V) const {
+  GENGC_ASSERT(V.isHeapPointer(), "spaceOf on non-heap value");
+  return Segments.infoFor(V.heapAddress()).Space;
+}
+
+Heap::GenerationUsage Heap::generationUsage(unsigned Generation) const {
+  GENGC_ASSERT(Generation < Cfg.Generations, "bad generation");
+  GenerationUsage Usage;
+  for (unsigned S = 0; S != NumSpaces; ++S)
+    for (unsigned A = 0; A != Cfg.TenureCopies; ++A) {
+      const SpaceContext &Ctx = Contexts[S][Generation][A];
+      for (const SegmentRun &R : Ctx.runs())
+        Usage.SegmentCount += R.SegmentCount;
+      Usage.UsedBytes += Ctx.usedWords(Segments) * sizeof(uintptr_t);
+    }
+  return Usage;
+}
+
+size_t Heap::liveBytes() const {
+  size_t Words = 0;
+  for (unsigned S = 0; S != NumSpaces; ++S)
+    for (unsigned G = 0; G != Cfg.Generations; ++G)
+      for (unsigned A = 0; A != Cfg.TenureCopies; ++A)
+        Words += Contexts[S][G][A].usedWords(Segments);
+  return Words * sizeof(uintptr_t);
+}
+
+//===----------------------------------------------------------------------===//
+// Guardians.
+//===----------------------------------------------------------------------===//
+
+Value Heap::makeGuardianTconc() {
+  pollSafepoint();
+  // (let ([z (cons #f '())]) (cons z z))
+  Value Z = consRaw(Value::falseV(), Value::nil());
+  return consRaw(Z, Z);
+}
+
+void Heap::guardianProtect(Value Tconc, Value Obj) {
+  GENGC_ASSERT(Tconc.isPair(), "guardian tconc must be a pair");
+  // install-guardian adds the (obj . tconc) entry to the protected list
+  // for generation 0. The agent defaults to the object itself.
+  Protected[0].push_back({Obj.bits(), Tconc.bits(), Obj.bits()});
+}
+
+void Heap::guardianProtectWithAgent(Value Tconc, Value Obj, Value Agent) {
+  GENGC_ASSERT(Tconc.isPair(), "guardian tconc must be a pair");
+  Protected[0].push_back({Obj.bits(), Tconc.bits(), Agent.bits()});
+}
+
+Value Heap::guardianRetrieve(Value Tconc) {
+  GENGC_ASSERT(Tconc.isPair(), "guardian tconc must be a pair");
+  // Figure 4. The mutator owns the header's car; no critical section is
+  // needed even if a collection intervenes, because the collector only
+  // appends at the tail.
+  if (pairCar(Tconc) == pairCdr(Tconc))
+    return Value::falseV();
+  Value X = pairCar(Tconc);
+  Value Y = pairCar(X);
+  setCar(Tconc, pairCdr(X));
+  // Clear the vacated cell: it is sometimes in an older generation than
+  // the objects it points to, and retaining the pointers "may result in
+  // unnecessary storage retention".
+  setCar(X, Value::falseV());
+  setCdr(X, Value::falseV());
+  return Y;
+}
+
+bool Heap::guardianHasPending(Value Tconc) const {
+  GENGC_ASSERT(Tconc.isPair(), "guardian tconc must be a pair");
+  return pairCar(Tconc) != pairCdr(Tconc);
+}
+
+Value Heap::makeGuardianObject() {
+  Root Tconc(*this, makeGuardianTconc());
+  pollSafepoint();
+  uintptr_t *W = allocateRaw(SpaceKind::Typed, 1 + GuardianFieldCount);
+  W[0] = makeHeader(ObjectKind::Guardian, GuardianFieldCount);
+  W[1 + GuardTconc] = Tconc.get().bits();
+  return Value::object(W);
+}
+
+void gengc::tconcAppend(Heap &H, Value Tconc, Value Obj) {
+  Root RT(H, Tconc), RO(H, Obj);
+  Value NewLast = H.cons(Value::falseV(), Value::falseV());
+  tconcAppendWithCell(H, RT, RO, NewLast);
+}
+
+//===----------------------------------------------------------------------===//
+// register-for-finalization baseline.
+//===----------------------------------------------------------------------===//
+
+uint32_t Heap::registerForFinalization(Value Obj, FinalizerThunk Thunk) {
+  uint32_t Id = static_cast<uint32_t>(FinalizerThunks.size());
+  FinalizerThunks.push_back(std::move(Thunk));
+  FinalizeLists[0].push_back({Obj.bits(), Id});
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Collection and roots.
+//===----------------------------------------------------------------------===//
+
+void Heap::collect(unsigned MaxGeneration) {
+  GENGC_ASSERT(!InGc, "re-entrant collection");
+  Collector C(*this);
+  C.run(std::min(MaxGeneration, oldestGeneration()));
+  for (auto &Hook : PostGcHooks)
+    Hook(*this, LastStats);
+}
+
+void Heap::addRoot(Value *Slot) { RootSlots.push_back(Slot); }
+
+void Heap::removeRoot(Value *Slot) {
+  // Roots are overwhelmingly removed in LIFO order (RAII), so search
+  // from the back.
+  for (size_t I = RootSlots.size(); I != 0; --I) {
+    if (RootSlots[I - 1] == Slot) {
+      RootSlots.erase(RootSlots.begin() + static_cast<ptrdiff_t>(I - 1));
+      return;
+    }
+  }
+  GENGC_UNREACHABLE("removeRoot: slot was not registered");
+}
+
+void Heap::addRootVector(RootVector *Vec) { RootVectors.push_back(Vec); }
+
+void Heap::removeRootVector(RootVector *Vec) {
+  for (size_t I = RootVectors.size(); I != 0; --I) {
+    if (RootVectors[I - 1] == Vec) {
+      RootVectors.erase(RootVectors.begin() + static_cast<ptrdiff_t>(I - 1));
+      return;
+    }
+  }
+  GENGC_UNREACHABLE("removeRootVector: vector was not registered");
+}

@@ -1,0 +1,331 @@
+//===- gc/Heap.h - The mutator-facing heap --------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Heap owns the segmented arena, per-(space, generation) allocation
+/// contexts, roots, remembered sets, the guardian protected lists, and
+/// the collection policy. It is the single public entry point for
+/// allocation, mutation (write-barriered), guardian registration and
+/// retrieval, and collection.
+///
+/// GC safety contract for C++ callers: the collector moves objects, so a
+/// raw Value must not be held across any call that can allocate or
+/// collect. Wrap long-lived values in Root or RootVector (gc/Roots.h);
+/// the collector updates registered slots in place.
+///
+/// Collections happen only at safepoints: explicit collect() calls, or
+/// the start of a public allocation entry point when the automatic
+/// policy's budget is exhausted. A single Heap call never observes a
+/// collection mid-way through its own internal allocations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_HEAP_H
+#define GENGC_GC_HEAP_H
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "gc/GcStats.h"
+#include "gc/HeapConfig.h"
+#include "heap/Arena.h"
+#include "heap/SpaceContext.h"
+#include "object/Layout.h"
+#include "object/Value.h"
+#include "support/PtrHashSet.h"
+
+namespace gengc {
+
+class Collector;
+class RootVector;
+
+/// Maximum supported generation count.
+constexpr unsigned MaxGenerations = 8;
+/// Maximum supported tenure-copy count (HeapConfig::TenureCopies).
+constexpr unsigned MaxTenureCopies = 4;
+
+class Heap {
+public:
+  explicit Heap(HeapConfig Config = HeapConfig());
+  ~Heap();
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  const HeapConfig &config() const { return Cfg; }
+  /// The paper's n: the oldest generation number.
+  unsigned oldestGeneration() const { return Cfg.Generations - 1; }
+
+  //===------------------------------------------------------------------===//
+  // Allocation. All constructors are safepoints (automatic collection may
+  // run before — never during — the construction).
+  //===------------------------------------------------------------------===//
+
+  /// Allocates an ordinary pair.
+  Value cons(Value Car, Value Cdr);
+  /// Allocates a weak pair: the car is a weak pointer, the cdr is normal
+  /// (Section 2; MultiScheme's weak pairs).
+  Value weakCons(Value Car, Value Cdr);
+  /// Allocates a vector of \p Length slots, each initialized to \p Fill.
+  Value makeVector(size_t Length, Value Fill);
+  /// Allocates an immutable string with the given contents.
+  Value makeString(std::string_view Contents);
+  /// Allocates a zero-filled bytevector of \p Length bytes.
+  Value makeBytevector(size_t Length);
+  /// Allocates a flonum.
+  Value makeFlonum(double D);
+  /// Allocates a one-slot mutable box.
+  Value makeBox(Value V);
+  /// Allocates a record with \p FieldCount slots, slot 0 set to \p Tag
+  /// and the rest to \p Fill.
+  Value makeRecord(Value Tag, size_t FieldCount, Value Fill);
+  /// Allocates an interpreter closure.
+  Value makeClosure(Value Clauses, Value Env, Value Name);
+  /// Allocates a primitive-procedure descriptor.
+  Value makePrimitive(intptr_t Index, intptr_t MinArgs, intptr_t MaxArgs,
+                      Value Name);
+  /// Allocates a port handle referencing external port state \p PortId.
+  Value makePortHandle(intptr_t PortId, intptr_t Direction);
+  /// Interns \p Name, returning the unique symbol for it. With
+  /// HeapConfig::WeakSymbolTable, symbols kept alive only by the intern
+  /// table are reclaimed at collection time and re-interned on demand.
+  Value intern(std::string_view Name);
+  /// Returns the interned symbol's name as a std::string.
+  std::string symbolName(Value Symbol) const;
+  /// Makes an uninterned symbol (gensym).
+  Value makeUninternedSymbol(std::string_view Name);
+
+  /// Builds a list from \p Elements (convenience; roots intermediates
+  /// internally).
+  Value makeList(const std::vector<Value> &Elements);
+
+  //===------------------------------------------------------------------===//
+  // Barriered mutation. These maintain the remembered sets that make the
+  // collector generational.
+  //===------------------------------------------------------------------===//
+
+  void setCar(Value Pair, Value V);
+  void setCdr(Value Pair, Value V);
+  void vectorSet(Value Vector, size_t Index, Value V);
+  void boxSet(Value Box, Value V);
+  void recordSet(Value Record, size_t Index, Value V);
+  void objectFieldSet(Value Object, size_t Index, Value V);
+
+  //===------------------------------------------------------------------===//
+  // Inspection.
+  //===------------------------------------------------------------------===//
+
+  /// Generation of a heap value (0 for non-heap values).
+  unsigned generationOf(Value V) const;
+  /// True if \p V is a pair allocated in the weak-pair space.
+  bool isWeakPair(Value V) const;
+  /// True if \p V is an ordinary (non-weak) pair.
+  bool isOrdinaryPair(Value V) const {
+    return V.isPair() && !isWeakPair(V);
+  }
+  /// Space a heap value lives in.
+  SpaceKind spaceOf(Value V) const;
+
+  //===------------------------------------------------------------------===//
+  // Guardians (the paper's Section 3 interface, lowered to the Section 4
+  // tconc representation). core/Guardian.h provides the ergonomic
+  // wrapper.
+  //===------------------------------------------------------------------===//
+
+  /// Creates the tconc queue representing a new guardian:
+  /// (let ([z (cons #f '())]) (cons z z)).
+  Value makeGuardianTconc();
+  /// Registers \p Obj with the guardian: adds an (object, tconc) entry to
+  /// the protected list for generation 0.
+  void guardianProtect(Value Tconc, Value Obj);
+  /// The Section 5 generalization: "the guardian accepts an agent in
+  /// addition to the object ... Rather than returning the object when it
+  /// becomes inaccessible, the guardian returns the agent. Since the
+  /// agent can be the object itself, this subsumes the simpler
+  /// interface." With a distinct agent the object itself is discarded
+  /// ("objects to be discarded if something less than the object is
+  /// needed to perform the finalization"); the agent is retained for the
+  /// lifetime of the registration.
+  void guardianProtectWithAgent(Value Tconc, Value Obj, Value Agent);
+  /// Retrieves one object from the guardian's inaccessible group
+  /// (Figure 4 protocol), or #f if the group is empty.
+  Value guardianRetrieve(Value Tconc);
+  /// True if the guardian has at least one retrievable object.
+  bool guardianHasPending(Value Tconc) const;
+  /// Creates a first-class guardian object (used by the Scheme layer).
+  Value makeGuardianObject();
+
+  //===------------------------------------------------------------------===//
+  // register-for-finalization (Dickey's mechanism, Section 2). Kept as a
+  // faithfully-restricted baseline: the thunk runs during collection and
+  // must not allocate; the object itself is *not* preserved.
+  //===------------------------------------------------------------------===//
+
+  using FinalizerThunk = std::function<void()>;
+  /// Registers \p Thunk to be run by the collector once \p Obj is proven
+  /// inaccessible. Returns a registration id.
+  uint32_t registerForFinalization(Value Obj, FinalizerThunk Thunk);
+
+  //===------------------------------------------------------------------===//
+  // Collection.
+  //===------------------------------------------------------------------===//
+
+  /// Collects generations 0..MaxGeneration (clamped to the oldest).
+  void collect(unsigned MaxGeneration);
+  void collectMinor() { collect(0); }
+  void collectFull() { collect(oldestGeneration()); }
+
+  /// Explicit safepoint: runs a pending automatic collection if the
+  /// allocation budget has been exhausted.
+  void safepoint() { pollSafepoint(); }
+
+  /// Handler invoked after every *automatic* collection, mirroring Chez
+  /// Scheme's collect-request-handler. Typical use: draining guardians.
+  void setCollectRequestHandler(std::function<void(Heap &)> Handler) {
+    CollectRequestHandler = std::move(Handler);
+  }
+
+  /// Hook invoked after every collection (automatic or explicit) with
+  /// that collection's statistics.
+  void addPostGcHook(std::function<void(Heap &, const GcStats &)> Hook) {
+    PostGcHooks.push_back(std::move(Hook));
+  }
+
+  const GcStats &lastStats() const { return LastStats; }
+  const GcTotals &totals() const { return Totals; }
+  uint64_t collectionCount() const { return Totals.Collections; }
+
+  /// Live heap bytes (words in use across all contexts).
+  size_t liveBytes() const;
+  size_t segmentsInUse() const { return Segments.segmentsInUse(); }
+
+  /// Per-generation occupancy snapshot.
+  struct GenerationUsage {
+    size_t SegmentCount = 0;
+    size_t UsedBytes = 0;
+  };
+  /// Usage of generation \p Generation across all spaces and ages.
+  GenerationUsage generationUsage(unsigned Generation) const;
+
+  //===------------------------------------------------------------------===//
+  // Roots.
+  //===------------------------------------------------------------------===//
+
+  /// Registers \p Slot as a root; the collector forwards it in place.
+  void addRoot(Value *Slot);
+  void removeRoot(Value *Slot);
+  void addRootVector(RootVector *Vec);
+  void removeRootVector(RootVector *Vec);
+
+  //===------------------------------------------------------------------===//
+  // Verification (debugging / tests).
+  //===------------------------------------------------------------------===//
+
+  /// Walks the entire heap checking structural invariants: valid tags,
+  /// all pointers land on object starts in live segments, weak-pair cars
+  /// are live-or-#f, and every old-to-young pointer is covered by a
+  /// remembered set. Aborts with a diagnostic on failure.
+  void verifyHeap();
+
+  /// Number of protected-list entries currently parked in generation
+  /// \p Generation (test/bench introspection).
+  size_t protectedEntriesInGeneration(unsigned Generation) const {
+    GENGC_ASSERT(Generation < Cfg.Generations, "bad generation");
+    return Protected[Generation].size();
+  }
+
+private:
+  friend class Collector;
+  friend class RootVector;
+
+  /// An (object, guardian-tconc) entry of a protected list. The paper
+  /// encodes entries as heap pairs; a plain struct is semantically
+  /// identical and keeps the lists outside the traced heap, matching
+  /// "the protected lists themselves are not forwarded during
+  /// collection".
+  struct ProtectedEntry {
+    uintptr_t ObjectBits;
+    uintptr_t TconcBits;
+    /// Section 5 agent; equals ObjectBits for plain registrations. The
+    /// agent (unlike the object) is kept alive by the registration and
+    /// is what the collector delivers to the tconc.
+    uintptr_t AgentBits;
+  };
+
+  struct FinalizeEntry {
+    uintptr_t ObjectBits;
+    uint32_t ThunkId;
+  };
+
+  /// Allocation primitive: bump-allocates words in (Space, generation 0,
+  /// age 0). Never collects; asserts the no-allocation rule inside
+  /// finalizer thunks.
+  uintptr_t *allocateRaw(SpaceKind Space, size_t Words);
+  /// Collector-only allocation directly into (\p Generation, \p Age).
+  uintptr_t *allocateInGeneration(SpaceKind Space, unsigned Generation,
+                                  unsigned Age, size_t Words);
+
+  Value consRaw(Value Car, Value Cdr);
+  Value makeStringRaw(std::string_view Contents);
+  Value makeSymbolRaw(Value NameString);
+
+  /// Runs a pending automatic collection if due. Called at the start of
+  /// public allocation entry points.
+  void pollSafepoint();
+  unsigned chooseAutomaticGeneration();
+
+  /// Write barrier for a store of \p V into \p Container. \p WeakField
+  /// marks stores into a weak pair's car, which go to the weak remembered
+  /// set (the pointer is weak, so it is not a root, but the collector
+  /// must find it to update or break it).
+  void writeBarrier(Value Container, Value V, bool WeakField);
+
+  HeapConfig Cfg;
+  Arena Segments;
+  /// Allocation contexts, indexed by space, generation, and tenure age.
+  /// Mutator allocation uses age 0; the collector copies survivors into
+  /// age Age+1 of the same generation until the tenure policy promotes
+  /// them to (generation + 1, age 0).
+  SpaceContext Contexts[NumSpaces][MaxGenerations][MaxTenureCopies];
+
+  std::vector<Value *> RootSlots;
+  std::vector<RootVector *> RootVectors;
+
+  /// Remembered sets: per generation, objects that may contain strong
+  /// pointers into younger generations.
+  PtrHashSet Remembered[MaxGenerations];
+  /// Weak pairs whose (weak) car may point into a younger generation.
+  PtrHashSet WeakRemembered[MaxGenerations];
+
+  /// The collector's protected lists, one per generation (Section 4).
+  std::vector<ProtectedEntry> Protected[MaxGenerations];
+
+  /// register-for-finalization entries, one list per generation.
+  std::vector<FinalizeEntry> FinalizeLists[MaxGenerations];
+  std::vector<FinalizerThunk> FinalizerThunks;
+
+  std::unordered_map<std::string, uintptr_t> SymbolTable;
+
+  std::function<void(Heap &)> CollectRequestHandler;
+  std::vector<std::function<void(Heap &, const GcStats &)>> PostGcHooks;
+
+  GcStats LastStats;
+  GcTotals Totals;
+
+  size_t BytesSinceGc = 0;
+  uint64_t AutomaticCollections = 0;
+  bool GcPending = false;
+  bool InGc = false;
+  bool NoAllocMode = false;
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_HEAP_H

@@ -1,0 +1,67 @@
+//===- gc/HeapConfig.h - Heap and collector configuration -----*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tunable parameters. The paper notes that "the number of generations
+/// and the promotion and tenure strategies supported by the collector are
+/// under programmer control" but assumes the simple strategy this
+/// collector implements: survivors of a collection of generation g move
+/// to g+1 (capped at the oldest generation), and collecting g collects
+/// all younger generations too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_HEAPCONFIG_H
+#define GENGC_GC_HEAPCONFIG_H
+
+#include <cstddef>
+
+namespace gengc {
+
+struct HeapConfig {
+  /// Virtual address space reserved for the heap; also the hard heap
+  /// size limit. Committed lazily.
+  size_t ArenaBytes = 512u * 1024 * 1024;
+
+  /// Number of generations, numbered 0 (youngest) through
+  /// Generations - 1 (the paper's generation n).
+  unsigned Generations = 4;
+
+  /// Automatic collection fires once this many bytes have been allocated
+  /// in generation 0 (checked at allocation safepoints).
+  size_t Gen0CollectBytes = 1u * 1024 * 1024;
+
+  /// Automatic collection of generation g happens every
+  /// CollectionRadix^g automatic collections ("the older the generation,
+  /// the less frequently it is collected").
+  unsigned CollectionRadix = 4;
+
+  /// Tenure policy ("the promotion and tenure strategies supported by
+  /// the collector are under programmer control"): an object must be
+  /// copied this many times within its generation before it is promoted
+  /// to the next one. 1 reproduces the paper's simple strategy
+  /// (survivors of a collection of generation g move to g+1); larger
+  /// values delay promotion, trading extra copying for less premature
+  /// tenuring.
+  unsigned TenureCopies = 1;
+
+  /// Whether allocation safepoints may trigger collection automatically.
+  /// Tests that need precise control disable this and call collect()
+  /// explicitly.
+  bool AutoCollect = true;
+
+  /// When true, the symbol intern table holds its symbols weakly:
+  /// symbols reachable only from the table are reclaimed and their
+  /// entries dropped, as in Friedman and Wise's scatter-table collection
+  /// (reference [6] of the paper, used by Chez Scheme for oblist
+  /// entries).
+  bool WeakSymbolTable = true;
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_HEAPCONFIG_H

@@ -1,0 +1,94 @@
+//===- gc/Roots.h - RAII root handles -------------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII handles that keep Values visible to the moving collector. A Root
+/// protects a single value; a RootVector protects a growable sequence
+/// (useful for interpreter evaluation stacks and test scaffolding). The
+/// collector updates the protected slots in place when objects move.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_ROOTS_H
+#define GENGC_GC_ROOTS_H
+
+#include <vector>
+
+#include "gc/Heap.h"
+#include "object/Value.h"
+
+namespace gengc {
+
+/// Protects one Value for the lifetime of the handle.
+class Root {
+public:
+  explicit Root(Heap &H, Value V = Value::nil()) : H(H), Slot(V) {
+    H.addRoot(&Slot);
+  }
+  ~Root() { H.removeRoot(&Slot); }
+
+  Root(const Root &) = delete;
+  Root &operator=(const Root &) = delete;
+
+  Value get() const { return Slot; }
+  void set(Value V) { Slot = V; }
+  operator Value() const { return Slot; }
+  Root &operator=(Value V) {
+    Slot = V;
+    return *this;
+  }
+
+private:
+  Heap &H;
+  Value Slot;
+};
+
+/// Protects a growable vector of Values for the lifetime of the handle.
+class RootVector {
+public:
+  explicit RootVector(Heap &H) : H(H) { H.addRootVector(this); }
+  ~RootVector() { H.removeRootVector(this); }
+
+  RootVector(const RootVector &) = delete;
+  RootVector &operator=(const RootVector &) = delete;
+
+  void push_back(Value V) { Slots.push_back(V); }
+  void pop_back() { Slots.pop_back(); }
+  Value &operator[](size_t I) {
+    GENGC_ASSERT(I < Slots.size(), "RootVector index out of range");
+    return Slots[I];
+  }
+  Value operator[](size_t I) const {
+    GENGC_ASSERT(I < Slots.size(), "RootVector index out of range");
+    return Slots[I];
+  }
+  Value back() const {
+    GENGC_ASSERT(!Slots.empty(), "back() on empty RootVector");
+    return Slots.back();
+  }
+  size_t size() const { return Slots.size(); }
+  bool empty() const { return Slots.empty(); }
+  void clear() { Slots.clear(); }
+  void resize(size_t N) { Slots.resize(N, Value::nil()); }
+  /// Truncates back to \p Mark elements (evaluation-stack discipline).
+  void truncate(size_t Mark) {
+    GENGC_ASSERT(Mark <= Slots.size(), "truncate beyond size");
+    Slots.resize(Mark);
+  }
+
+  std::vector<Value> &slots() { return Slots; }
+  Heap &heap() { return H; }
+
+private:
+  friend class Collector;
+  Heap &H;
+  std::vector<Value> Slots;
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_ROOTS_H

@@ -1,0 +1,217 @@
+//===- gc/Verify.cpp - Whole-heap invariant checker -----------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap::verifyHeap walks every live object twice: first to build the set
+/// of valid object addresses, then to check that every reference lands on
+/// a valid object, that no forwarding markers leaked out of a collection,
+/// that weak cars are live-or-#f, and that every old-to-young pointer is
+/// covered by the appropriate remembered set. Tests call this after every
+/// interesting scenario; its failure messages name the violated
+/// invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+#include "support/PtrHashSet.h"
+
+using namespace gengc;
+
+namespace {
+
+struct Verifier {
+  using ContextsArray =
+      const SpaceContext (*)[MaxGenerations][MaxTenureCopies];
+
+  Arena &A;
+  const HeapConfig &Cfg;
+  ContextsArray Contexts;
+  PtrHashSet ValidBits; // Tagged bits of every live object.
+
+  Verifier(Arena &A, const HeapConfig &Cfg, ContextsArray Contexts)
+      : A(A), Cfg(Cfg), Contexts(Contexts) {}
+
+  void fail(const char *Msg) { GENGC_UNREACHABLE(Msg); }
+
+  /// Walks every object in (Space, Gen), invoking Fn(WordPtr, Space).
+  template <typename Fn>
+  void walkContext(const SpaceContext &Ctx, SpaceKind Space, Fn Visit) {
+    const std::vector<SegmentRun> &Runs = Ctx.runs();
+    for (size_t RI = 0; RI != Runs.size(); ++RI) {
+      uintptr_t *Base = A.segmentBase(Runs[RI].FirstSegment);
+      const size_t Used = Ctx.usedWordsOf(A, RI);
+      size_t Off = 0;
+      while (Off < Used) {
+        uintptr_t *P = Base + Off;
+        size_t Step;
+        if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair)
+          Step = 2;
+        else
+          Step = objectAllocWords(*P);
+        Visit(P, Space);
+        Off += Step;
+      }
+      if (Off != Used)
+        fail("object walk overshot the run's used extent");
+    }
+  }
+
+  template <typename Fn> void walkHeap(Fn Visit) {
+    for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+      for (unsigned G = 0; G != Cfg.Generations; ++G)
+        for (unsigned Age = 0; Age != Cfg.TenureCopies; ++Age)
+          walkContext(contextOf(Sp, G, Age), static_cast<SpaceKind>(Sp),
+                      Visit);
+  }
+
+  const SpaceContext &contextOf(unsigned Sp, unsigned G, unsigned Age) {
+    return Contexts[Sp][G][Age];
+  }
+
+  void checkSegmentTagging(const SpaceContext &Ctx, SpaceKind Space,
+                           unsigned Gen, unsigned Age) {
+    for (const SegmentRun &R : Ctx.runs())
+      for (uint32_t Seg = R.FirstSegment;
+           Seg != R.FirstSegment + R.SegmentCount; ++Seg) {
+        const SegmentInfo &Info = A.infoAt(Seg);
+        if (!Info.inUse())
+          fail("live run contains a free segment");
+        if (Info.isFromSpace())
+          fail("live segment still flagged as from-space");
+        if (Info.Space != Space)
+          fail("segment space tag disagrees with its context");
+        if (Info.Generation != Gen)
+          fail("segment generation tag disagrees with its context");
+        if (Info.Age != Age)
+          fail("segment tenure-age tag disagrees with its context");
+      }
+  }
+
+  void collectValidObjects() {
+    for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+      for (unsigned G = 0; G != Cfg.Generations; ++G)
+       for (unsigned Age = 0; Age != Cfg.TenureCopies; ++Age) {
+        const SpaceContext &Ctx = contextOf(Sp, G, Age);
+        checkSegmentTagging(Ctx, static_cast<SpaceKind>(Sp), G, Age);
+        walkContext(Ctx, static_cast<SpaceKind>(Sp),
+                    [&](uintptr_t *P, SpaceKind Space) {
+                      if (Space == SpaceKind::Pair ||
+                          Space == SpaceKind::WeakPair) {
+                        ValidBits.insert(
+                            Value::pair(reinterpret_cast<PairCell *>(P))
+                                .bits());
+                        return;
+                      }
+                      ObjectKind K = headerKind(*P);
+                      if (K == ObjectKind::Forward)
+                        fail("forwarding header in live heap");
+                      bool Data = Space == SpaceKind::Data;
+                      if (Data == kindHasPointers(K) &&
+                          K != ObjectKind::Forward)
+                        fail("object kind in the wrong space");
+                      ValidBits.insert(Value::object(P).bits());
+                    });
+       }
+  }
+
+  void checkValue(Value V, const char *What) {
+    if (V.isImmediate()) {
+      if (V.isForwardMarker())
+        fail("forward marker escaped into live data");
+      return;
+    }
+    if (V.isFixnum())
+      return;
+    if (!A.containsAddress(V.heapAddress()))
+      fail("heap pointer outside the arena");
+    if (!ValidBits.contains(V.bits()))
+      fail(What);
+  }
+
+  unsigned genOf(Value V) {
+    return A.infoFor(V.heapAddress()).Generation;
+  }
+
+  void checkField(Value Container, Value Field, bool WeakField,
+                  const PtrHashSet *Remembered,
+                  const PtrHashSet *WeakRemembered) {
+    checkValue(Field, WeakField
+                          ? "weak car points to a reclaimed object"
+                          : "strong field points to a reclaimed object");
+    if (!Field.isHeapPointer())
+      return;
+    unsigned CG = genOf(Container), FG = genOf(Field);
+    if (FG >= CG)
+      return;
+    const PtrHashSet *Set = WeakField ? WeakRemembered : Remembered;
+    if (!Set->contains(Container.bits()))
+      fail(WeakField ? "weak old-to-young car missing from the weak "
+                       "remembered set"
+                     : "old-to-young pointer missing from the remembered "
+                       "set");
+  }
+
+  void checkReferences(const PtrHashSet *Remembered,
+                       const PtrHashSet *WeakRemembered) {
+    walkHeap([&](uintptr_t *P, SpaceKind Space) {
+      if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair) {
+        Value Pair = Value::pair(reinterpret_cast<PairCell *>(P));
+        checkField(Pair, Value::fromBits(P[0]),
+                   /*WeakField=*/Space == SpaceKind::WeakPair,
+                   &Remembered[genOf(Pair)], &WeakRemembered[genOf(Pair)]);
+        checkField(Pair, Value::fromBits(P[1]), /*WeakField=*/false,
+                   &Remembered[genOf(Pair)], &WeakRemembered[genOf(Pair)]);
+        return;
+      }
+      if (Space == SpaceKind::Data)
+        return;
+      Value Obj = Value::object(P);
+      const size_t Fields = objectPointerFieldCount(*P);
+      for (size_t I = 0; I != Fields; ++I)
+        checkField(Obj, Value::fromBits(P[1 + I]), /*WeakField=*/false,
+                   &Remembered[genOf(Obj)], &WeakRemembered[genOf(Obj)]);
+    });
+  }
+};
+
+} // namespace
+
+void Heap::verifyHeap() {
+  GENGC_ASSERT(!InGc, "verifyHeap during collection");
+  Verifier V(Segments, Cfg, Contexts);
+  V.collectValidObjects();
+  V.checkReferences(Remembered, WeakRemembered);
+
+  // Roots must reference live objects.
+  for (Value *Slot : RootSlots)
+    V.checkValue(*Slot, "root slot references a reclaimed object");
+  for (RootVector *Vec : RootVectors)
+    for (Value &Val : Vec->slots())
+      V.checkValue(Val, "root vector references a reclaimed object");
+
+  // Protected-list entries: objects may be anything; tconcs are pairs.
+  for (unsigned G = 0; G != Cfg.Generations; ++G)
+    for (const ProtectedEntry &E : Protected[G]) {
+      V.checkValue(Value::fromBits(E.ObjectBits),
+                   "protected entry references a reclaimed object");
+      V.checkValue(Value::fromBits(E.AgentBits),
+                   "protected entry references a reclaimed agent");
+      Value Tconc = Value::fromBits(E.TconcBits);
+      if (!Tconc.isPair())
+        V.fail("protected entry's tconc is not a pair");
+      V.checkValue(Tconc, "protected entry's tconc was reclaimed");
+    }
+
+  // Symbol-table entries must be live symbols.
+  for (auto &Entry : SymbolTable) {
+    Value Sym = Value::fromBits(Entry.second);
+    V.checkValue(Sym, "symbol table entry references a reclaimed object");
+    if (!isSymbol(Sym))
+      V.fail("symbol table entry is not a symbol");
+  }
+}

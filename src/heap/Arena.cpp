@@ -1,0 +1,97 @@
+//===- heap/Arena.cpp - Segmented memory arena ----------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Arena.h"
+
+#include <algorithm>
+#include <sys/mman.h>
+
+#include "support/MathExtras.h"
+
+using namespace gengc;
+
+Arena::Arena(size_t TotalBytes) {
+  TotalBytes = alignTo(TotalBytes, SegmentBytes);
+  GENGC_ASSERT(TotalBytes >= SegmentBytes, "arena too small");
+  // MAP_NORESERVE keeps the reservation cheap: pages are committed only
+  // when a segment is actually used.
+  void *Mem = ::mmap(nullptr, TotalBytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  GENGC_ASSERT(Mem != MAP_FAILED, "arena reservation failed");
+  Base = reinterpret_cast<uintptr_t>(Mem);
+  GENGC_ASSERT(isAligned(Base, SegmentBytes),
+               "mmap returned an unaligned region");
+  TotalSegments = TotalBytes / SegmentBytes;
+  Infos.resize(TotalSegments);
+  FreeRuns.push_back({0, static_cast<uint32_t>(TotalSegments)});
+}
+
+Arena::~Arena() {
+  if (Base)
+    ::munmap(reinterpret_cast<void *>(Base), TotalSegments * SegmentBytes);
+}
+
+uint32_t Arena::allocateRun(uint32_t NumSegments, SpaceKind Space,
+                            uint8_t Generation, uint8_t Age) {
+  GENGC_ASSERT(NumSegments > 0, "empty run requested");
+  // First fit over the sorted free list.
+  for (size_t I = 0, E = FreeRuns.size(); I != E; ++I) {
+    FreeRun &R = FreeRuns[I];
+    if (R.Count < NumSegments)
+      continue;
+    uint32_t First = R.First;
+    if (R.Count == NumSegments)
+      FreeRuns.erase(FreeRuns.begin() + static_cast<ptrdiff_t>(I));
+    else {
+      R.First += NumSegments;
+      R.Count -= NumSegments;
+    }
+    for (uint32_t S = First; S != First + NumSegments; ++S) {
+      SegmentInfo &Info = Infos[S];
+      GENGC_ASSERT(!Info.inUse(), "allocating an in-use segment");
+      Info.Space = Space;
+      Info.Generation = Generation;
+      Info.Age = Age;
+      Info.Flags = SegmentInfo::FlagInUse;
+    }
+    InUseCount += NumSegments;
+    return First;
+  }
+  GENGC_UNREACHABLE("heap exhausted: arena has no free run of the "
+                    "requested size");
+}
+
+void Arena::freeRun(uint32_t FirstSegment, uint32_t NumSegments) {
+  GENGC_ASSERT(FirstSegment + NumSegments <= TotalSegments,
+               "freeing segments outside the arena");
+  for (uint32_t S = FirstSegment; S != FirstSegment + NumSegments; ++S) {
+    SegmentInfo &Info = Infos[S];
+    GENGC_ASSERT(Info.inUse(), "double free of segment");
+    Info = SegmentInfo();
+  }
+  InUseCount -= NumSegments;
+
+  // Insert sorted and merge with neighbors.
+  FreeRun NewRun{FirstSegment, NumSegments};
+  auto It = std::lower_bound(
+      FreeRuns.begin(), FreeRuns.end(), NewRun,
+      [](const FreeRun &A, const FreeRun &B) { return A.First < B.First; });
+  It = FreeRuns.insert(It, NewRun);
+  // Merge with successor.
+  if (It + 1 != FreeRuns.end() && It->First + It->Count == (It + 1)->First) {
+    It->Count += (It + 1)->Count;
+    FreeRuns.erase(It + 1);
+  }
+  // Merge with predecessor.
+  if (It != FreeRuns.begin()) {
+    auto Prev = It - 1;
+    if (Prev->First + Prev->Count == It->First) {
+      Prev->Count += It->Count;
+      FreeRuns.erase(It);
+    }
+  }
+}

@@ -1,0 +1,145 @@
+//===- heap/Arena.h - Segmented memory arena ------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The segmented memory system of Section 4: "the heap is structured as a
+/// set of segments (each currently 4K bytes in size). Each segment belongs
+/// to a specific space and generation; the space and generation to which
+/// each segment belongs is maintained in a segment information table with
+/// one entry per segment."
+///
+/// The arena reserves one large virtual region and hands out runs of
+/// contiguous segments. An object never spans runs; objects larger than a
+/// segment get a dedicated multi-segment run. The segment information
+/// table gives O(1) address-to-(space, generation) lookup, which is what
+/// makes weak pairs (a distinct weak-pair space) and the generational
+/// forwarding test cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_HEAP_ARENA_H
+#define GENGC_HEAP_ARENA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/Assert.h"
+
+namespace gengc {
+
+/// Segment geometry. The paper's segments are 4 KiB.
+constexpr size_t SegmentBytes = 4096;
+constexpr size_t SegmentWords = SegmentBytes / sizeof(uintptr_t);
+
+/// The spaces objects are segregated into. The paper calls out the
+/// ability "to segregate objects based on their characteristics, such as
+/// whether they are mutable or whether they contain pointers"; weak pairs
+/// "are always placed in a distinct weak-pair space".
+enum class SpaceKind : uint8_t {
+  Pair = 0,     ///< Ordinary cons cells (no headers).
+  WeakPair = 1, ///< Weak cons cells: car is a weak pointer.
+  Typed = 2,    ///< Typed objects whose payload contains tagged Values.
+  Data = 3,     ///< Typed objects with pointerless payloads.
+};
+constexpr unsigned NumSpaces = 4;
+
+/// Per-segment bookkeeping, one entry per segment in the arena.
+struct SegmentInfo {
+  static constexpr uint8_t FlagInUse = 1 << 0;
+  /// Set on every segment of the generations being collected, for the
+  /// duration of one collection. forwarded?(x) is "x is not in a
+  /// from-space segment, or x carries a forwarding marker".
+  static constexpr uint8_t FlagFromSpace = 1 << 1;
+
+  SpaceKind Space = SpaceKind::Pair;
+  uint8_t Generation = 0;
+  /// Copies survived within the current generation (tenure age). Only
+  /// meaningful when the heap's TenureCopies policy exceeds 1.
+  uint8_t Age = 0;
+  uint8_t Flags = 0;
+
+  bool inUse() const { return Flags & FlagInUse; }
+  bool isFromSpace() const { return Flags & FlagFromSpace; }
+};
+
+/// Reserves a contiguous virtual region and manages it as runs of
+/// segments with a first-fit free list.
+class Arena {
+public:
+  /// Reserves \p TotalBytes of virtual address space (committed lazily by
+  /// the OS as segments are touched).
+  explicit Arena(size_t TotalBytes);
+  ~Arena();
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates a run of \p NumSegments contiguous segments, tagging each
+  /// with \p Space and \p Generation. Returns the index of the first
+  /// segment. Aborts if the arena is exhausted (the reservation is the
+  /// heap-size limit).
+  uint32_t allocateRun(uint32_t NumSegments, SpaceKind Space,
+                       uint8_t Generation, uint8_t Age = 0);
+
+  /// Returns a run to the free list and clears its segment entries.
+  void freeRun(uint32_t FirstSegment, uint32_t NumSegments);
+
+  /// True if \p Address lies inside the arena reservation.
+  bool containsAddress(uintptr_t Address) const {
+    return Address >= Base && Address < Base + TotalSegments * SegmentBytes;
+  }
+
+  /// Segment index containing \p Address (which must be in the arena).
+  uint32_t segmentIndexOf(uintptr_t Address) const {
+    GENGC_ASSERT(containsAddress(Address), "address outside arena");
+    return static_cast<uint32_t>((Address - Base) / SegmentBytes);
+  }
+
+  SegmentInfo &infoAt(uint32_t SegmentIndex) {
+    GENGC_ASSERT(SegmentIndex < TotalSegments, "segment index out of range");
+    return Infos[SegmentIndex];
+  }
+  const SegmentInfo &infoAt(uint32_t SegmentIndex) const {
+    GENGC_ASSERT(SegmentIndex < TotalSegments, "segment index out of range");
+    return Infos[SegmentIndex];
+  }
+
+  /// Segment info for the segment containing \p Address.
+  SegmentInfo &infoFor(uintptr_t Address) {
+    return Infos[segmentIndexOf(Address)];
+  }
+  const SegmentInfo &infoFor(uintptr_t Address) const {
+    return Infos[segmentIndexOf(Address)];
+  }
+
+  /// First word of segment \p SegmentIndex.
+  uintptr_t *segmentBase(uint32_t SegmentIndex) const {
+    return reinterpret_cast<uintptr_t *>(Base +
+                                         static_cast<uintptr_t>(SegmentIndex) *
+                                             SegmentBytes);
+  }
+
+  size_t totalSegments() const { return TotalSegments; }
+  size_t segmentsInUse() const { return InUseCount; }
+
+private:
+  struct FreeRun {
+    uint32_t First;
+    uint32_t Count;
+  };
+
+  uintptr_t Base = 0;
+  size_t TotalSegments = 0;
+  size_t InUseCount = 0;
+  std::vector<SegmentInfo> Infos;
+  /// Sorted by First; adjacent runs are merged on free.
+  std::vector<FreeRun> FreeRuns;
+};
+
+} // namespace gengc
+
+#endif // GENGC_HEAP_ARENA_H

@@ -1,0 +1,73 @@
+//===- io/FileSystem.h - In-memory file system ----------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hermetic in-memory file system standing in for the operating system
+/// underneath ports. The paper's motivating example is file ports whose
+/// buffered data would remain unwritten if a dropped port were never
+/// closed; an in-memory FS lets the tests observe exactly which bytes
+/// reached the "disk" and when.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_IO_FILESYSTEM_H
+#define GENGC_IO_FILESYSTEM_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gengc {
+
+class MemoryFileSystem {
+public:
+  bool exists(const std::string &Path) const {
+    return Files.find(Path) != Files.end();
+  }
+
+  /// Creates or truncates a file.
+  void create(const std::string &Path) { Files[Path].clear(); }
+
+  /// Whole-file read; returns false if the file does not exist.
+  bool read(const std::string &Path, std::string &Out) const {
+    auto It = Files.find(Path);
+    if (It == Files.end())
+      return false;
+    Out.assign(It->second.begin(), It->second.end());
+    return true;
+  }
+
+  /// Appends bytes to a file (created if absent).
+  void append(const std::string &Path, const char *Data, size_t N) {
+    std::vector<char> &F = Files[Path];
+    F.insert(F.end(), Data, Data + N);
+    ++WriteOps;
+  }
+
+  void write(const std::string &Path, const std::string &Contents) {
+    Files[Path].assign(Contents.begin(), Contents.end());
+  }
+
+  bool remove(const std::string &Path) { return Files.erase(Path) != 0; }
+
+  size_t fileCount() const { return Files.size(); }
+  size_t sizeOf(const std::string &Path) const {
+    auto It = Files.find(Path);
+    return It == Files.end() ? 0 : It->second.size();
+  }
+  /// Number of physical append operations ("system calls"), a proxy for
+  /// flush traffic in the benches.
+  uint64_t writeOperations() const { return WriteOps; }
+
+private:
+  std::map<std::string, std::vector<char>> Files;
+  uint64_t WriteOps = 0;
+};
+
+} // namespace gengc
+
+#endif // GENGC_IO_FILESYSTEM_H

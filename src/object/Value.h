@@ -1,0 +1,202 @@
+//===- object/Value.h - Tagged Scheme values ------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tagged value representation. A Value is one machine word:
+///
+///   bits 2..0 = 000  fixnum        (signed integer in bits 63..3)
+///   bits 2..0 = 001  pair pointer  (two-word cell; weak pairs share this
+///                                   tag and are distinguished by the
+///                                   segment's space, exactly as in the
+///                                   paper's Section 4)
+///   bits 2..0 = 011  object pointer (typed heap object with a header word)
+///   bits 2..0 = 101  immediate     (bits 7..3 select the kind; the payload,
+///                                   e.g. a character code, lives above)
+///
+/// Heap cells are 8-byte aligned so pointer payloads have three zero low
+/// bits available for the tag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_OBJECT_VALUE_H
+#define GENGC_OBJECT_VALUE_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/Assert.h"
+
+namespace gengc {
+
+/// Low three bits of a Value word.
+enum class TagKind : uintptr_t {
+  Fixnum = 0b000,
+  Pair = 0b001,
+  Object = 0b011,
+  Immediate = 0b101,
+};
+
+/// Kinds of non-pointer, non-fixnum values. Stored in bits 7..3 of an
+/// immediate word.
+enum class ImmKind : uintptr_t {
+  False = 0,
+  True = 1,
+  Nil = 2,     ///< The empty list.
+  Eof = 3,     ///< End-of-file object.
+  Void = 4,    ///< The unspecified value.
+  Unbound = 5, ///< Marker for unbound variables / absent table entries.
+  Char = 6,    ///< Character; the code point is the payload.
+  Forward = 7, ///< Collector-internal: marks a forwarded pair's car.
+               ///< Never visible to the mutator.
+  BrokenWeak = 8, ///< Reserved (weak cars are broken to False, per the
+                  ///< paper; kept for experimentation).
+};
+
+/// A two-word cons cell. Weak pairs use the same layout; only the segment
+/// they live in differs.
+struct PairCell {
+  uintptr_t Car;
+  uintptr_t Cdr;
+};
+
+/// One tagged machine word: fixnum, immediate, or heap pointer.
+class Value {
+public:
+  static constexpr uintptr_t TagMask = 0b111;
+  static constexpr int FixnumShift = 3;
+  static constexpr intptr_t FixnumMax =
+      (static_cast<intptr_t>(1) << (8 * sizeof(uintptr_t) - 4)) - 1;
+  static constexpr intptr_t FixnumMin = -FixnumMax - 1;
+
+  /// Default-constructs the value 0 (the fixnum zero).
+  constexpr Value() : Bits(0) {}
+
+  /// Reconstructs a value from its raw bits.
+  static constexpr Value fromBits(uintptr_t Bits) { return Value(Bits); }
+  constexpr uintptr_t bits() const { return Bits; }
+
+  //===------------------------------------------------------------------===//
+  // Constructors for each representation.
+  //===------------------------------------------------------------------===//
+
+  static constexpr Value fixnum(intptr_t N) {
+    return Value(static_cast<uintptr_t>(N) << FixnumShift);
+  }
+  static constexpr Value falseV() { return immediate(ImmKind::False, 0); }
+  static constexpr Value trueV() { return immediate(ImmKind::True, 0); }
+  static constexpr Value nil() { return immediate(ImmKind::Nil, 0); }
+  static constexpr Value eof() { return immediate(ImmKind::Eof, 0); }
+  static constexpr Value voidV() { return immediate(ImmKind::Void, 0); }
+  static constexpr Value unbound() { return immediate(ImmKind::Unbound, 0); }
+  static constexpr Value character(uint32_t Code) {
+    return immediate(ImmKind::Char, Code);
+  }
+  static constexpr Value boolean(bool B) { return B ? trueV() : falseV(); }
+
+  /// Collector-internal forwarding marker (stored in a forwarded pair's
+  /// car field).
+  static constexpr Value forwardMarker() {
+    return immediate(ImmKind::Forward, 0);
+  }
+
+  /// Tags \p Cell as a pair pointer.
+  static Value pair(PairCell *Cell) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cell);
+    GENGC_ASSERT((P & TagMask) == 0, "pair cell must be 8-byte aligned");
+    return Value(P | static_cast<uintptr_t>(TagKind::Pair));
+  }
+
+  /// Tags \p Header (the first word of a typed heap object) as an object
+  /// pointer.
+  static Value object(uintptr_t *Header) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Header);
+    GENGC_ASSERT((P & TagMask) == 0, "object must be 8-byte aligned");
+    return Value(P | static_cast<uintptr_t>(TagKind::Object));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Classification.
+  //===------------------------------------------------------------------===//
+
+  constexpr TagKind tag() const { return static_cast<TagKind>(Bits & TagMask); }
+  constexpr bool isFixnum() const { return tag() == TagKind::Fixnum; }
+  constexpr bool isPair() const { return tag() == TagKind::Pair; }
+  constexpr bool isObject() const { return tag() == TagKind::Object; }
+  constexpr bool isImmediate() const { return tag() == TagKind::Immediate; }
+  /// True for pairs and typed objects, the only representations that live
+  /// in (and move around) the garbage-collected heap.
+  constexpr bool isHeapPointer() const { return isPair() || isObject(); }
+
+  constexpr ImmKind immKind() const {
+    return static_cast<ImmKind>((Bits >> 3) & 0x1F);
+  }
+  constexpr bool isImm(ImmKind K) const {
+    return isImmediate() && immKind() == K;
+  }
+  constexpr bool isFalse() const { return isImm(ImmKind::False); }
+  constexpr bool isTrue() const { return isImm(ImmKind::True); }
+  constexpr bool isNil() const { return isImm(ImmKind::Nil); }
+  constexpr bool isEof() const { return isImm(ImmKind::Eof); }
+  constexpr bool isVoid() const { return isImm(ImmKind::Void); }
+  constexpr bool isUnbound() const { return isImm(ImmKind::Unbound); }
+  constexpr bool isChar() const { return isImm(ImmKind::Char); }
+  constexpr bool isForwardMarker() const { return isImm(ImmKind::Forward); }
+  /// Scheme truthiness: everything except #f is true.
+  constexpr bool isTruthy() const { return !isFalse(); }
+
+  //===------------------------------------------------------------------===//
+  // Accessors.
+  //===------------------------------------------------------------------===//
+
+  constexpr intptr_t asFixnum() const {
+    GENGC_ASSERT(isFixnum(), "asFixnum on non-fixnum");
+    return static_cast<intptr_t>(Bits) >> FixnumShift;
+  }
+
+  constexpr uint32_t charCode() const {
+    GENGC_ASSERT(isChar(), "charCode on non-character");
+    return static_cast<uint32_t>(Bits >> 8);
+  }
+
+  PairCell *pairCell() const {
+    GENGC_ASSERT(isPair(), "pairCell on non-pair");
+    return reinterpret_cast<PairCell *>(Bits & ~TagMask);
+  }
+
+  uintptr_t *objectHeader() const {
+    GENGC_ASSERT(isObject(), "objectHeader on non-object");
+    return reinterpret_cast<uintptr_t *>(Bits & ~TagMask);
+  }
+
+  /// Untagged address of the heap cell this value points to. Only valid
+  /// for heap pointers.
+  uintptr_t heapAddress() const {
+    GENGC_ASSERT(isHeapPointer(), "heapAddress on non-heap value");
+    return Bits & ~TagMask;
+  }
+
+  /// Identity comparison (Scheme's eq?).
+  constexpr bool operator==(const Value &O) const { return Bits == O.Bits; }
+  constexpr bool operator!=(const Value &O) const { return Bits != O.Bits; }
+
+private:
+  explicit constexpr Value(uintptr_t Bits) : Bits(Bits) {}
+
+  static constexpr Value immediate(ImmKind K, uintptr_t Payload) {
+    return Value((Payload << 8) | (static_cast<uintptr_t>(K) << 3) |
+                 static_cast<uintptr_t>(TagKind::Immediate));
+  }
+
+  uintptr_t Bits;
+};
+
+static_assert(sizeof(Value) == sizeof(uintptr_t),
+              "Value must be one machine word");
+
+} // namespace gengc
+
+#endif // GENGC_OBJECT_VALUE_H

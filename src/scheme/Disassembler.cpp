@@ -1,0 +1,99 @@
+//===- scheme/Disassembler.cpp - Bytecode pretty-printer ------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/Bytecode.h"
+#include "scheme/Printer.h"
+
+using namespace gengc;
+
+namespace {
+
+struct OpInfo {
+  const char *Name;
+  unsigned Operands;
+  bool FirstOperandIsConstant;
+};
+
+OpInfo infoFor(Op O) {
+  switch (O) {
+  case Op::Const:
+    return {"const", 1, true};
+  case Op::PushNil:
+    return {"push-nil", 0, false};
+  case Op::PushTrue:
+    return {"push-true", 0, false};
+  case Op::PushFalse:
+    return {"push-false", 0, false};
+  case Op::PushVoid:
+    return {"push-void", 0, false};
+  case Op::LocalRef:
+    return {"local-ref", 2, false};
+  case Op::LocalSet:
+    return {"local-set", 2, false};
+  case Op::GlobalRef:
+    return {"global-ref", 1, true};
+  case Op::GlobalDef:
+    return {"global-def", 1, true};
+  case Op::GlobalSet:
+    return {"global-set", 1, true};
+  case Op::MakeClosure:
+    return {"make-closure", 1, false};
+  case Op::Call:
+    return {"call", 1, false};
+  case Op::TailCall:
+    return {"tail-call", 1, false};
+  case Op::Return:
+    return {"return", 0, false};
+  case Op::Jump:
+    return {"jump", 1, false};
+  case Op::JumpIfFalse:
+    return {"jump-if-false", 1, false};
+  case Op::Pop:
+    return {"pop", 0, false};
+  case Op::Dup:
+    return {"dup", 0, false};
+  case Op::ArityJump:
+    return {"arity-jump", 3, false};
+  case Op::Bind:
+    return {"bind", 2, false};
+  case Op::ArityFail:
+    return {"arity-fail", 0, false};
+  case Op::EnterScope:
+    return {"enter-scope", 1, false};
+  case Op::EnterScopeUndef:
+    return {"enter-scope-undef", 1, false};
+  case Op::ExitScope:
+    return {"exit-scope", 0, false};
+  }
+  return {"??", 0, false};
+}
+
+} // namespace
+
+std::string gengc::disassemble(const CompiledProgram &Program,
+                               const CodeUnit &Unit) {
+  std::string Out = ";; unit '" + Unit.Name + "'\n";
+  size_t PC = 0;
+  while (PC < Unit.Code.size()) {
+    Op O = static_cast<Op>(Unit.Code[PC]);
+    OpInfo Info = infoFor(O);
+    Out += std::to_string(PC) + ": " + Info.Name;
+    ++PC;
+    for (unsigned K = 0; K != Info.Operands; ++K) {
+      Out += " " + std::to_string(Unit.Code[PC]);
+      if (K == 0 && Info.FirstOperandIsConstant) {
+        Heap &H = const_cast<CompiledProgram &>(Program).heap();
+        Out += " {" +
+               writeToString(H, Program.constantOf(Unit, Unit.Code[PC])) +
+               "}";
+      }
+      ++PC;
+    }
+    Out += "\n";
+  }
+  return Out;
+}

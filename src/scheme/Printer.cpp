@@ -1,0 +1,191 @@
+//===- scheme/Printer.cpp - Value printer ---------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/Printer.h"
+
+#include "object/Layout.h"
+
+using namespace gengc;
+
+namespace {
+
+constexpr size_t MaxDepth = 64;
+constexpr size_t MaxListLength = 4096;
+
+void print(Heap &H, Value V, std::string &Out, bool Write, size_t Depth);
+
+void printPair(Heap &H, Value V, std::string &Out, bool Write,
+               size_t Depth) {
+  Out.push_back('(');
+  size_t Count = 0;
+  Value L = V;
+  while (true) {
+    print(H, pairCar(L), Out, Write, Depth + 1);
+    Value Tail = pairCdr(L);
+    if (Tail.isNil())
+      break;
+    if (!Tail.isPair()) {
+      Out += " . ";
+      print(H, Tail, Out, Write, Depth + 1);
+      break;
+    }
+    Out.push_back(' ');
+    L = Tail;
+    if (++Count > MaxListLength) {
+      Out += "...";
+      break;
+    }
+  }
+  Out.push_back(')');
+}
+
+void print(Heap &H, Value V, std::string &Out, bool Write, size_t Depth) {
+  if (Depth > MaxDepth) {
+    Out += "...";
+    return;
+  }
+  if (V.isFixnum()) {
+    Out += std::to_string(V.asFixnum());
+    return;
+  }
+  if (V.isImmediate()) {
+    if (V.isFalse())
+      Out += "#f";
+    else if (V.isTrue())
+      Out += "#t";
+    else if (V.isNil())
+      Out += "()";
+    else if (V.isEof())
+      Out += "#<eof>";
+    else if (V.isVoid())
+      Out += "#<void>";
+    else if (V.isUnbound())
+      Out += "#<unbound>";
+    else if (V.isChar()) {
+      char C = static_cast<char>(V.charCode());
+      if (!Write)
+        Out.push_back(C);
+      else if (C == ' ')
+        Out += "#\\space";
+      else if (C == '\n')
+        Out += "#\\newline";
+      else {
+        Out += "#\\";
+        Out.push_back(C);
+      }
+    } else
+      Out += "#<immediate>";
+    return;
+  }
+  if (V.isPair()) {
+    if (H.isWeakPair(V)) {
+      // Weak pairs print like pairs but flagged, so transcripts show
+      // which cells are weak.
+      Out += "#<weak ";
+      print(H, pairCar(V), Out, Write, Depth + 1);
+      Out += " . ";
+      print(H, pairCdr(V), Out, Write, Depth + 1);
+      Out += ">";
+      return;
+    }
+    printPair(H, V, Out, Write, Depth);
+    return;
+  }
+  switch (objectKind(V)) {
+  case ObjectKind::String: {
+    std::string S(stringData(V), objectLength(V));
+    if (!Write) {
+      Out += S;
+      return;
+    }
+    Out.push_back('"');
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out.push_back('\\');
+      if (C == '\n') {
+        Out += "\\n";
+        continue;
+      }
+      Out.push_back(C);
+    }
+    Out.push_back('"');
+    return;
+  }
+  case ObjectKind::Symbol:
+    Out += H.symbolName(V);
+    return;
+  case ObjectKind::Vector: {
+    Out += "#(";
+    for (size_t I = 0, E = objectLength(V); I != E; ++I) {
+      if (I)
+        Out.push_back(' ');
+      print(H, objectField(V, I), Out, Write, Depth + 1);
+    }
+    Out.push_back(')');
+    return;
+  }
+  case ObjectKind::Flonum:
+    Out += std::to_string(flonumValue(V));
+    return;
+  case ObjectKind::Box:
+    Out += "#&";
+    print(H, objectField(V, 0), Out, Write, Depth + 1);
+    return;
+  case ObjectKind::Bytevector:
+    Out += "#<bytevector " + std::to_string(objectLength(V)) + ">";
+    return;
+  case ObjectKind::Closure: {
+    Value Name = objectField(V, CloName);
+    Out += "#<procedure";
+    if (isSymbol(Name))
+      Out += " " + H.symbolName(Name);
+    Out += ">";
+    return;
+  }
+  case ObjectKind::Primitive: {
+    Value Name = objectField(V, PrimName);
+    Out += "#<primitive";
+    if (isSymbol(Name))
+      Out += " " + H.symbolName(Name);
+    Out += ">";
+    return;
+  }
+  case ObjectKind::PortHandle:
+    Out += "#<port " +
+           std::to_string(objectField(V, PortId).asFixnum()) + ">";
+    return;
+  case ObjectKind::Record: {
+    Out += "#<record";
+    Value Tag = objectField(V, 0);
+    if (isSymbol(Tag))
+      Out += " " + H.symbolName(Tag);
+    Out += ">";
+    return;
+  }
+  case ObjectKind::Guardian:
+    Out += "#<guardian>";
+    return;
+  case ObjectKind::Forward:
+    Out += "#<forwarded!>"; // Should never be reachable by the mutator.
+    return;
+  }
+  Out += "#<unknown>";
+}
+
+} // namespace
+
+std::string gengc::writeToString(Heap &H, Value V) {
+  std::string Out;
+  print(H, V, Out, /*Write=*/true, 0);
+  return Out;
+}
+
+std::string gengc::displayToString(Heap &H, Value V) {
+  std::string Out;
+  print(H, V, Out, /*Write=*/false, 0);
+  return Out;
+}

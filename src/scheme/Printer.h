@@ -1,0 +1,32 @@
+//===- scheme/Printer.h - Value printer -----------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders heap Values as text: `write` form (strings quoted, characters
+/// as #\x) and `display` form (human-readable). Depth- and
+/// length-limited so cyclic structures terminate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SCHEME_PRINTER_H
+#define GENGC_SCHEME_PRINTER_H
+
+#include <string>
+
+#include "gc/Heap.h"
+
+namespace gengc {
+
+/// Renders \p V in `write` style (read-compatible where possible).
+std::string writeToString(Heap &H, Value V);
+
+/// Renders \p V in `display` style (strings and characters unquoted).
+std::string displayToString(Heap &H, Value V);
+
+} // namespace gengc
+
+#endif // GENGC_SCHEME_PRINTER_H

@@ -1,0 +1,226 @@
+//===- scheme/Reader.cpp - S-expression reader ----------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/Reader.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace gengc;
+
+Value Reader::fail(const std::string &Message) {
+  if (ErrorMessage.empty())
+    ErrorMessage = Message + " at offset " + std::to_string(Position);
+  return Value::eof();
+}
+
+void Reader::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ';') {
+      while (!atEnd() && peek() != '\n')
+        ++Position;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r') {
+      ++Position;
+      continue;
+    }
+    break;
+  }
+}
+
+Value Reader::read() {
+  skipWhitespaceAndComments();
+  if (atEnd())
+    return Value::eof();
+  return readDatum();
+}
+
+size_t Reader::readAll(RootVector &Into) {
+  while (true) {
+    Root Datum(H, read());
+    if (hadError() || Datum.get().isEof())
+      break;
+    Into.push_back(Datum.get());
+  }
+  return Into.size();
+}
+
+Value Reader::readDatum() {
+  skipWhitespaceAndComments();
+  if (atEnd())
+    return fail("unexpected end of input");
+  char C = peek();
+  if (C == '(' || C == '[') {
+    // Brackets are interchangeable with parentheses, as in Chez Scheme;
+    // the paper's examples use [ ] for let bindings and case-lambda
+    // clauses.
+    ++Position;
+    return readList();
+  }
+  if (C == ')' || C == ']')
+    return fail("unexpected list terminator");
+  if (C == '\'') {
+    ++Position;
+    Root Quoted(H, readDatum());
+    if (hadError())
+      return Value::eof();
+    Root Tail(H, H.cons(Quoted, Value::nil()));
+    return H.cons(H.intern("quote"), Tail);
+  }
+  if (C == '"')
+    return readString();
+  if (C == '#')
+    return readHash();
+  return readAtom();
+}
+
+Value Reader::readList() {
+  RootVector Elements(H);
+  Root Dotted(H, Value::unbound());
+  while (true) {
+    skipWhitespaceAndComments();
+    if (atEnd())
+      return fail("unterminated list");
+    if (peek() == ')' || peek() == ']') {
+      ++Position;
+      break;
+    }
+    if (peek() == '.' && Position + 1 < Source.size() &&
+        isDelimiter(Source[Position + 1])) {
+      if (Elements.empty())
+        return fail("dot at start of list");
+      ++Position;
+      Dotted = readDatum();
+      if (hadError())
+        return Value::eof();
+      skipWhitespaceAndComments();
+      if (atEnd() || (peek() != ')' && peek() != ']'))
+        return fail("malformed dotted list");
+      ++Position;
+      break;
+    }
+    Root Elem(H, readDatum());
+    if (hadError())
+      return Value::eof();
+    Elements.push_back(Elem.get());
+  }
+  Root Result(H, Dotted.get().isUnbound() ? Value::nil() : Dotted.get());
+  for (size_t I = Elements.size(); I != 0; --I)
+    Result = H.cons(Elements[I - 1], Result.get());
+  return Result;
+}
+
+Value Reader::readString() {
+  GENGC_ASSERT(peek() == '"', "readString expects a quote");
+  ++Position;
+  std::string Out;
+  while (true) {
+    if (atEnd())
+      return fail("unterminated string literal");
+    char C = advance();
+    if (C == '"')
+      break;
+    if (C == '\\') {
+      if (atEnd())
+        return fail("unterminated escape");
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '"':
+        Out.push_back('"');
+        break;
+      default:
+        return fail(std::string("bad escape '\\") + E + "'");
+      }
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return H.makeString(Out);
+}
+
+Value Reader::readHash() {
+  GENGC_ASSERT(peek() == '#', "readHash expects '#'");
+  ++Position;
+  if (atEnd())
+    return fail("lone '#'");
+  char C = advance();
+  if (C == 't')
+    return Value::trueV();
+  if (C == 'f')
+    return Value::falseV();
+  if (C == '(') {
+    // Vector literal #(...).
+    Root Elements(H, readList());
+    if (hadError())
+      return Value::eof();
+    RootVector Elems(H);
+    for (Value L = Elements.get(); L.isPair(); L = pairCdr(L))
+      Elems.push_back(pairCar(L));
+    Root Vec(H, H.makeVector(Elems.size(), Value::nil()));
+    for (size_t I = 0; I != Elems.size(); ++I)
+      H.vectorSet(Vec, I, Elems[I]);
+    return Vec;
+  }
+  if (C == '\\') {
+    if (atEnd())
+      return fail("unterminated character literal");
+    // Named characters: #\space, #\newline, #\tab; otherwise literal.
+    std::string Name;
+    Name.push_back(advance());
+    while (!atEnd() && !isDelimiter(peek()))
+      Name.push_back(advance());
+    if (Name.size() == 1)
+      return Value::character(static_cast<uint32_t>(
+          static_cast<unsigned char>(Name[0])));
+    if (Name == "space")
+      return Value::character(' ');
+    if (Name == "newline")
+      return Value::character('\n');
+    if (Name == "tab")
+      return Value::character('\t');
+    return fail("unknown character name #\\" + Name);
+  }
+  return fail(std::string("unknown '#' syntax: #") + C);
+}
+
+Value Reader::readAtom() {
+  size_t Start = Position;
+  while (!atEnd() && !isDelimiter(peek()))
+    ++Position;
+  std::string Token(Source.substr(Start, Position - Start));
+  GENGC_ASSERT(!Token.empty(), "empty atom token");
+
+  // Try an integer: optional sign followed by digits.
+  size_t DigitsFrom = (Token[0] == '-' || Token[0] == '+') ? 1 : 0;
+  if (DigitsFrom < Token.size()) {
+    bool AllDigits = true;
+    for (size_t I = DigitsFrom; I != Token.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(Token[I])))
+        AllDigits = false;
+    if (AllDigits)
+      return Value::fixnum(std::strtoll(Token.c_str(), nullptr, 10));
+  }
+  return H.intern(Token);
+}
+
+Value gengc::readDatum(Heap &H, std::string_view Source) {
+  Reader R(H, Source);
+  Root V(H, R.read());
+  GENGC_ASSERT(!R.hadError(), "readDatum: syntax error in literal input");
+  return V;
+}

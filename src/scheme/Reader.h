@@ -1,0 +1,76 @@
+//===- scheme/Reader.h - S-expression reader ------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses textual s-expressions into heap Values: fixnums, booleans,
+/// characters, strings, symbols, proper and dotted lists, and
+/// quote/quasiquote shorthand. The reader allocates heap structure, so
+/// it roots every partial result; reading is safe under automatic
+/// collection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SCHEME_READER_H
+#define GENGC_SCHEME_READER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+
+namespace gengc {
+
+class Reader {
+public:
+  Reader(Heap &H, std::string_view Source)
+      : H(H), Source(Source), Position(0) {}
+
+  /// Reads the next datum. Returns Value::eof() at end of input. On a
+  /// syntax error, sets the error flag (query with hadError()) and
+  /// returns eof.
+  Value read();
+
+  /// Reads every datum in the source into \p Into (a rooted vector, so
+  /// the results stay valid under collection). Returns the count.
+  size_t readAll(RootVector &Into);
+
+  bool hadError() const { return !ErrorMessage.empty(); }
+  const std::string &errorMessage() const { return ErrorMessage; }
+
+private:
+  Value readDatum();
+  Value readList();
+  Value readString();
+  Value readHash();
+  Value readAtom();
+  Value fail(const std::string &Message);
+
+  void skipWhitespaceAndComments();
+  bool atEnd() const { return Position >= Source.size(); }
+  char peek() const { return Source[Position]; }
+  char advance() { return Source[Position++]; }
+  static bool isDelimiter(char C) {
+    return C == '(' || C == ')' || C == '[' || C == ']' || C == '"' ||
+           C == ';' || C == '\'' || C == ' ' || C == '\t' || C == '\n' ||
+           C == '\r';
+  }
+
+  Heap &H;
+  std::string_view Source;
+  size_t Position;
+  std::string ErrorMessage;
+};
+
+/// Convenience: parse a single datum from \p Source (aborts on error;
+/// for tests and examples with known-good input).
+Value readDatum(Heap &H, std::string_view Source);
+
+} // namespace gengc
+
+#endif // GENGC_SCHEME_READER_H

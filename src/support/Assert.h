@@ -1,0 +1,51 @@
+//===- support/Assert.h - Assertion helpers -------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion and unreachable-code helpers used throughout the library.
+/// The collector relies heavily on internal invariants; these helpers keep
+/// invariant checks cheap to write and informative when they fire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_ASSERT_H
+#define GENGC_SUPPORT_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gengc {
+
+/// Reports a fatal internal error and aborts. Never returns.
+[[noreturn]] inline void fatalError(const char *File, int Line,
+                                    const char *Msg) {
+  std::fprintf(stderr, "gengc fatal error: %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace gengc
+
+/// Checks an invariant in all build modes. The collector is the kind of
+/// code where a silently corrupted heap is far worse than an abort, so
+/// invariant checks stay on even in release builds unless explicitly
+/// compiled out with GENGC_NO_CHECKS.
+#ifndef GENGC_NO_CHECKS
+#define GENGC_ASSERT(Cond, Msg)                                              \
+  do {                                                                       \
+    if (!(Cond))                                                             \
+      ::gengc::fatalError(__FILE__, __LINE__, Msg);                          \
+  } while (false)
+#else
+#define GENGC_ASSERT(Cond, Msg)                                              \
+  do {                                                                       \
+  } while (false)
+#endif
+
+/// Marks a point in the code that must never be reached.
+#define GENGC_UNREACHABLE(Msg) ::gengc::fatalError(__FILE__, __LINE__, Msg)
+
+#endif // GENGC_SUPPORT_ASSERT_H

@@ -1,0 +1,65 @@
+//===- support/MathExtras.h - Bit and alignment utilities -----*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small arithmetic helpers shared by the heap, the collector, and the
+/// hash-table implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_MATHEXTRAS_H
+#define GENGC_SUPPORT_MATHEXTRAS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/Assert.h"
+
+namespace gengc {
+
+/// Returns true if \p V is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t V) { return V != 0 && (V & (V - 1)) == 0; }
+
+/// Rounds \p V up to the next multiple of \p Align, which must be a power
+/// of two.
+constexpr uint64_t alignTo(uint64_t V, uint64_t Align) {
+  return (V + Align - 1) & ~(Align - 1);
+}
+
+/// Returns true if \p V is a multiple of the power-of-two \p Align.
+constexpr bool isAligned(uint64_t V, uint64_t Align) {
+  return (V & (Align - 1)) == 0;
+}
+
+/// Integer ceiling division.
+constexpr uint64_t divideCeil(uint64_t Num, uint64_t Den) {
+  return (Num + Den - 1) / Den;
+}
+
+/// Returns the smallest power of two greater than or equal to \p V.
+constexpr uint64_t nextPowerOf2(uint64_t V) {
+  if (V <= 1)
+    return 1;
+  uint64_t R = 1;
+  while (R < V)
+    R <<= 1;
+  return R;
+}
+
+/// Mixes the bits of a pointer-sized integer; used by the address-based
+/// (eq) hash tables. This is the finalizer from splitmix64, a strong
+/// cheap integer hash.
+constexpr uint64_t hashPointerBits(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace gengc
+
+#endif // GENGC_SUPPORT_MATHEXTRAS_H

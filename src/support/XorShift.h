@@ -1,0 +1,64 @@
+//===- support/XorShift.h - Deterministic PRNG ----------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic xorshift128+ pseudo-random generator. The tests and
+/// benchmark workload generators need reproducible randomness that is
+/// identical across platforms and standard-library versions, which
+/// std::mt19937 distributions do not guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_XORSHIFT_H
+#define GENGC_SUPPORT_XORSHIFT_H
+
+#include <cstdint>
+
+namespace gengc {
+
+/// Deterministic xorshift128+ generator.
+class XorShift {
+public:
+  explicit XorShift(uint64_t Seed = 0x2545f4914f6cdd1dULL) {
+    // Seed both words through splitmix64 so any seed (including 0)
+    // produces a healthy state.
+    uint64_t Z = Seed;
+    auto Next = [&Z] {
+      Z += 0x9e3779b97f4a7c15ULL;
+      uint64_t X = Z;
+      X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+      return X ^ (X >> 31);
+    };
+    S0 = Next();
+    S1 = Next();
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace gengc
+
+#endif // GENGC_SUPPORT_XORSHIFT_H

@@ -1,0 +1,277 @@
+//===- tests/baseline/baseline_test.cpp - Section 2 mechanisms -----------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/IndirectionHeader.h"
+#include "io/GuardedPorts.h"
+#include "baseline/LockedQueue.h"
+#include "baseline/WeakHashRegistry.h"
+#include "baseline/WeakListFinalizer.h"
+#include "baseline/WeakSet.h"
+#include "gc/Roots.h"
+
+#include <gtest/gtest.h>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig testConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Weak sets (T's populations).
+//===----------------------------------------------------------------------===//
+
+TEST(WeakSetTest, AddRemoveList) {
+  Heap H(testConfig());
+  WeakSet S(H);
+  Root A(H, H.intern("a")), B(H, H.intern("b"));
+  S.add(A.get());
+  S.add(B.get());
+  S.add(A.get()); // Set semantics: no duplicate.
+  EXPECT_EQ(S.liveMembers().size(), 2u);
+  EXPECT_TRUE(S.remove(A.get()));
+  EXPECT_FALSE(S.remove(A.get()));
+  EXPECT_EQ(S.liveMembers().size(), 1u);
+}
+
+TEST(WeakSetTest, DeadMembersDisappear) {
+  Heap H(testConfig());
+  WeakSet S(H);
+  Root Kept(H, H.cons(Value::fixnum(1), Value::nil()));
+  S.add(Kept.get());
+  {
+    Root Dead(H, H.cons(Value::fixnum(2), Value::nil()));
+    S.add(Dead.get());
+  }
+  H.collectMinor();
+  auto Members = S.liveMembers();
+  ASSERT_EQ(Members.size(), 1u)
+      << "object accessible only via the weak set is discarded";
+  EXPECT_EQ(Members[0], Kept.get());
+  EXPECT_EQ(S.compact(), 1u);
+  EXPECT_EQ(S.spineLength(), 1u);
+}
+
+TEST(WeakSetTest, EnumerationCostIsFullSetSize) {
+  Heap H(testConfig());
+  WeakSet S(H);
+  RootVector Keep(H);
+  for (int I = 0; I != 100; ++I) {
+    Keep.push_back(H.cons(Value::fixnum(I), Value::nil()));
+    S.add(Keep.back());
+  }
+  H.collectFull();
+  uint64_t Before = S.cellsTraversed();
+  S.liveMembers(); // Nothing died...
+  EXPECT_EQ(S.cellsTraversed() - Before, 100u)
+      << "...but the whole list is traversed anyway (the Section 2 "
+         "inefficiency guardians avoid)";
+}
+
+//===----------------------------------------------------------------------===//
+// Weak hashing (MIT hash/unhash).
+//===----------------------------------------------------------------------===//
+
+TEST(WeakHashTest, HashIsStableAndUnique) {
+  Heap H(testConfig());
+  WeakHashRegistry R(H);
+  Root A(H, H.cons(Value::fixnum(1), Value::nil()));
+  Root B(H, H.cons(Value::fixnum(2), Value::nil()));
+  intptr_t HA = R.hash(A.get());
+  intptr_t HB = R.hash(B.get());
+  EXPECT_NE(HA, HB) << "integer is unique to the object";
+  EXPECT_EQ(R.hash(A.get()), HA) << "same object, same integer";
+  H.collectFull(); // A and B move.
+  EXPECT_EQ(R.hash(A.get()), HA) << "stable across collection";
+  EXPECT_EQ(R.unhash(HA), A.get());
+  EXPECT_EQ(R.unhash(HB), B.get());
+}
+
+TEST(WeakHashTest, UnhashOfDeadObjectIsFalse) {
+  Heap H(testConfig());
+  WeakHashRegistry R(H);
+  intptr_t Id;
+  {
+    Root X(H, H.cons(Value::fixnum(9), Value::nil()));
+    Id = R.hash(X.get());
+    EXPECT_EQ(R.unhash(Id), X.get());
+  }
+  H.collectMinor();
+  EXPECT_TRUE(R.unhash(Id).isFalse())
+      << "unhash returns false once the object is reclaimed";
+  EXPECT_TRUE(R.unhash(99999).isFalse()) << "unknown ids are false";
+}
+
+TEST(WeakHashTest, IdNeverReusedForDifferentObject) {
+  Heap H(testConfig());
+  WeakHashRegistry R(H);
+  intptr_t DeadId;
+  {
+    Root X(H, H.cons(Value::fixnum(1), Value::nil()));
+    DeadId = R.hash(X.get());
+  }
+  H.collectMinor();
+  Root Y(H, H.cons(Value::fixnum(2), Value::nil()));
+  intptr_t NewId = R.hash(Y.get());
+  EXPECT_NE(NewId, DeadId)
+      << "the same integer is never returned for a different object";
+}
+
+//===----------------------------------------------------------------------===//
+// Weak-pointer-list finalization.
+//===----------------------------------------------------------------------===//
+
+TEST(WeakListFinalizerTest, CleanupFiresOnceWithPayload) {
+  Heap H(testConfig());
+  WeakListFinalizer F(H);
+  std::vector<intptr_t> Fired;
+  {
+    Root X(H, H.cons(Value::fixnum(1), Value::nil()));
+    F.watch(X.get(), 1234, [&](intptr_t P) { Fired.push_back(P); });
+  }
+  H.collectMinor();
+  EXPECT_EQ(F.poll(), 1u);
+  ASSERT_EQ(Fired.size(), 1u);
+  EXPECT_EQ(Fired[0], 1234)
+      << "only the side payload survives; the object itself is gone";
+  EXPECT_EQ(F.poll(), 0u) << "entry was compacted away";
+  EXPECT_EQ(F.watchedCount(), 0u);
+}
+
+TEST(WeakListFinalizerTest, PollScansEverythingEvenWhenNothingDied) {
+  Heap H(testConfig());
+  WeakListFinalizer F(H);
+  RootVector Keep(H);
+  for (int I = 0; I != 1000; ++I) {
+    Keep.push_back(H.cons(Value::fixnum(I), Value::nil()));
+    F.watch(Keep.back(), I, [](intptr_t) {});
+  }
+  H.collectFull();
+  uint64_t Before = F.entriesScanned();
+  EXPECT_EQ(F.poll(), 0u);
+  EXPECT_EQ(F.entriesScanned() - Before, 1000u)
+      << "O(registered) poll cost -- the defect guardians fix";
+}
+
+//===----------------------------------------------------------------------===//
+// register-for-finalization (Dickey), collector-integrated.
+//===----------------------------------------------------------------------===//
+
+TEST(RegisterForFinalizationTest, ThunkRunsAtCollectionTime) {
+  Heap H(testConfig());
+  int Runs = 0;
+  {
+    Root X(H, H.cons(Value::fixnum(1), Value::nil()));
+    H.registerForFinalization(X.get(), [&Runs] { ++Runs; });
+  }
+  EXPECT_EQ(Runs, 0);
+  H.collectMinor();
+  EXPECT_EQ(Runs, 1) << "thunk invoked automatically during collection";
+  EXPECT_EQ(H.lastStats().FinalizerThunksRun, 1u);
+}
+
+TEST(RegisterForFinalizationTest, LiveObjectDefersThunk) {
+  Heap H(testConfig());
+  int Runs = 0;
+  Root X(H, H.cons(Value::fixnum(1), Value::nil()));
+  H.registerForFinalization(X.get(), [&Runs] { ++Runs; });
+  H.collectFull();
+  EXPECT_EQ(Runs, 0);
+  X = Value::nil();
+  H.collectFull();
+  EXPECT_EQ(Runs, 1);
+}
+
+TEST(RegisterForFinalizationTest, ObjectIsNotPreserved) {
+  Heap H(testConfig());
+  Root Probe(H, Value::nil());
+  {
+    Root X(H, H.cons(Value::fixnum(1), Value::nil()));
+    Probe = H.weakCons(X.get(), Value::nil());
+    H.registerForFinalization(X.get(), [] {});
+  }
+  H.collectMinor();
+  EXPECT_TRUE(weakBoxValue(Probe.get()).isFalse())
+      << "unlike guardians, the object is discarded, not saved";
+}
+
+TEST(RegisterForFinalizationDeathTest, AllocationInThunkAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        Heap H(testConfig());
+        {
+          Root X(H, H.cons(Value::fixnum(1), Value::nil()));
+          H.registerForFinalization(X.get(), [&H] {
+            // "The thunk is not permitted to cause heap allocation since
+            // it is invoked as part of the garbage collection process."
+            H.cons(Value::fixnum(1), Value::nil());
+          });
+        }
+        H.collectMinor();
+      },
+      "allocation inside a register-for-finalization thunk");
+}
+
+//===----------------------------------------------------------------------===//
+// Indirection headers.
+//===----------------------------------------------------------------------===//
+
+TEST(IndirectionHeaderTest, ReadsGoThroughHeader) {
+  Heap H(testConfig());
+  MemoryFileSystem FS;
+  FS.write("f", "xyz");
+  PortTable Ports(FS);
+  Root Inner(H, H.makePortHandle(Ports.openInput("f"),
+                                 static_cast<intptr_t>(PortKind::Input)));
+  IndirectedPort IP(H, Ports, Inner.get());
+  Root Header(H, IP.header());
+  EXPECT_EQ(IP.readCharViaHeader(Header.get()), 'x');
+  EXPECT_EQ(IP.readCharViaHeader(Header.get()), 'y');
+  EXPECT_FALSE(IP.headerDropped());
+}
+
+TEST(IndirectionHeaderTest, HeaderDropDetectedInnerRetained) {
+  Heap H(testConfig());
+  MemoryFileSystem FS;
+  FS.write("f", "abc");
+  PortTable Ports(FS);
+  intptr_t Id = Ports.openInput("f");
+  Root Inner(H, H.makePortHandle(
+                    Id, static_cast<intptr_t>(PortKind::Input)));
+  IndirectedPort IP(H, Ports, Inner.get());
+  IP.dropHeaderReference(); // No client kept the header either.
+  H.collectMinor();
+  EXPECT_TRUE(IP.headerDropped());
+  // The separately-held inner handle is what clean-up uses.
+  EXPECT_EQ(GuardedPortSystem::portIdOf(IP.innerHandle()), Id);
+  Ports.close(Id);
+  EXPECT_EQ(Ports.openPortCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Locked queue.
+//===----------------------------------------------------------------------===//
+
+TEST(LockedQueueTest, FifoSemantics) {
+  LockedQueue Q;
+  EXPECT_TRUE(Q.empty());
+  Q.enqueue(1);
+  Q.enqueue(2);
+  auto A = Q.dequeue();
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(*A, 1u);
+  EXPECT_EQ(*Q.dequeue(), 2u);
+  EXPECT_FALSE(Q.dequeue().has_value());
+}
+
+} // namespace

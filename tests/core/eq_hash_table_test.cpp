@@ -1,0 +1,200 @@
+//===- tests/core/eq_hash_table_test.cpp - Eq tables and rehashing -------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EqHashTable.h"
+#include "gc/Roots.h"
+
+#include <gtest/gtest.h>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig testConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  return C;
+}
+
+class EqHashTableStrategyTest
+    : public ::testing::TestWithParam<EqRehashStrategy> {};
+
+TEST_P(EqHashTableStrategyTest, PutGetBasic) {
+  Heap H(testConfig());
+  EqHashTable T(H, GetParam());
+  Root K1(H, H.cons(Value::fixnum(1), Value::nil()));
+  Root K2(H, H.cons(Value::fixnum(2), Value::nil()));
+  T.put(K1.get(), Value::fixnum(100));
+  T.put(K2.get(), Value::fixnum(200));
+  EXPECT_EQ(T.get(K1.get()).asFixnum(), 100);
+  EXPECT_EQ(T.get(K2.get()).asFixnum(), 200);
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST_P(EqHashTableStrategyTest, UpdateExistingKey) {
+  Heap H(testConfig());
+  EqHashTable T(H, GetParam());
+  Root K(H, H.cons(Value::fixnum(1), Value::nil()));
+  T.put(K.get(), Value::fixnum(1));
+  T.put(K.get(), Value::fixnum(2));
+  EXPECT_EQ(T.get(K.get()).asFixnum(), 2);
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST_P(EqHashTableStrategyTest, MissingKeyUnbound) {
+  Heap H(testConfig());
+  EqHashTable T(H, GetParam());
+  Root K(H, H.cons(Value::fixnum(1), Value::nil()));
+  EXPECT_TRUE(T.get(K.get()).isUnbound());
+  EXPECT_FALSE(T.contains(K.get()));
+}
+
+// The core correctness issue: keys move during collection, so lookups
+// after a collection must still find every entry.
+TEST_P(EqHashTableStrategyTest, LookupsSurviveCollections) {
+  Heap H(testConfig());
+  EqHashTable T(H, GetParam());
+  RootVector Keys(H);
+  constexpr int N = 500;
+  for (int I = 0; I != N; ++I) {
+    Keys.push_back(H.cons(Value::fixnum(I), Value::nil()));
+    T.put(Keys.back(), Value::fixnum(I * 3));
+  }
+  for (int Round = 0; Round != 6; ++Round) {
+    H.collect(Round % 3);
+    for (int I = 0; I != N; ++I)
+      ASSERT_EQ(T.get(Keys[static_cast<size_t>(I)]).asFixnum(), I * 3)
+          << "round " << Round << " key " << I;
+  }
+  EXPECT_EQ(T.size(), static_cast<size_t>(N));
+  H.verifyHeap();
+}
+
+TEST_P(EqHashTableStrategyTest, EqIdentityNotEquality) {
+  Heap H(testConfig());
+  EqHashTable T(H, GetParam());
+  Root K1(H, H.cons(Value::fixnum(1), Value::nil()));
+  Root K2(H, H.cons(Value::fixnum(1), Value::nil())); // equal, not eq
+  T.put(K1.get(), Value::fixnum(10));
+  EXPECT_TRUE(T.get(K2.get()).isUnbound())
+      << "distinct objects with equal contents are distinct eq keys";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, EqHashTableStrategyTest,
+    ::testing::Values(EqRehashStrategy::RehashAllAfterGc,
+                      EqRehashStrategy::TransportMarkers),
+    [](const ::testing::TestParamInfo<EqRehashStrategy> &Info) {
+      return Info.param == EqRehashStrategy::RehashAllAfterGc
+                 ? "RehashAll"
+                 : "TransportMarkers";
+    });
+
+// The C6 claim in miniature: once keys have aged into an old
+// generation, minor collections force the rehash-all table to redo all
+// keys, while the marker-based table rehashes only what the (aged)
+// markers report -- eventually nothing.
+TEST(EqHashTableComparison, AgedKeysStopCostingWithMarkers) {
+  Heap H(testConfig());
+  EqHashTable All(H, EqRehashStrategy::RehashAllAfterGc);
+  EqHashTable Mark(H, EqRehashStrategy::TransportMarkers);
+  RootVector Keys(H);
+  constexpr int N = 200;
+  for (int I = 0; I != N; ++I) {
+    Keys.push_back(H.cons(Value::fixnum(I), Value::nil()));
+    All.put(Keys.back(), Value::fixnum(I));
+    Mark.put(Keys.back(), Value::fixnum(I));
+  }
+  // Age everything (keys AND markers) into generation 3.
+  for (int G = 0; G != 3; ++G) {
+    H.collect(G);
+    All.get(Keys[0]);
+    Mark.get(Keys[0]);
+  }
+  uint64_t AllBefore = All.keysRehashed();
+  uint64_t MarkBefore = Mark.keysRehashed();
+  // Now a run of minor collections: nothing old moves.
+  for (int I = 0; I != 5; ++I) {
+    H.collectMinor();
+    All.get(Keys[0]);
+    Mark.get(Keys[0]);
+  }
+  EXPECT_EQ(All.keysRehashed() - AllBefore, 5ull * N)
+      << "rehash-all pays the full table on every touched epoch";
+  EXPECT_EQ(Mark.keysRehashed() - MarkBefore, 0u)
+      << "aged markers are not returned by minor collections";
+  H.verifyHeap();
+}
+
+TEST(EqHashTableComparison, TransportMarkersDropDeadKeys) {
+  Heap H(testConfig());
+  EqHashTable T(H, EqRehashStrategy::TransportMarkers);
+  Root Kept(H, H.cons(Value::fixnum(1), Value::nil()));
+  T.put(Kept.get(), Value::fixnum(1));
+  {
+    Root Dead(H, H.cons(Value::fixnum(2), Value::nil()));
+    T.put(Dead.get(), Value::fixnum(2));
+  }
+  EXPECT_EQ(T.size(), 2u);
+  H.collectMinor();
+  EXPECT_EQ(T.get(Kept.get()).asFixnum(), 1); // Drains markers.
+  EXPECT_EQ(T.size(), 1u) << "dead key's entry removed via its marker";
+  EXPECT_EQ(T.deadKeysRemoved(), 1u);
+  H.verifyHeap();
+}
+
+TEST(EqHashTableComparison, TransportMarkersHoldKeysWeakly) {
+  Heap H(testConfig());
+  EqHashTable T(H, EqRehashStrategy::TransportMarkers);
+  Root Probe(H, Value::nil());
+  {
+    Root K(H, H.cons(Value::fixnum(5), Value::nil()));
+    T.put(K.get(), Value::fixnum(50));
+    Probe = H.weakCons(K.get(), Value::nil());
+  }
+  H.collectMinor();
+  EXPECT_TRUE(weakBoxValue(Probe.get()).isFalse())
+      << "the marker table must not keep its keys alive";
+}
+
+TEST(EqHashTableComparison, RehashAllHoldsKeysStrongly) {
+  Heap H(testConfig());
+  EqHashTable T(H, EqRehashStrategy::RehashAllAfterGc);
+  Root Probe(H, Value::nil());
+  {
+    Root K(H, H.cons(Value::fixnum(5), Value::nil()));
+    T.put(K.get(), Value::fixnum(50));
+    Probe = H.weakCons(K.get(), Value::nil());
+  }
+  H.collectMinor();
+  EXPECT_FALSE(weakBoxValue(Probe.get()).isFalse())
+      << "conventional eq tables retain their keys";
+}
+
+TEST(EqHashTableComparison, ManyCollectionsStressBothStrategies) {
+  Heap H(testConfig());
+  EqHashTable All(H, EqRehashStrategy::RehashAllAfterGc);
+  EqHashTable Mark(H, EqRehashStrategy::TransportMarkers);
+  RootVector Keys(H);
+  for (int Round = 0; Round != 10; ++Round) {
+    for (int I = 0; I != 50; ++I) {
+      Keys.push_back(H.cons(Value::fixnum(Round * 50 + I), Value::nil()));
+      All.put(Keys.back(), Value::fixnum(Round));
+      Mark.put(Keys.back(), Value::fixnum(Round));
+    }
+    H.collect(Round % 4);
+    for (size_t I = 0; I != Keys.size(); ++I) {
+      ASSERT_FALSE(All.get(Keys[I]).isUnbound());
+      ASSERT_FALSE(Mark.get(Keys[I]).isUnbound());
+      ASSERT_EQ(All.get(Keys[I]).asFixnum(), Mark.get(Keys[I]).asFixnum());
+    }
+  }
+  H.verifyHeap();
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- tests/core/guarded_hash_table_test.cpp - Figure 1 -----------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GuardedHashTable.h"
+#include "gc/Roots.h"
+
+#include <gtest/gtest.h>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig testConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  return C;
+}
+
+TEST(GuardedHashTableTest, InsertAndLookup) {
+  Heap H(testConfig());
+  GuardedHashTable T(H, 32);
+  Root K(H, H.intern("key"));
+  Value V = T.access(K.get(), Value::fixnum(10));
+  EXPECT_EQ(V.asFixnum(), 10);
+  EXPECT_EQ(T.lookup(K.get()).asFixnum(), 10);
+}
+
+// Figure 1: "If the key is already present in the table, the existing
+// value is returned."
+TEST(GuardedHashTableTest, AccessReturnsExistingValue) {
+  Heap H(testConfig());
+  GuardedHashTable T(H, 32);
+  Root K(H, H.intern("key"));
+  T.access(K.get(), Value::fixnum(1));
+  Value V = T.access(K.get(), Value::fixnum(2));
+  EXPECT_EQ(V.asFixnum(), 1) << "second access must not overwrite";
+  EXPECT_EQ(T.entryCount(), 1u);
+}
+
+TEST(GuardedHashTableTest, MissingKeyIsUnbound) {
+  Heap H(testConfig());
+  GuardedHashTable T(H, 32);
+  Root K(H, H.intern("absent"));
+  EXPECT_TRUE(T.lookup(K.get()).isUnbound());
+}
+
+// "Sometime after a key becomes inaccessible it is returned by the
+// guardian g, and the corresponding key-value pair is removed from the
+// table."
+TEST(GuardedHashTableTest, DeadKeyEntryRemovedWithoutScan) {
+  Heap H(testConfig());
+  GuardedHashTable T(H, 32);
+  Root Kept(H, H.intern("kept"));
+  T.access(Kept.get(), Value::fixnum(1));
+  {
+    Root Dropped(H, H.makeUninternedSymbol("dropped"));
+    T.access(Dropped.get(), Value::fixnum(2));
+  }
+  EXPECT_EQ(T.entryCount(), 2u);
+  H.collectFull();
+  // The next access performs the clean-up.
+  T.access(Kept.get(), Value::fixnum(1));
+  EXPECT_EQ(T.entryCount(), 1u);
+  EXPECT_EQ(T.removedTotal(), 1u);
+  EXPECT_EQ(T.lookup(Kept.get()).asFixnum(), 1);
+  H.verifyHeap();
+}
+
+// Weak pairs keep values removable: the VALUE must also become
+// reclaimable once the entry is removed (the whole point vs. plain weak
+// keys, which "do not support removal of the values associated with
+// dropped keys without a periodic scan of the entire table").
+TEST(GuardedHashTableTest, ValueReclaimedAfterKeyDrop) {
+  Heap H(testConfig());
+  GuardedHashTable T(H, 8);
+  Root ValueProbe(H, Value::nil());
+  {
+    Root K(H, H.makeUninternedSymbol("k"));
+    Root V(H, H.cons(Value::fixnum(123), Value::nil()));
+    ValueProbe = H.weakCons(V.get(), Value::nil()); // Watch the value.
+    T.access(K.get(), V.get());
+  }
+  H.collectFull();
+  EXPECT_FALSE(weakBoxValue(ValueProbe.get()).isFalse())
+      << "value still held by the table until clean-up runs";
+  T.removeDroppedEntries();
+  H.collectFull();
+  EXPECT_TRUE(weakBoxValue(ValueProbe.get()).isFalse())
+      << "after entry removal the value must be reclaimable";
+  H.verifyHeap();
+}
+
+// The unguarded variant ("deleting the shaded areas") leaks: broken
+// entries accumulate.
+TEST(GuardedHashTableTest, UnguardedVariantLeaks) {
+  Heap H(testConfig());
+  GuardedHashTable T(H, 32, stableValueHash, /*Guarded=*/false);
+  for (int I = 0; I != 50; ++I) {
+    Root K(H, H.makeUninternedSymbol("k" + std::to_string(I)));
+    T.access(K.get(), Value::fixnum(I));
+  }
+  H.collectFull();
+  T.access(H.intern("another"), Value::fixnum(99));
+  EXPECT_EQ(T.entryCount(), 51u) << "unguarded table never shrinks";
+  EXPECT_EQ(T.brokenEntryCount(), 50u)
+      << "dead keys leave broken weak pairs behind";
+  EXPECT_EQ(T.removedTotal(), 0u);
+  H.verifyHeap();
+}
+
+TEST(GuardedHashTableTest, GuardedTableStaysCompact) {
+  Heap H(testConfig());
+  GuardedHashTable T(H, 64);
+  Root Stable(H, H.intern("stable"));
+  T.access(Stable.get(), Value::fixnum(0));
+  for (int Round = 0; Round != 10; ++Round) {
+    for (int I = 0; I != 100; ++I) {
+      Root K(H, H.makeUninternedSymbol("t" + std::to_string(I)));
+      T.access(K.get(), Value::fixnum(I));
+    }
+    H.collectFull();
+    T.access(Stable.get(), Value::fixnum(0)); // Triggers clean-up.
+  }
+  EXPECT_LE(T.entryCount(), 101u)
+      << "guarded table must not accumulate dead rounds";
+  EXPECT_GE(T.removedTotal(), 900u);
+  H.verifyHeap();
+}
+
+TEST(GuardedHashTableTest, FixnumKeys) {
+  Heap H(testConfig());
+  GuardedHashTable T(H, 16);
+  for (int I = 0; I != 100; ++I)
+    T.access(Value::fixnum(I), Value::fixnum(I * I));
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(T.lookup(Value::fixnum(I)).asFixnum(), I * I);
+  // Immediates are never inaccessible, so the entries persist.
+  H.collectFull();
+  EXPECT_EQ(T.entryCount(), 100u);
+}
+
+TEST(GuardedHashTableTest, SalvagedKeyStillFindsItsEntry) {
+  // The subtle Figure 1 property: the retrieved key must locate its
+  // entry by eq even though it was moved during salvage, which relies
+  // on the weak car being forwarded (not broken) for salvaged objects.
+  Heap H(testConfig());
+  GuardedHashTable T(H, 4); // Small table: collisions exercised too.
+  for (int I = 0; I != 40; ++I) {
+    Root K(H, H.makeUninternedSymbol("s" + std::to_string(I)));
+    T.access(K.get(), Value::fixnum(I));
+  }
+  H.collectFull();
+  size_t Removed = T.removeDroppedEntries();
+  EXPECT_EQ(Removed, 40u) << "every dropped key must clean its entry";
+  EXPECT_EQ(T.entryCount(), 0u);
+  H.verifyHeap();
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+//===- tests/core/list_ops_test.cpp - Heap list helpers ------------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ListOps.h"
+#include "gc/Roots.h"
+
+#include <gtest/gtest.h>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig testConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  return C;
+}
+
+TEST(ListOpsTest, AssqFindsEntry) {
+  Heap H(testConfig());
+  Root A(H, H.intern("a")), B(H, H.intern("b"));
+  Root EA(H, H.cons(A.get(), Value::fixnum(1)));
+  Root EB(H, H.cons(B.get(), Value::fixnum(2)));
+  Root L(H, H.makeList({EA.get(), EB.get()}));
+  Value Found = listAssq(B.get(), L.get());
+  ASSERT_TRUE(Found.isPair());
+  EXPECT_EQ(pairCdr(Found).asFixnum(), 2);
+  EXPECT_TRUE(listAssq(H.intern("c"), L.get()).isFalse());
+  EXPECT_TRUE(listAssq(A.get(), Value::nil()).isFalse());
+}
+
+TEST(ListOpsTest, AssqWorksOnWeakEntries) {
+  Heap H(testConfig());
+  Root K(H, H.intern("k"));
+  Root Entry(H, H.weakCons(K.get(), Value::fixnum(9)));
+  Root L(H, H.cons(Entry.get(), Value::nil()));
+  Value Found = listAssq(K.get(), L.get());
+  ASSERT_TRUE(Found.isPair());
+  EXPECT_EQ(Found, Entry.get());
+}
+
+TEST(ListOpsTest, MemqFindsTail) {
+  Heap H(testConfig());
+  Root L(H, H.makeList({Value::fixnum(1), Value::fixnum(2),
+                        Value::fixnum(3)}));
+  Value Tail = listMemq(Value::fixnum(2), L.get());
+  ASSERT_TRUE(Tail.isPair());
+  EXPECT_EQ(pairCar(Tail).asFixnum(), 2);
+  EXPECT_EQ(listLength(Tail), 2u);
+  EXPECT_TRUE(listMemq(Value::fixnum(9), L.get()).isFalse());
+}
+
+TEST(ListOpsTest, RemqRemovesAllOccurrences) {
+  Heap H(testConfig());
+  Root L(H, H.makeList({Value::fixnum(1), Value::fixnum(2),
+                        Value::fixnum(1), Value::fixnum(3)}));
+  Root R(H, listRemq(H, Value::fixnum(1), L.get()));
+  EXPECT_EQ(listLength(R.get()), 2u);
+  EXPECT_EQ(pairCar(R.get()).asFixnum(), 2);
+  EXPECT_EQ(pairCar(pairCdr(R.get())).asFixnum(), 3);
+  // Original list is untouched.
+  EXPECT_EQ(listLength(L.get()), 4u);
+}
+
+TEST(ListOpsTest, RemqAbsentElementCopies) {
+  Heap H(testConfig());
+  Root L(H, H.makeList({Value::fixnum(1), Value::fixnum(2)}));
+  Root R(H, listRemq(H, Value::fixnum(7), L.get()));
+  EXPECT_EQ(listLength(R.get()), 2u);
+}
+
+TEST(ListOpsTest, ReverseAndRefAndLength) {
+  Heap H(testConfig());
+  Root L(H, H.makeList({Value::fixnum(1), Value::fixnum(2),
+                        Value::fixnum(3)}));
+  Root R(H, listReverse(H, L.get()));
+  EXPECT_EQ(listLength(R.get()), 3u);
+  EXPECT_EQ(listRef(R.get(), 0).asFixnum(), 3);
+  EXPECT_EQ(listRef(R.get(), 2).asFixnum(), 1);
+  EXPECT_TRUE(listReverse(H, Value::nil()).isNil());
+}
+
+TEST(ListOpsTest, HelpersSurviveCollectionPressure) {
+  HeapConfig C = testConfig();
+  C.AutoCollect = true;
+  C.Gen0CollectBytes = 16 * 1024; // Very frequent automatic GCs.
+  Heap H(C);
+  Root L(H, Value::nil());
+  for (int I = 0; I != 500; ++I)
+    L = H.cons(Value::fixnum(I), L.get());
+  Root R(H, listReverse(H, L.get()));
+  for (int I = 0; I != 500; ++I)
+    ASSERT_EQ(listRef(R.get(), static_cast<size_t>(I)).asFixnum(), I);
+  Root Cut(H, listRemq(H, Value::fixnum(250), R.get()));
+  EXPECT_EQ(listLength(Cut.get()), 499u);
+  H.verifyHeap();
+}
+
+} // namespace

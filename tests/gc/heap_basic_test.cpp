@@ -1,0 +1,157 @@
+//===- tests/gc/heap_basic_test.cpp - Allocation and tagging -------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+
+#include <gtest/gtest.h>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig testConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  return C;
+}
+
+TEST(ValueTest, FixnumRoundTrip) {
+  EXPECT_EQ(Value::fixnum(0).asFixnum(), 0);
+  EXPECT_EQ(Value::fixnum(42).asFixnum(), 42);
+  EXPECT_EQ(Value::fixnum(-42).asFixnum(), -42);
+  EXPECT_EQ(Value::fixnum(Value::FixnumMax).asFixnum(), Value::FixnumMax);
+  EXPECT_EQ(Value::fixnum(Value::FixnumMin).asFixnum(), Value::FixnumMin);
+  EXPECT_TRUE(Value::fixnum(7).isFixnum());
+  EXPECT_FALSE(Value::fixnum(7).isHeapPointer());
+}
+
+TEST(ValueTest, ImmediateKinds) {
+  EXPECT_TRUE(Value::falseV().isFalse());
+  EXPECT_TRUE(Value::trueV().isTrue());
+  EXPECT_TRUE(Value::nil().isNil());
+  EXPECT_TRUE(Value::eof().isEof());
+  EXPECT_TRUE(Value::voidV().isVoid());
+  EXPECT_TRUE(Value::unbound().isUnbound());
+  EXPECT_FALSE(Value::falseV().isTruthy());
+  EXPECT_TRUE(Value::nil().isTruthy());
+  EXPECT_TRUE(Value::fixnum(0).isTruthy());
+  EXPECT_NE(Value::falseV(), Value::nil());
+}
+
+TEST(ValueTest, Characters) {
+  Value A = Value::character('a');
+  EXPECT_TRUE(A.isChar());
+  EXPECT_EQ(A.charCode(), static_cast<uint32_t>('a'));
+  EXPECT_NE(A, Value::character('b'));
+}
+
+TEST(HeapBasicTest, ConsAndAccess) {
+  Heap H(testConfig());
+  Value P = H.cons(Value::fixnum(1), Value::fixnum(2));
+  ASSERT_TRUE(P.isPair());
+  EXPECT_EQ(pairCar(P).asFixnum(), 1);
+  EXPECT_EQ(pairCdr(P).asFixnum(), 2);
+  EXPECT_TRUE(H.isOrdinaryPair(P));
+  EXPECT_FALSE(H.isWeakPair(P));
+  EXPECT_EQ(H.generationOf(P), 0u);
+}
+
+TEST(HeapBasicTest, WeakConsIsInWeakSpace) {
+  Heap H(testConfig());
+  Value P = H.weakCons(Value::fixnum(1), Value::nil());
+  ASSERT_TRUE(P.isPair());
+  EXPECT_TRUE(H.isWeakPair(P));
+  EXPECT_EQ(H.spaceOf(P), SpaceKind::WeakPair);
+}
+
+TEST(HeapBasicTest, VectorAllocation) {
+  Heap H(testConfig());
+  Root V(H, H.makeVector(10, Value::fixnum(9)));
+  ASSERT_TRUE(isVector(V.get()));
+  EXPECT_EQ(objectLength(V.get()), 10u);
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_EQ(objectField(V.get(), I).asFixnum(), 9);
+  H.vectorSet(V.get(), 3, Value::trueV());
+  EXPECT_TRUE(objectField(V.get(), 3).isTrue());
+}
+
+TEST(HeapBasicTest, EmptyVector) {
+  Heap H(testConfig());
+  Value V = H.makeVector(0, Value::nil());
+  ASSERT_TRUE(isVector(V));
+  EXPECT_EQ(objectLength(V), 0u);
+}
+
+TEST(HeapBasicTest, LargeVectorSpansSegments) {
+  Heap H(testConfig());
+  // 2000 slots > one 4 KiB segment (512 words).
+  Root V(H, H.makeVector(2000, Value::fixnum(5)));
+  EXPECT_EQ(objectLength(V.get()), 2000u);
+  for (size_t I = 0; I != 2000; ++I)
+    ASSERT_EQ(objectField(V.get(), I).asFixnum(), 5);
+  H.verifyHeap();
+}
+
+TEST(HeapBasicTest, Strings) {
+  Heap H(testConfig());
+  Value S = H.makeString("hello, guardians");
+  ASSERT_TRUE(isString(S));
+  EXPECT_EQ(objectLength(S), 16u);
+  EXPECT_EQ(std::string(stringData(S), objectLength(S)),
+            "hello, guardians");
+  Value Empty = H.makeString("");
+  EXPECT_EQ(objectLength(Empty), 0u);
+}
+
+TEST(HeapBasicTest, Flonums) {
+  Heap H(testConfig());
+  Value F = H.makeFlonum(3.25);
+  ASSERT_TRUE(isFlonum(F));
+  EXPECT_EQ(flonumValue(F), 3.25);
+}
+
+TEST(HeapBasicTest, Boxes) {
+  Heap H(testConfig());
+  Root B(H, H.makeBox(Value::fixnum(1)));
+  ASSERT_TRUE(isBox(B.get()));
+  EXPECT_EQ(objectField(B.get(), 0).asFixnum(), 1);
+  H.boxSet(B.get(), Value::fixnum(2));
+  EXPECT_EQ(objectField(B.get(), 0).asFixnum(), 2);
+}
+
+TEST(HeapBasicTest, SymbolsInterned) {
+  Heap H(testConfig());
+  Root A(H, H.intern("alpha"));
+  Root B(H, H.intern("beta"));
+  Root A2(H, H.intern("alpha"));
+  EXPECT_EQ(A.get(), A2.get());
+  EXPECT_NE(A.get(), B.get());
+  EXPECT_EQ(H.symbolName(A.get()), "alpha");
+  Root U1(H, H.makeUninternedSymbol("alpha"));
+  EXPECT_NE(U1.get(), A.get());
+}
+
+TEST(HeapBasicTest, MakeList) {
+  Heap H(testConfig());
+  Root L(H, H.makeList({Value::fixnum(1), Value::fixnum(2),
+                        Value::fixnum(3)}));
+  EXPECT_EQ(pairCar(L.get()).asFixnum(), 1);
+  EXPECT_EQ(pairCar(pairCdr(L.get())).asFixnum(), 2);
+  EXPECT_EQ(pairCar(pairCdr(pairCdr(L.get()))).asFixnum(), 3);
+  EXPECT_TRUE(pairCdr(pairCdr(pairCdr(L.get()))).isNil());
+}
+
+TEST(HeapBasicTest, VerifyFreshHeap) {
+  Heap H(testConfig());
+  Root L(H, H.makeList({Value::fixnum(1), Value::fixnum(2)}));
+  Root V(H, H.makeVector(4, L.get()));
+  H.verifyHeap();
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/gc/tconc_test.cpp - Tconc protocol (Figures 2-4) ------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+#include "gc/Tconc.h"
+
+#include <gtest/gtest.h>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig testConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  return C;
+}
+
+// Figure 2: "An empty tconc is one in which both fields of the header
+// point to the same pair; what the fields of this pair contain is
+// unimportant."
+TEST(TconcTest, EmptyRepresentation) {
+  Heap H(testConfig());
+  Root T(H, tconcMake(H));
+  ASSERT_TRUE(T.get().isPair());
+  EXPECT_EQ(pairCar(T.get()), pairCdr(T.get()))
+      << "header car and cdr point to the same pair when empty";
+  EXPECT_TRUE(tconcEmpty(T.get()));
+  EXPECT_EQ(tconcLength(T.get()), 0u);
+  EXPECT_TRUE(tconcRetrieve(H, T.get()).isFalse());
+}
+
+// Figure 2: a tconc with one element.
+TEST(TconcTest, OneElementRepresentation) {
+  Heap H(testConfig());
+  Root T(H, tconcMake(H));
+  tconcAppend(H, T.get(), Value::fixnum(1));
+  EXPECT_FALSE(tconcEmpty(T.get()));
+  EXPECT_EQ(tconcLength(T.get()), 1u);
+  // The first cell holds the element; the header cdr points past it.
+  Value First = pairCar(T.get());
+  EXPECT_EQ(pairCar(First).asFixnum(), 1);
+  EXPECT_EQ(pairCdr(First), pairCdr(T.get()));
+}
+
+TEST(TconcTest, FifoOrder) {
+  Heap H(testConfig());
+  Root T(H, tconcMake(H));
+  for (int I = 0; I != 100; ++I)
+    tconcAppend(H, T.get(), Value::fixnum(I));
+  EXPECT_EQ(tconcLength(T.get()), 100u);
+  for (int I = 0; I != 100; ++I) {
+    Value V = tconcRetrieve(H, T.get());
+    ASSERT_EQ(V.asFixnum(), I);
+  }
+  EXPECT_TRUE(tconcEmpty(T.get()));
+}
+
+// Figure 3's ordering: until the header's cdr is updated, the enqueued
+// element is invisible to the mutator's emptiness check. We drive the
+// protocol one store at a time.
+TEST(TconcTest, InsertionPublishesWithFinalUpdate) {
+  Heap H(testConfig());
+  Root T(H, tconcMake(H));
+  Root NewLast(H, H.cons(Value::falseV(), Value::falseV()));
+  Root OldLast(H, pairCdr(T.get()));
+
+  // Store 1: car of old last pair := element.
+  H.setCar(OldLast.get(), Value::fixnum(42));
+  EXPECT_TRUE(tconcEmpty(T.get())) << "not yet visible";
+  // Store 2: cdr of old last pair := new last pair.
+  H.setCdr(OldLast.get(), NewLast.get());
+  EXPECT_TRUE(tconcEmpty(T.get())) << "still not visible";
+  // Store 3 (the dashed 'final update' of Figure 3).
+  H.setCdr(T.get(), NewLast.get());
+  EXPECT_FALSE(tconcEmpty(T.get()));
+  EXPECT_EQ(tconcRetrieve(H, T.get()).asFixnum(), 42);
+}
+
+// Figure 4: retrieval swings the header's car and clears the vacated
+// pair "since the pair is sometimes in an older generation than the
+// objects to which it points".
+TEST(TconcTest, RetrievalClearsVacatedCell) {
+  Heap H(testConfig());
+  Root T(H, tconcMake(H));
+  tconcAppend(H, T.get(), Value::fixnum(1));
+  Root Vacated(H, pairCar(T.get()));
+  Value V = tconcRetrieve(H, T.get());
+  EXPECT_EQ(V.asFixnum(), 1);
+  EXPECT_TRUE(pairCar(Vacated.get()).isFalse())
+      << "don't-care fields cleared to avoid retention";
+  EXPECT_TRUE(pairCdr(Vacated.get()).isFalse());
+}
+
+TEST(TconcTest, InterleavedAppendRetrieve) {
+  Heap H(testConfig());
+  Root T(H, tconcMake(H));
+  int Next = 0, Expect = 0;
+  for (int Round = 0; Round != 50; ++Round) {
+    for (int I = 0; I != Round % 5 + 1; ++I)
+      tconcAppend(H, T.get(), Value::fixnum(Next++));
+    while (!tconcEmpty(T.get())) {
+      Value V = tconcRetrieve(H, T.get());
+      ASSERT_EQ(V.asFixnum(), Expect++);
+    }
+  }
+  EXPECT_EQ(Next, Expect);
+}
+
+TEST(TconcTest, SurvivesCollectionWithContents) {
+  Heap H(testConfig());
+  Root T(H, tconcMake(H));
+  for (int I = 0; I != 10; ++I)
+    tconcAppend(H, T.get(), Value::fixnum(I));
+  H.collectFull();
+  H.collectMinor();
+  for (int I = 0; I != 10; ++I)
+    ASSERT_EQ(tconcRetrieve(H, T.get()).asFixnum(), I);
+  EXPECT_TRUE(tconcEmpty(T.get()));
+  H.verifyHeap();
+}
+
+TEST(TconcTest, HeapObjectElementsSurviveInQueue) {
+  Heap H(testConfig());
+  Root T(H, tconcMake(H));
+  {
+    Root P(H, H.cons(Value::fixnum(5), Value::fixnum(6)));
+    tconcAppend(H, T.get(), P.get());
+  }
+  H.collectMinor(); // Element is reachable only through the tconc.
+  Value V = tconcRetrieve(H, T.get());
+  ASSERT_TRUE(V.isPair());
+  EXPECT_EQ(pairCar(V).asFixnum(), 5);
+  EXPECT_EQ(pairCdr(V).asFixnum(), 6);
+}
+
+// The collector's append (used during guardian processing) must handle
+// a tconc living in an older generation than the target generation: the
+// appended cells create old-to-young pointers that the next minor GC
+// must honor.
+TEST(TconcTest, CollectorAppendIntoOldTconc) {
+  Heap H(testConfig());
+  Root T(H, tconcMake(H));
+  H.collect(2); // Tconc now lives in generation 3.
+  ASSERT_GE(H.generationOf(T.get()), 3u);
+  {
+    Root X(H, H.cons(Value::fixnum(9), Value::nil()));
+    H.guardianProtect(T.get(), X.get());
+  }
+  H.collectMinor(); // Object dies; collector appends into the old tconc.
+  H.verifyHeap();   // Remembered-set completeness check.
+  H.collectMinor(); // The queued cells must survive this too.
+  Value V = tconcRetrieve(H, T.get());
+  ASSERT_TRUE(V.isPair());
+  EXPECT_EQ(pairCar(V).asFixnum(), 9);
+  H.verifyHeap();
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- tests/scheme/printer_test.cpp - Printer behavior ------------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/Printer.h"
+#include "gc/Roots.h"
+#include "scheme/Interpreter.h"
+#include "scheme/Reader.h"
+
+#include <gtest/gtest.h>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig testConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  return C;
+}
+
+TEST(PrinterTest, Immediates) {
+  Heap H(testConfig());
+  EXPECT_EQ(writeToString(H, Value::fixnum(42)), "42");
+  EXPECT_EQ(writeToString(H, Value::fixnum(-1)), "-1");
+  EXPECT_EQ(writeToString(H, Value::trueV()), "#t");
+  EXPECT_EQ(writeToString(H, Value::falseV()), "#f");
+  EXPECT_EQ(writeToString(H, Value::nil()), "()");
+  EXPECT_EQ(writeToString(H, Value::eof()), "#<eof>");
+  EXPECT_EQ(writeToString(H, Value::voidV()), "#<void>");
+  EXPECT_EQ(writeToString(H, Value::character('z')), "#\\z");
+  EXPECT_EQ(writeToString(H, Value::character(' ')), "#\\space");
+  EXPECT_EQ(displayToString(H, Value::character('z')), "z");
+}
+
+TEST(PrinterTest, StringsWriteVsDisplay) {
+  Heap H(testConfig());
+  Root S(H, H.makeString("a\"b\\c\nd"));
+  EXPECT_EQ(writeToString(H, S.get()), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(displayToString(H, S.get()), "a\"b\\c\nd");
+}
+
+TEST(PrinterTest, ListsAndDots) {
+  Heap H(testConfig());
+  Root L(H, H.makeList({Value::fixnum(1), Value::fixnum(2)}));
+  EXPECT_EQ(writeToString(H, L.get()), "(1 2)");
+  Root D(H, H.cons(Value::fixnum(1), Value::fixnum(2)));
+  EXPECT_EQ(writeToString(H, D.get()), "(1 . 2)");
+  Root Nested(H, H.makeList({L.get(), D.get()}));
+  EXPECT_EQ(writeToString(H, Nested.get()), "((1 2) (1 . 2))");
+}
+
+TEST(PrinterTest, CyclicStructuresTerminate) {
+  Heap H(testConfig());
+  Root A(H, H.cons(Value::fixnum(1), Value::nil()));
+  H.setCdr(A.get(), A.get());
+  std::string Out = writeToString(H, A.get());
+  EXPECT_FALSE(Out.empty()) << "cyclic print must terminate";
+  EXPECT_NE(Out.find("..."), std::string::npos);
+}
+
+TEST(PrinterTest, WeakPairsAreFlagged) {
+  Heap H(testConfig());
+  Root W(H, H.weakCons(Value::fixnum(1), Value::fixnum(2)));
+  EXPECT_EQ(writeToString(H, W.get()), "#<weak 1 . 2>");
+}
+
+TEST(PrinterTest, HeapObjects) {
+  Heap H(testConfig());
+  Root V(H, H.makeVector(3, Value::fixnum(0)));
+  EXPECT_EQ(writeToString(H, V.get()), "#(0 0 0)");
+  Root B(H, H.makeBox(Value::fixnum(9)));
+  EXPECT_EQ(writeToString(H, B.get()), "#&9");
+  Root Sym(H, H.intern("a-symbol"));
+  EXPECT_EQ(writeToString(H, Sym.get()), "a-symbol");
+  Root Bv(H, H.makeBytevector(16));
+  EXPECT_EQ(writeToString(H, Bv.get()), "#<bytevector 16>");
+  Root G(H, H.makeGuardianObject());
+  EXPECT_EQ(writeToString(H, G.get()), "#<guardian>");
+}
+
+TEST(PrinterTest, Procedures) {
+  Heap H(testConfig());
+  Interpreter I(H);
+  Value Named = I.evalString("(define (my-proc x) x) my-proc");
+  EXPECT_EQ(writeToString(H, Named), "#<procedure my-proc>");
+  Value Anon = I.evalString("(lambda (x) x)");
+  EXPECT_EQ(writeToString(H, Anon), "#<procedure>");
+  Value Prim = I.evalString("car");
+  EXPECT_EQ(writeToString(H, Prim), "#<primitive car>");
+}
+
+TEST(PrinterTest, RoundTripThroughReader) {
+  Heap H(testConfig());
+  const char *Cases[] = {
+      "(1 2 3)", "(a (b c) . d)", "#(1 #t #\\x)", "\"str\\\"ing\"",
+      "(quote (nested (quote deep)))",
+  };
+  for (const char *Src : Cases) {
+    Root V(H, readDatum(H, Src));
+    Root V2(H, readDatum(H, writeToString(H, V.get())));
+    EXPECT_EQ(writeToString(H, V.get()), writeToString(H, V2.get()))
+        << "write->read->write must be stable for " << Src;
+  }
+}
+
+} // namespace
