@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_freelist.dir/bench_freelist.cpp.o"
+  "CMakeFiles/bench_freelist.dir/bench_freelist.cpp.o.d"
+  "bench_freelist"
+  "bench_freelist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

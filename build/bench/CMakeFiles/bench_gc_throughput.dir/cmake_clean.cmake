@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gc_throughput.dir/bench_gc_throughput.cpp.o"
+  "CMakeFiles/bench_gc_throughput.dir/bench_gc_throughput.cpp.o.d"
+  "bench_gc_throughput"
+  "bench_gc_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gc_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

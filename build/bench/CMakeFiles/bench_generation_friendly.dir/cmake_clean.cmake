@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generation_friendly.dir/bench_generation_friendly.cpp.o"
+  "CMakeFiles/bench_generation_friendly.dir/bench_generation_friendly.cpp.o.d"
+  "bench_generation_friendly"
+  "bench_generation_friendly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generation_friendly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guarded_hash_table.dir/bench_guarded_hash_table.cpp.o"
+  "CMakeFiles/bench_guarded_hash_table.dir/bench_guarded_hash_table.cpp.o.d"
+  "bench_guarded_hash_table"
+  "bench_guarded_hash_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guarded_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_indirection_overhead.cpp" "bench/CMakeFiles/bench_indirection_overhead.dir/bench_indirection_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_indirection_overhead.dir/bench_indirection_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheme/CMakeFiles/gengc_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

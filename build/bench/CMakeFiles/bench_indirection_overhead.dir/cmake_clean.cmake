@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indirection_overhead.dir/bench_indirection_overhead.cpp.o"
+  "CMakeFiles/bench_indirection_overhead.dir/bench_indirection_overhead.cpp.o.d"
+  "bench_indirection_overhead"
+  "bench_indirection_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indirection_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutator_overhead.dir/bench_mutator_overhead.cpp.o"
+  "CMakeFiles/bench_mutator_overhead.dir/bench_mutator_overhead.cpp.o.d"
+  "bench_mutator_overhead"
+  "bench_mutator_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutator_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

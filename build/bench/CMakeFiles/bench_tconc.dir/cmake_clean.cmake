@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tconc.dir/bench_tconc.cpp.o"
+  "CMakeFiles/bench_tconc.dir/bench_tconc.cpp.o.d"
+  "bench_tconc"
+  "bench_tconc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tconc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transport_guardian.dir/bench_transport_guardian.cpp.o"
+  "CMakeFiles/bench_transport_guardian.dir/bench_transport_guardian.cpp.o.d"
+  "bench_transport_guardian"
+  "bench_transport_guardian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transport_guardian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

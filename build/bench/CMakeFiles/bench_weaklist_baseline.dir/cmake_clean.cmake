@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weaklist_baseline.dir/bench_weaklist_baseline.cpp.o"
+  "CMakeFiles/bench_weaklist_baseline.dir/bench_weaklist_baseline.cpp.o.d"
+  "bench_weaklist_baseline"
+  "bench_weaklist_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weaklist_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_symbols.dir/compiler_symbols.cpp.o"
+  "CMakeFiles/compiler_symbols.dir/compiler_symbols.cpp.o.d"
+  "compiler_symbols"
+  "compiler_symbols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_symbols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_resources.dir/external_resources.cpp.o"
+  "CMakeFiles/external_resources.dir/external_resources.cpp.o.d"
+  "external_resources"
+  "external_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

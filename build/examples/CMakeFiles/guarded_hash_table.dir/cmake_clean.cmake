@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_hash_table.dir/guarded_hash_table.cpp.o"
+  "CMakeFiles/guarded_hash_table.dir/guarded_hash_table.cpp.o.d"
+  "guarded_hash_table"
+  "guarded_hash_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_ports.dir/guarded_ports.cpp.o"
+  "CMakeFiles/guarded_ports.dir/guarded_ports.cpp.o.d"
+  "guarded_ports"
+  "guarded_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

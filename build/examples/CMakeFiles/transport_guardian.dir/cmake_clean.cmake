@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_guardian.dir/transport_guardian.cpp.o"
+  "CMakeFiles/transport_guardian.dir/transport_guardian.cpp.o.d"
+  "transport_guardian"
+  "transport_guardian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_guardian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_core.dir/EqHashTable.cpp.o"
+  "CMakeFiles/gengc_core.dir/EqHashTable.cpp.o.d"
+  "CMakeFiles/gengc_core.dir/GuardedHashTable.cpp.o"
+  "CMakeFiles/gengc_core.dir/GuardedHashTable.cpp.o.d"
+  "libgengc_core.a"
+  "libgengc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

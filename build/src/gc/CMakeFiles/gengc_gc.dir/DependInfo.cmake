@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/Collector.cpp" "src/gc/CMakeFiles/gengc_gc.dir/Collector.cpp.o" "gcc" "src/gc/CMakeFiles/gengc_gc.dir/Collector.cpp.o.d"
+  "/root/repo/src/gc/Heap.cpp" "src/gc/CMakeFiles/gengc_gc.dir/Heap.cpp.o" "gcc" "src/gc/CMakeFiles/gengc_gc.dir/Heap.cpp.o.d"
+  "/root/repo/src/gc/Verify.cpp" "src/gc/CMakeFiles/gengc_gc.dir/Verify.cpp.o" "gcc" "src/gc/CMakeFiles/gengc_gc.dir/Verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_gc.dir/Collector.cpp.o"
+  "CMakeFiles/gengc_gc.dir/Collector.cpp.o.d"
+  "CMakeFiles/gengc_gc.dir/Heap.cpp.o"
+  "CMakeFiles/gengc_gc.dir/Heap.cpp.o.d"
+  "CMakeFiles/gengc_gc.dir/Verify.cpp.o"
+  "CMakeFiles/gengc_gc.dir/Verify.cpp.o.d"
+  "libgengc_gc.a"
+  "libgengc_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_heap.dir/Arena.cpp.o"
+  "CMakeFiles/gengc_heap.dir/Arena.cpp.o.d"
+  "libgengc_heap.a"
+  "libgengc_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

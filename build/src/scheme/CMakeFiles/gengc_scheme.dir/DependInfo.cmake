@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheme/Compiler.cpp" "src/scheme/CMakeFiles/gengc_scheme.dir/Compiler.cpp.o" "gcc" "src/scheme/CMakeFiles/gengc_scheme.dir/Compiler.cpp.o.d"
+  "/root/repo/src/scheme/Disassembler.cpp" "src/scheme/CMakeFiles/gengc_scheme.dir/Disassembler.cpp.o" "gcc" "src/scheme/CMakeFiles/gengc_scheme.dir/Disassembler.cpp.o.d"
+  "/root/repo/src/scheme/Interpreter.cpp" "src/scheme/CMakeFiles/gengc_scheme.dir/Interpreter.cpp.o" "gcc" "src/scheme/CMakeFiles/gengc_scheme.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/scheme/Primitives.cpp" "src/scheme/CMakeFiles/gengc_scheme.dir/Primitives.cpp.o" "gcc" "src/scheme/CMakeFiles/gengc_scheme.dir/Primitives.cpp.o.d"
+  "/root/repo/src/scheme/Printer.cpp" "src/scheme/CMakeFiles/gengc_scheme.dir/Printer.cpp.o" "gcc" "src/scheme/CMakeFiles/gengc_scheme.dir/Printer.cpp.o.d"
+  "/root/repo/src/scheme/Reader.cpp" "src/scheme/CMakeFiles/gengc_scheme.dir/Reader.cpp.o" "gcc" "src/scheme/CMakeFiles/gengc_scheme.dir/Reader.cpp.o.d"
+  "/root/repo/src/scheme/VM.cpp" "src/scheme/CMakeFiles/gengc_scheme.dir/VM.cpp.o" "gcc" "src/scheme/CMakeFiles/gengc_scheme.dir/VM.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

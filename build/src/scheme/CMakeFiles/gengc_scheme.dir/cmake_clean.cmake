@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_scheme.dir/Compiler.cpp.o"
+  "CMakeFiles/gengc_scheme.dir/Compiler.cpp.o.d"
+  "CMakeFiles/gengc_scheme.dir/Disassembler.cpp.o"
+  "CMakeFiles/gengc_scheme.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/gengc_scheme.dir/Interpreter.cpp.o"
+  "CMakeFiles/gengc_scheme.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/gengc_scheme.dir/Primitives.cpp.o"
+  "CMakeFiles/gengc_scheme.dir/Primitives.cpp.o.d"
+  "CMakeFiles/gengc_scheme.dir/Printer.cpp.o"
+  "CMakeFiles/gengc_scheme.dir/Printer.cpp.o.d"
+  "CMakeFiles/gengc_scheme.dir/Reader.cpp.o"
+  "CMakeFiles/gengc_scheme.dir/Reader.cpp.o.d"
+  "CMakeFiles/gengc_scheme.dir/VM.cpp.o"
+  "CMakeFiles/gengc_scheme.dir/VM.cpp.o.d"
+  "libgengc_scheme.a"
+  "libgengc_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

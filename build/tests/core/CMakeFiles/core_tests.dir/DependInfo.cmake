@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/eq_hash_table_test.cpp" "tests/core/CMakeFiles/core_tests.dir/eq_hash_table_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/eq_hash_table_test.cpp.o.d"
+  "/root/repo/tests/core/guarded_hash_table_test.cpp" "tests/core/CMakeFiles/core_tests.dir/guarded_hash_table_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/guarded_hash_table_test.cpp.o.d"
+  "/root/repo/tests/core/list_ops_test.cpp" "tests/core/CMakeFiles/core_tests.dir/list_ops_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/list_ops_test.cpp.o.d"
+  "/root/repo/tests/core/transport_guardian_test.cpp" "tests/core/CMakeFiles/core_tests.dir/transport_guardian_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/transport_guardian_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

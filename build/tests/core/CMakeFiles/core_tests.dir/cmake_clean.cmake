@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/eq_hash_table_test.cpp.o"
+  "CMakeFiles/core_tests.dir/eq_hash_table_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/guarded_hash_table_test.cpp.o"
+  "CMakeFiles/core_tests.dir/guarded_hash_table_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/list_ops_test.cpp.o"
+  "CMakeFiles/core_tests.dir/list_ops_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/transport_guardian_test.cpp.o"
+  "CMakeFiles/core_tests.dir/transport_guardian_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gc/agent_guardian_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/agent_guardian_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/agent_guardian_test.cpp.o.d"
+  "/root/repo/tests/gc/collector_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/collector_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/collector_test.cpp.o.d"
+  "/root/repo/tests/gc/guardian_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/guardian_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/guardian_test.cpp.o.d"
+  "/root/repo/tests/gc/heap_basic_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/heap_basic_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/heap_basic_test.cpp.o.d"
+  "/root/repo/tests/gc/heap_usage_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/heap_usage_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/heap_usage_test.cpp.o.d"
+  "/root/repo/tests/gc/property_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/property_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/gc/substrate_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/substrate_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/substrate_test.cpp.o.d"
+  "/root/repo/tests/gc/tconc_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/tconc_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/tconc_test.cpp.o.d"
+  "/root/repo/tests/gc/tenure_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/tenure_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/tenure_test.cpp.o.d"
+  "/root/repo/tests/gc/verifier_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/verifier_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/verifier_test.cpp.o.d"
+  "/root/repo/tests/gc/weak_pair_test.cpp" "tests/gc/CMakeFiles/gc_tests.dir/weak_pair_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_tests.dir/weak_pair_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheme/CMakeFiles/gengc_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_tests.dir/agent_guardian_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/agent_guardian_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/collector_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/collector_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/guardian_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/guardian_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/heap_basic_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/heap_basic_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/heap_usage_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/heap_usage_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/property_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/substrate_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/substrate_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/tconc_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/tconc_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/tenure_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/tenure_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/verifier_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/verifier_test.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/weak_pair_test.cpp.o"
+  "CMakeFiles/gc_tests.dir/weak_pair_test.cpp.o.d"
+  "gc_tests"
+  "gc_tests.pdb"
+  "gc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

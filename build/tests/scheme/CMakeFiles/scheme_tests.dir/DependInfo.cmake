@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scheme/compiler_test.cpp" "tests/scheme/CMakeFiles/scheme_tests.dir/compiler_test.cpp.o" "gcc" "tests/scheme/CMakeFiles/scheme_tests.dir/compiler_test.cpp.o.d"
+  "/root/repo/tests/scheme/interpreter_test.cpp" "tests/scheme/CMakeFiles/scheme_tests.dir/interpreter_test.cpp.o" "gcc" "tests/scheme/CMakeFiles/scheme_tests.dir/interpreter_test.cpp.o.d"
+  "/root/repo/tests/scheme/paper_examples_test.cpp" "tests/scheme/CMakeFiles/scheme_tests.dir/paper_examples_test.cpp.o" "gcc" "tests/scheme/CMakeFiles/scheme_tests.dir/paper_examples_test.cpp.o.d"
+  "/root/repo/tests/scheme/printer_test.cpp" "tests/scheme/CMakeFiles/scheme_tests.dir/printer_test.cpp.o" "gcc" "tests/scheme/CMakeFiles/scheme_tests.dir/printer_test.cpp.o.d"
+  "/root/repo/tests/scheme/scheme_gc_stress_test.cpp" "tests/scheme/CMakeFiles/scheme_tests.dir/scheme_gc_stress_test.cpp.o" "gcc" "tests/scheme/CMakeFiles/scheme_tests.dir/scheme_gc_stress_test.cpp.o.d"
+  "/root/repo/tests/scheme/vm_test.cpp" "tests/scheme/CMakeFiles/scheme_tests.dir/vm_test.cpp.o" "gcc" "tests/scheme/CMakeFiles/scheme_tests.dir/vm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scheme/CMakeFiles/gengc_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

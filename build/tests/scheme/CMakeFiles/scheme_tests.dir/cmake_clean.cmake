@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_tests.dir/compiler_test.cpp.o"
+  "CMakeFiles/scheme_tests.dir/compiler_test.cpp.o.d"
+  "CMakeFiles/scheme_tests.dir/interpreter_test.cpp.o"
+  "CMakeFiles/scheme_tests.dir/interpreter_test.cpp.o.d"
+  "CMakeFiles/scheme_tests.dir/paper_examples_test.cpp.o"
+  "CMakeFiles/scheme_tests.dir/paper_examples_test.cpp.o.d"
+  "CMakeFiles/scheme_tests.dir/printer_test.cpp.o"
+  "CMakeFiles/scheme_tests.dir/printer_test.cpp.o.d"
+  "CMakeFiles/scheme_tests.dir/scheme_gc_stress_test.cpp.o"
+  "CMakeFiles/scheme_tests.dir/scheme_gc_stress_test.cpp.o.d"
+  "CMakeFiles/scheme_tests.dir/vm_test.cpp.o"
+  "CMakeFiles/scheme_tests.dir/vm_test.cpp.o.d"
+  "scheme_tests"
+  "scheme_tests.pdb"
+  "scheme_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
