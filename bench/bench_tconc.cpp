@@ -64,7 +64,11 @@ void BM_TconcRetrieveOnly(benchmark::State &State) {
       State.PauseTiming();
       for (int64_t I = 0; I != Batch; ++I)
         tconcAppend(H, T.get(), Value::fixnum(I));
-      H.collectMinor(); // Clean up retired cells from earlier batches.
+      // Clean up retired cells from earlier batches. A full collection,
+      // not a minor one: each refill's live queue cells are promoted out
+      // of generation 0, and with AutoCollect off nothing else would
+      // ever reclaim them once retired.
+      H.collectFull();
       Available = Batch;
       State.ResumeTiming();
     }

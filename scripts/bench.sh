@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and emits one Google Benchmark JSON file per
+# binary under the output directory (default bench-results/).
+#
+#   scripts/bench.sh                 # all benchmarks, Release build
+#   scripts/bench.sh bench_tconc     # a subset, by target name
+#   BENCH_OUT=/tmp/run1 scripts/bench.sh
+#
+# JSON output (--benchmark_format=json) is the machine-readable record
+# DESIGN.md's experiment index expects; pass the files to
+# benchmark/tools/compare.py for A/B runs.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-bench-results}"
+DIR="${BENCH_BUILD:-build-bench}"
+
+cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$DIR" -j >/dev/null
+
+BENCHES=("$@")
+if [ ${#BENCHES[@]} -eq 0 ]; then
+  for bin in "$DIR"/bench/bench_*; do
+    [ -x "$bin" ] && BENCHES+=("$(basename "$bin")")
+  done
+fi
+
+mkdir -p "$OUT"
+for name in "${BENCHES[@]}"; do
+  bin="$DIR/bench/$name"
+  if [ ! -x "$bin" ]; then
+    echo "no such benchmark binary: $bin" >&2
+    exit 2
+  fi
+  echo "==> $name"
+  "$bin" --benchmark_format=json --benchmark_out="$OUT/$name.json" \
+         --benchmark_out_format=json
+done
+
+echo "==> results in $OUT/"

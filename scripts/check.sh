@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI runs, in one command.
+#
+#   scripts/check.sh            # Release build + tests + rootcheck
+#   scripts/check.sh --stress   # additionally run the suite with
+#                               # GENGC_STRESS=ON (collect-on-every-
+#                               # allocation + fromspace poisoning)
+#   scripts/check.sh --asan     # additionally run the suite under
+#                               # AddressSanitizer + UBSan
+#   scripts/check.sh --all      # all of the above
+#
+# Each mode uses its own build tree under build-check/ so switching
+# modes never poisons an incremental build.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STRESS=0
+ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --stress) STRESS=1 ;;
+    --asan) ASAN=1 ;;
+    --all) STRESS=1; ASAN=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+run_suite() {
+  local name="$1"; shift
+  local dir="build-check/$name"
+  echo "==> [$name] configure: $*"
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "==> [$name] build"
+  cmake --build "$dir" -j >/dev/null
+  echo "==> [$name] test"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+# The rootcheck lint needs no build at all; fail fast on it.
+echo "==> rootcheck"
+python3 tools/rootcheck/rootcheck.py --root . src tests
+python3 tools/rootcheck/rootcheck.py --self-test tools/rootcheck/fixtures
+
+run_suite release -DCMAKE_BUILD_TYPE=Release
+
+if [ "$STRESS" = 1 ]; then
+  run_suite stress -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGENGC_STRESS=ON
+fi
+
+if [ "$ASAN" = 1 ]; then
+  run_suite asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGENGC_SAN=address,undefined
+fi
+
+echo "==> all checks passed"

@@ -23,6 +23,7 @@
 #define GENGC_BASELINE_WEAKLISTFINALIZER_H
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/Guardian.h"

@@ -115,6 +115,17 @@ void Collector::detachFromSpace(unsigned G) {
 void Collector::freeFromSpace() {
   for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
     for (const SegmentRun &R : FromRuns[Sp]) {
+      if (H.Cfg.PoisonFromSpace) {
+        // Overwrite the evacuated run so any stale pointer into it reads
+        // the poison pattern (an invalid Value tag and an unmapped
+        // address when dereferenced) instead of plausible dead objects.
+        // rootcheck:allow(segment-base) — collector owns from-space.
+        uintptr_t *Base = H.Segments.segmentBase(R.FirstSegment);
+        const size_t RunWords =
+            static_cast<size_t>(R.SegmentCount) * SegmentWords;
+        for (size_t I = 0; I != RunWords; ++I)
+          Base[I] = FromSpacePoisonPattern;
+      }
       H.Segments.freeRun(R.FirstSegment, R.SegmentCount);
       S.SegmentsFreed += R.SegmentCount;
     }
@@ -326,6 +337,8 @@ bool Collector::sweepContext(SpaceKind Space, unsigned Gen, unsigned Age) {
       }
       break; // Caught up with the allocation frontier.
     }
+    // rootcheck:allow(segment-base) — the Cheney sweep is the allocation
+    // walk itself.
     uintptr_t *P =
         H.Segments.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
         Cur.OffsetWords;
@@ -551,6 +564,7 @@ void Collector::weakPairPass(unsigned G) {
           }
           break;
         }
+        // rootcheck:allow(segment-base) — weak pass replays the sweep walk.
         uintptr_t *Cell =
             H.Segments.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
             Cur.OffsetWords;

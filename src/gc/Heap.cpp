@@ -8,6 +8,7 @@
 #include "gc/Heap.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "gc/Collector.h"
@@ -16,12 +17,34 @@
 
 using namespace gengc;
 
+namespace {
+
+/// GENGC_STRESS environment override: "1"/"on"/"yes" forces stress mode
+/// on, "0"/"off"/"no" forces it off, unset/other leaves the configured
+/// default. Lets CI run the same test binaries with and without stress.
+void applyStressEnvironment(HeapConfig &Cfg) {
+  const char *Env = std::getenv("GENGC_STRESS");
+  if (!Env)
+    return;
+  std::string_view V(Env);
+  if (V == "1" || V == "on" || V == "yes" || V == "ON") {
+    Cfg.StressGC = true;
+    Cfg.PoisonFromSpace = true;
+  } else if (V == "0" || V == "off" || V == "no" || V == "OFF") {
+    Cfg.StressGC = false;
+  }
+}
+
+} // namespace
+
 Heap::Heap(HeapConfig Config) : Cfg(Config), Segments(Config.ArenaBytes) {
   GENGC_ASSERT(Cfg.Generations >= 1 && Cfg.Generations <= MaxGenerations,
                "generation count out of range");
   GENGC_ASSERT(Cfg.CollectionRadix >= 2, "collection radix must be >= 2");
   GENGC_ASSERT(Cfg.TenureCopies >= 1 && Cfg.TenureCopies <= MaxTenureCopies,
                "tenure copy count out of range");
+  GENGC_ASSERT(Cfg.StressInterval >= 1, "stress interval must be >= 1");
+  applyStressEnvironment(Cfg);
 }
 
 Heap::~Heap() = default;
@@ -35,6 +58,10 @@ uintptr_t *Heap::allocateRaw(SpaceKind Space, size_t Words) {
                "allocation inside a register-for-finalization thunk: the "
                "thunk runs as part of garbage collection and must not "
                "cause another collection (Section 2)");
+  GENGC_ASSERT(NoGcScopeDepth == 0,
+               "allocation inside a NoGcScope: the scope promises the "
+               "collector cannot run, so allocating (a safepoint) here "
+               "is a rooting-discipline violation");
   BytesSinceGc += Words * sizeof(uintptr_t);
   if (BytesSinceGc >= Cfg.Gen0CollectBytes)
     GcPending = true;
@@ -52,13 +79,33 @@ uintptr_t *Heap::allocateInGeneration(SpaceKind Space, unsigned Generation,
 }
 
 void Heap::pollSafepoint() {
-  if (!GcPending || InGc || !Cfg.AutoCollect)
+  if (InGc || !Cfg.AutoCollect || InSafepointCollection ||
+      NoGcScopeDepth != 0)
+    return;
+  // StressGC: force a full collection every StressInterval-th allocation
+  // safepoint, invalidating any unrooted Value at the earliest possible
+  // moment. Only public entry points poll, so multi-allocation sequences
+  // inside a single Heap call (e.g. intern's string+symbol) stay atomic,
+  // matching the normal safepoint contract.
+  if (Cfg.StressGC && ++SafepointsSinceStress >= Cfg.StressInterval) {
+    SafepointsSinceStress = 0;
+    GcPending = false;
+    InSafepointCollection = true;
+    collect(oldestGeneration());
+    if (CollectRequestHandler)
+      CollectRequestHandler(*this);
+    InSafepointCollection = false;
+    return;
+  }
+  if (!GcPending)
     return;
   GcPending = false;
   unsigned G = chooseAutomaticGeneration();
+  InSafepointCollection = true;
   collect(G);
   if (CollectRequestHandler)
     CollectRequestHandler(*this);
+  InSafepointCollection = false;
 }
 
 unsigned Heap::chooseAutomaticGeneration() {
@@ -425,6 +472,8 @@ uint32_t Heap::registerForFinalization(Value Obj, FinalizerThunk Thunk) {
 
 void Heap::collect(unsigned MaxGeneration) {
   GENGC_ASSERT(!InGc, "re-entrant collection");
+  GENGC_ASSERT(NoGcScopeDepth == 0,
+               "explicit collection inside a NoGcScope");
   Collector C(*this);
   C.run(std::min(MaxGeneration, oldestGeneration()));
   for (auto &Hook : PostGcHooks)

@@ -31,6 +31,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "gc/GcStats.h"
@@ -44,6 +45,7 @@
 namespace gengc {
 
 class Collector;
+class NoGcScope;
 class RootVector;
 
 /// Maximum supported generation count.
@@ -241,8 +243,13 @@ public:
     return Protected[Generation].size();
   }
 
+  /// Depth of active NoGcScope handles (gc/NoGcScope.h). While nonzero,
+  /// any allocation or collection trips a GENGC_ASSERT.
+  unsigned noGcScopeDepth() const { return NoGcScopeDepth; }
+
 private:
   friend class Collector;
+  friend class NoGcScope;
   friend class RootVector;
 
   /// An (object, guardian-tconc) entry of a protected list. The paper
@@ -321,9 +328,17 @@ private:
 
   size_t BytesSinceGc = 0;
   uint64_t AutomaticCollections = 0;
+  /// Allocation safepoints seen since the last stress collection.
+  unsigned SafepointsSinceStress = 0;
+  /// Active NoGcScope handles; allocation asserts while nonzero.
+  unsigned NoGcScopeDepth = 0;
   bool GcPending = false;
   bool InGc = false;
   bool NoAllocMode = false;
+  /// Guards against safepoint recursion: a collect-request handler that
+  /// allocates would otherwise re-enter pollSafepoint and (under
+  /// StressGC's per-allocation trigger) recurse without bound.
+  bool InSafepointCollection = false;
 };
 
 } // namespace gengc

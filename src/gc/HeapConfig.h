@@ -19,8 +19,25 @@
 #define GENGC_GC_HEAPCONFIG_H
 
 #include <cstddef>
+#include <cstdint>
+
+/// Build-time default for HeapConfig::StressGC (and fromspace
+/// poisoning). The GENGC_STRESS CMake option defines this to 1 so an
+/// entire build — including the test suite — runs collect-on-every-
+/// allocation without touching any call site.
+#ifndef GENGC_STRESS_DEFAULT
+#define GENGC_STRESS_DEFAULT 0
+#endif
 
 namespace gengc {
+
+/// Word written over every evacuated (from-space) segment when
+/// HeapConfig::PoisonFromSpace is on. The low tag bits (0b111) are not a
+/// valid Value tag, and interpreting the pattern as a pointer lands far
+/// outside any plausible mapping, so a stale pointer dereference faults
+/// or trips a tag assert deterministically instead of reading whatever
+/// the next collection happened to leave behind.
+constexpr uintptr_t FromSpacePoisonPattern = 0xDEADBEEFDEADBEEFull;
 
 struct HeapConfig {
   /// Virtual address space reserved for the heap; also the hard heap
@@ -60,6 +77,34 @@ struct HeapConfig {
   /// (reference [6] of the paper, used by Chez Scheme for oblist
   /// entries).
   bool WeakSymbolTable = true;
+
+  //===------------------------------------------------------------------===//
+  // Correctness-stress tooling. These knobs make rooting bugs (a bare
+  // Value held in a C++ local across an allocation) fail loudly and
+  // deterministically instead of corrupting the heap thousands of
+  // allocations later.
+  //===------------------------------------------------------------------===//
+
+  /// Forces a *full* collection at every StressInterval-th allocation
+  /// safepoint, so any unrooted Value is invalidated at the earliest
+  /// opportunity. Stress collections respect AutoCollect: a heap
+  /// configured for manual collection (tests that need precise control
+  /// over when objects move) is never stress-collected. Defaults on when
+  /// the build sets GENGC_STRESS_DEFAULT (the GENGC_STRESS CMake
+  /// option); the GENGC_STRESS environment variable ("1"/"0") overrides
+  /// either default at Heap construction.
+  bool StressGC = GENGC_STRESS_DEFAULT != 0;
+
+  /// Collect on every Nth allocation safepoint under StressGC. 1 (the
+  /// default) collects on every allocation.
+  unsigned StressInterval = 1;
+
+  /// Fill evacuated from-space segments with FromSpacePoisonPattern at
+  /// the end of every collection. Any surviving stale pointer then reads
+  /// poison instead of plausible-looking dead objects. Defaults to the
+  /// stress default; enabled automatically whenever StressGC is enabled
+  /// through the environment.
+  bool PoisonFromSpace = GENGC_STRESS_DEFAULT != 0;
 };
 
 } // namespace gengc

@@ -1,0 +1,49 @@
+//===- gc/NoGcScope.h - RAII no-collection region -------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An RAII scope asserting that the collector cannot run. Bare Values
+/// (not wrapped in Root/RootVector) are safe to hold across calls made
+/// inside the scope: any allocation — every allocation is a safepoint
+/// that may move objects — trips a GENGC_ASSERT instead of silently
+/// invalidating them.
+///
+/// Use NoGcScope where rooting every intermediate would be awkward but
+/// the region is known (and must stay) allocation-free, e.g. walking a
+/// freshly built structure. The rootcheck lint (tools/rootcheck) treats
+/// an enclosing NoGcScope as discharging the rooting obligation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_NOGCSCOPE_H
+#define GENGC_GC_NOGCSCOPE_H
+
+#include "gc/Heap.h"
+
+namespace gengc {
+
+/// While alive, allocation and collection on the heap are forbidden and
+/// assert. Scopes nest; the restriction lifts when the outermost scope
+/// exits.
+class NoGcScope {
+public:
+  explicit NoGcScope(Heap &H) : H(H) { ++H.NoGcScopeDepth; }
+  ~NoGcScope() {
+    GENGC_ASSERT(H.NoGcScopeDepth > 0, "NoGcScope depth underflow");
+    --H.NoGcScopeDepth;
+  }
+
+  NoGcScope(const NoGcScope &) = delete;
+  NoGcScope &operator=(const NoGcScope &) = delete;
+
+private:
+  Heap &H;
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_NOGCSCOPE_H

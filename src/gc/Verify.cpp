@@ -11,10 +11,21 @@
 /// a valid object, that no forwarding markers leaked out of a collection,
 /// that weak cars are live-or-#f, and that every old-to-young pointer is
 /// covered by the appropriate remembered set. Tests call this after every
-/// interesting scenario; its failure messages name the violated
-/// invariant.
+/// interesting scenario.
+///
+/// Failures are accumulated, not fatal one at a time: the verifier
+/// finishes its walk, reports *every* violated invariant — each with the
+/// segment index, generation, space kind, and tenure age of the offending
+/// location — and only then aborts. One rooting bug typically corrupts
+/// several invariants at once; seeing the full set localizes it far
+/// faster than the first symptom alone.
 ///
 //===----------------------------------------------------------------------===//
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "gc/Heap.h"
 #include "gc/Roots.h"
@@ -24,6 +35,20 @@ using namespace gengc;
 
 namespace {
 
+const char *spaceKindName(SpaceKind Space) {
+  switch (Space) {
+  case SpaceKind::Pair:
+    return "pair";
+  case SpaceKind::WeakPair:
+    return "weak-pair";
+  case SpaceKind::Typed:
+    return "typed";
+  case SpaceKind::Data:
+    return "data";
+  }
+  return "unknown";
+}
+
 struct Verifier {
   using ContextsArray =
       const SpaceContext (*)[MaxGenerations][MaxTenureCopies];
@@ -32,17 +57,64 @@ struct Verifier {
   const HeapConfig &Cfg;
   ContextsArray Contexts;
   PtrHashSet ValidBits; // Tagged bits of every live object.
+  std::vector<std::string> Failures;
 
   Verifier(Arena &A, const HeapConfig &Cfg, ContextsArray Contexts)
       : A(A), Cfg(Cfg), Contexts(Contexts) {}
 
-  void fail(const char *Msg) { GENGC_UNREACHABLE(Msg); }
+  /// Coordinates of \p Address: segment index, generation, space kind,
+  /// and tenure age, from the segment information table.
+  std::string describeAddress(uintptr_t Address) {
+    if (!A.containsAddress(Address))
+      return "[address outside the arena]";
+    uint32_t Seg = A.segmentIndexOf(Address);
+    return describeSegment(Seg);
+  }
+
+  std::string describeSegment(uint32_t Seg) {
+    const SegmentInfo &Info = A.infoAt(Seg);
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "[segment %" PRIu32 ", generation %u, space %s, age %u]",
+                  Seg, static_cast<unsigned>(Info.Generation),
+                  spaceKindName(Info.Space),
+                  static_cast<unsigned>(Info.Age));
+    return Buf;
+  }
+
+  /// Records a violation with no meaningful heap coordinates.
+  void fail(const char *Msg) { Failures.emplace_back(Msg); }
+
+  /// Records a violation located at \p Address.
+  void failAt(uintptr_t Address, const char *Msg) {
+    Failures.emplace_back(std::string(Msg) + " " + describeAddress(Address));
+  }
+
+  /// Records a violation attributed to segment \p Seg.
+  void failSegment(uint32_t Seg, const char *Msg) {
+    Failures.emplace_back(std::string(Msg) + " " + describeSegment(Seg));
+  }
+
+  /// Reports every accumulated violation and aborts. No-op on a clean
+  /// heap.
+  void finish() {
+    if (Failures.empty())
+      return;
+    std::fprintf(stderr,
+                 "gengc verifyHeap: %zu invariant violation(s):\n",
+                 Failures.size());
+    for (const std::string &F : Failures)
+      std::fprintf(stderr, "  verify: %s\n", F.c_str());
+    std::abort();
+  }
 
   /// Walks every object in (Space, Gen), invoking Fn(WordPtr, Space).
   template <typename Fn>
   void walkContext(const SpaceContext &Ctx, SpaceKind Space, Fn Visit) {
     const std::vector<SegmentRun> &Runs = Ctx.runs();
     for (size_t RI = 0; RI != Runs.size(); ++RI) {
+      // rootcheck:allow(segment-base) — the verifier replays the
+      // allocator's bump walk and must address segments directly.
       uintptr_t *Base = A.segmentBase(Runs[RI].FirstSegment);
       const size_t Used = Ctx.usedWordsOf(A, RI);
       size_t Off = 0;
@@ -57,7 +129,8 @@ struct Verifier {
         Off += Step;
       }
       if (Off != Used)
-        fail("object walk overshot the run's used extent");
+        failSegment(Runs[RI].FirstSegment,
+                    "object walk overshot the run's used extent");
     }
   }
 
@@ -80,15 +153,17 @@ struct Verifier {
            Seg != R.FirstSegment + R.SegmentCount; ++Seg) {
         const SegmentInfo &Info = A.infoAt(Seg);
         if (!Info.inUse())
-          fail("live run contains a free segment");
+          failSegment(Seg, "live run contains a free segment");
         if (Info.isFromSpace())
-          fail("live segment still flagged as from-space");
+          failSegment(Seg, "live segment still flagged as from-space");
         if (Info.Space != Space)
-          fail("segment space tag disagrees with its context");
+          failSegment(Seg, "segment space tag disagrees with its context");
         if (Info.Generation != Gen)
-          fail("segment generation tag disagrees with its context");
+          failSegment(Seg,
+                      "segment generation tag disagrees with its context");
         if (Info.Age != Age)
-          fail("segment tenure-age tag disagrees with its context");
+          failSegment(Seg,
+                      "segment tenure-age tag disagrees with its context");
       }
   }
 
@@ -109,11 +184,13 @@ struct Verifier {
                       }
                       ObjectKind K = headerKind(*P);
                       if (K == ObjectKind::Forward)
-                        fail("forwarding header in live heap");
+                        failAt(reinterpret_cast<uintptr_t>(P),
+                               "forwarding header in live heap");
                       bool Data = Space == SpaceKind::Data;
                       if (Data == kindHasPointers(K) &&
                           K != ObjectKind::Forward)
-                        fail("object kind in the wrong space");
+                        failAt(reinterpret_cast<uintptr_t>(P),
+                               "object kind in the wrong space");
                       ValidBits.insert(Value::object(P).bits());
                     });
        }
@@ -127,10 +204,12 @@ struct Verifier {
     }
     if (V.isFixnum())
       return;
-    if (!A.containsAddress(V.heapAddress()))
+    if (!A.containsAddress(V.heapAddress())) {
       fail("heap pointer outside the arena");
+      return;
+    }
     if (!ValidBits.contains(V.bits()))
-      fail(What);
+      failAt(V.heapAddress(), What);
   }
 
   unsigned genOf(Value V) {
@@ -143,17 +222,18 @@ struct Verifier {
     checkValue(Field, WeakField
                           ? "weak car points to a reclaimed object"
                           : "strong field points to a reclaimed object");
-    if (!Field.isHeapPointer())
+    if (!Field.isHeapPointer() || !A.containsAddress(Field.heapAddress()))
       return;
     unsigned CG = genOf(Container), FG = genOf(Field);
     if (FG >= CG)
       return;
     const PtrHashSet *Set = WeakField ? WeakRemembered : Remembered;
     if (!Set->contains(Container.bits()))
-      fail(WeakField ? "weak old-to-young car missing from the weak "
-                       "remembered set"
-                     : "old-to-young pointer missing from the remembered "
-                       "set");
+      failAt(Container.heapAddress(),
+             WeakField ? "weak old-to-young car missing from the weak "
+                         "remembered set"
+                       : "old-to-young pointer missing from the remembered "
+                         "set");
   }
 
   void checkReferences(const PtrHashSet *Remembered,
@@ -204,14 +284,17 @@ void Heap::verifyHeap() {
       Value Tconc = Value::fromBits(E.TconcBits);
       if (!Tconc.isPair())
         V.fail("protected entry's tconc is not a pair");
-      V.checkValue(Tconc, "protected entry's tconc was reclaimed");
+      else
+        V.checkValue(Tconc, "protected entry's tconc was reclaimed");
     }
 
   // Symbol-table entries must be live symbols.
   for (auto &Entry : SymbolTable) {
     Value Sym = Value::fromBits(Entry.second);
     V.checkValue(Sym, "symbol table entry references a reclaimed object");
-    if (!isSymbol(Sym))
+    if (Sym.isObject() && V.ValidBits.contains(Sym.bits()) && !isSymbol(Sym))
       V.fail("symbol table entry is not a symbol");
   }
+
+  V.finish();
 }

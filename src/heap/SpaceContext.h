@@ -16,6 +16,7 @@
 #ifndef GENGC_HEAP_SPACECONTEXT_H
 #define GENGC_HEAP_SPACECONTEXT_H
 
+#include <utility>
 #include <vector>
 
 #include "heap/Arena.h"

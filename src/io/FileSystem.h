@@ -17,6 +17,7 @@
 #ifndef GENGC_IO_FILESYSTEM_H
 #define GENGC_IO_FILESYSTEM_H
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gc/Roots.h"
@@ -96,8 +97,9 @@ enum class Op : uint32_t {
 struct CodeUnit {
   std::vector<uint32_t> Code;
   /// Index of this unit's constants vector within
-  /// CompiledProgram::ConstantPools.
-  size_t ConstantsIndex = 0;
+  /// CompiledProgram::ConstantPools. SIZE_MAX until the compiler
+  /// freezes the pool.
+  size_t ConstantsIndex = SIZE_MAX;
   /// Diagnostic name (procedure name or "top-level").
   std::string Name;
 };
@@ -115,6 +117,13 @@ public:
     Units.push_back(std::move(Unit));
     return Units.size() - 1;
   }
+  /// Points unit \p UnitIndex at constant pool \p PoolIndex. The
+  /// compiler freezes pools only after the source walk (its walk is
+  /// allocation-free), so units are added before their pools exist.
+  void setUnitConstants(size_t UnitIndex, size_t PoolIndex) {
+    GENGC_ASSERT(UnitIndex < Units.size(), "bad code unit index");
+    Units[UnitIndex].ConstantsIndex = PoolIndex;
+  }
   const CodeUnit &unit(size_t I) const {
     GENGC_ASSERT(I < Units.size(), "bad code unit index");
     return Units[I];
@@ -130,6 +139,8 @@ public:
 
   /// Constant k of unit \p U.
   Value constantOf(const CodeUnit &U, uint32_t K) const {
+    GENGC_ASSERT(U.ConstantsIndex != SIZE_MAX,
+                 "code unit used before its constants were frozen");
     return objectField(ConstantPools[U.ConstantsIndex], K);
   }
 

@@ -8,28 +8,26 @@
 #include "scheme/Compiler.h"
 
 #include "core/ListOps.h"
+#include "gc/NoGcScope.h"
 #include "scheme/Printer.h"
 
 using namespace gengc;
 
-namespace {
-/// Special-form symbols, interned once per compile (interning an
-/// already-present name returns the existing symbol without allocating
-/// new structure the compiler would have to root mid-walk).
-struct Forms {
-  Value Quote, If, Define, Set, Lambda, CaseLambda, Begin, Let, LetStar,
-      Letrec, And, Or, Cond, Else, When, Unless;
-  explicit Forms(Heap &H)
-      : Quote(H.intern("quote")), If(H.intern("if")),
-        Define(H.intern("define")), Set(H.intern("set!")),
-        Lambda(H.intern("lambda")), CaseLambda(H.intern("case-lambda")),
-        Begin(H.intern("begin")), Let(H.intern("let")),
-        LetStar(H.intern("let*")), Letrec(H.intern("letrec")),
-        And(H.intern("and")), Or(H.intern("or")), Cond(H.intern("cond")),
-        Else(H.intern("else")), When(H.intern("when")),
-        Unless(H.intern("unless")) {}
-};
-} // namespace
+// Every intern is a safepoint, so the form symbols are resolved once at
+// construction — while the caller still has the source form rooted —
+// and live in Root slots from then on. Interning lazily inside
+// compileExpr would let a collection move the bare Values the recursive
+// walk is holding.
+Compiler::RootedForms::RootedForms(Heap &H)
+    : Quote(H, H.intern("quote")), If(H, H.intern("if")),
+      Define(H, H.intern("define")), Set(H, H.intern("set!")),
+      Lambda(H, H.intern("lambda")),
+      CaseLambda(H, H.intern("case-lambda")), Begin(H, H.intern("begin")),
+      Let(H, H.intern("let")), LetStar(H, H.intern("let*")),
+      Letrec(H, H.intern("letrec")), And(H, H.intern("and")),
+      Or(H, H.intern("or")), Cond(H, H.intern("cond")),
+      Else(H, H.intern("else")), When(H, H.intern("when")),
+      Unless(H, H.intern("unless")) {}
 
 size_t Compiler::emitJump(UnitBuilder &B, Op O) {
   emit(B, O);
@@ -38,11 +36,12 @@ size_t Compiler::emitJump(UnitBuilder &B, Op O) {
 }
 
 uint32_t Compiler::addConstant(UnitBuilder &B, Value V) {
-  for (size_t K = 0; K != B.Constants.size(); ++K)
-    if (B.Constants[K] == V)
+  RootVector &Constants = *B.Constants;
+  for (size_t K = 0; K != Constants.size(); ++K)
+    if (Constants[K] == V)
       return static_cast<uint32_t>(K);
-  B.Constants.push_back(V);
-  return static_cast<uint32_t>(B.Constants.size() - 1);
+  Constants.push_back(V);
+  return static_cast<uint32_t>(Constants.size() - 1);
 }
 
 //===----------------------------------------------------------------------===//
@@ -130,24 +129,23 @@ void Compiler::compileExpr(UnitBuilder &B, Value Expr, bool Tail) {
     return;
   }
 
-  Forms FS(H);
   Value Head = pairCar(Expr);
   if (isSymbol(Head)) {
     // Special forms are reserved words, matching the interpreter (which
     // dispatches on the head symbol before considering bindings).
     {
       Value Rest = pairCdr(Expr);
-      if (Head == FS.Quote) {
+      if (Head == FS.Quote.get()) {
         emit(B, Op::Const, addConstant(B, pairCar(Rest)));
         return;
       }
-      if (Head == FS.If)
+      if (Head == FS.If.get())
         return compileIf(B, Rest, Tail);
-      if (Head == FS.Define)
+      if (Head == FS.Define.get())
         return compileDefine(B, Rest);
-      if (Head == FS.Set)
+      if (Head == FS.Set.get())
         return compileSet(B, Rest);
-      if (Head == FS.Lambda) {
+      if (Head == FS.Lambda.get()) {
         // One clause: the form's own tail is (formals body...).
         size_t Unit = SIZE_MAX;
         {
@@ -166,30 +164,30 @@ void Compiler::compileExpr(UnitBuilder &B, Value Expr, bool Tail) {
         emit(B, Op::MakeClosure, static_cast<uint32_t>(Unit));
         return;
       }
-      if (Head == FS.CaseLambda) {
+      if (Head == FS.CaseLambda.get()) {
         size_t Unit = compileProcedureUnit(Rest, "case-lambda");
         emit(B, Op::MakeClosure, static_cast<uint32_t>(Unit));
         return;
       }
-      if (Head == FS.Begin) {
+      if (Head == FS.Begin.get()) {
         compileBody(B, Rest, Tail);
         return;
       }
-      if (Head == FS.Let)
+      if (Head == FS.Let.get())
         return compileLet(B, Rest, Tail);
-      if (Head == FS.LetStar)
+      if (Head == FS.LetStar.get())
         return compileLetStarOrRec(B, Rest, Tail, /*IsRec=*/false);
-      if (Head == FS.Letrec)
+      if (Head == FS.Letrec.get())
         return compileLetStarOrRec(B, Rest, Tail, /*IsRec=*/true);
-      if (Head == FS.And)
+      if (Head == FS.And.get())
         return compileAndOr(B, Rest, Tail, /*IsAnd=*/true);
-      if (Head == FS.Or)
+      if (Head == FS.Or.get())
         return compileAndOr(B, Rest, Tail, /*IsAnd=*/false);
-      if (Head == FS.Cond)
+      if (Head == FS.Cond.get())
         return compileCond(B, Rest, Tail);
-      if (Head == FS.When)
+      if (Head == FS.When.get())
         return compileWhenUnless(B, Rest, Tail, /*Negate=*/false);
-      if (Head == FS.Unless)
+      if (Head == FS.Unless.get())
         return compileWhenUnless(B, Rest, Tail, /*Negate=*/true);
     }
   }
@@ -429,12 +427,11 @@ void Compiler::compileAndOr(UnitBuilder &B, Value Rest, bool Tail,
 }
 
 void Compiler::compileCond(UnitBuilder &B, Value Rest, bool Tail) {
-  Forms FS(H);
   std::vector<size_t> EndJumps;
   for (Value C = Rest; C.isPair(); C = pairCdr(C)) {
     Value Clause = pairCar(C);
     Value Test = pairCar(Clause);
-    if (Test == FS.Else) {
+    if (Test == FS.Else.get()) {
       compileBody(B, pairCdr(Clause), Tail);
       size_t End = emitJump(B, Op::Jump);
       EndJumps.push_back(End);
@@ -487,16 +484,27 @@ void Compiler::compileWhenUnless(UnitBuilder &B, Value Rest, bool Tail,
 //===----------------------------------------------------------------------===//
 
 size_t Compiler::finishUnit(UnitBuilder &B) {
-  // Freeze the constants into a traced heap vector (the only
-  // allocation the compiler performs).
-  Root Pool(H, H.makeVector(B.Constants.size(), Value::nil()));
-  for (size_t K = 0; K != B.Constants.size(); ++K)
-    H.vectorSet(Pool, K, B.Constants[K]);
+  // No allocation here: the unit's constants stay in their RootVector
+  // until freezeConstantPools runs after the whole source walk, so
+  // finishing a nested unit cannot move the bare Values the enclosing
+  // walk still holds.
   CodeUnit Unit;
   Unit.Code = std::move(B.Code);
-  Unit.ConstantsIndex = Program.addConstantPool(Pool);
   Unit.Name = std::move(B.Name);
-  return Program.addUnit(std::move(Unit));
+  size_t UnitIndex = Program.addUnit(std::move(Unit));
+  PendingPools.emplace_back(UnitIndex, std::move(B.Constants));
+  return UnitIndex;
+}
+
+void Compiler::freezeConstantPools() {
+  for (auto &Pending : PendingPools) {
+    RootVector &Constants = *Pending.second;
+    Root Pool(H, H.makeVector(Constants.size(), Value::nil()));
+    for (size_t K = 0; K != Constants.size(); ++K)
+      H.vectorSet(Pool, K, Constants[K]);
+    Program.setUnitConstants(Pending.first, Program.addConstantPool(Pool));
+  }
+  PendingPools.clear();
 }
 
 size_t Compiler::compileTopLevel(Value Form) {
@@ -504,9 +512,17 @@ size_t Compiler::compileTopLevel(Value Form) {
   UnitBuilder B(H);
   B.Name = "top-level";
   emit(B, Op::Bind, 0, 0);
-  compileExpr(B, RForm.get(), /*Tail=*/false);
+  {
+    // The walk tracks source structure in bare Values throughout, which
+    // is only sound if nothing can trigger a collection; the scope
+    // turns any stray allocation into an assertion failure.
+    NoGcScope NoAlloc(H);
+    compileExpr(B, RForm.get(), /*Tail=*/false);
+  }
   emit(B, Op::Return);
   if (hadError())
     return SIZE_MAX;
-  return finishUnit(B);
+  size_t Entry = finishUnit(B);
+  freezeConstantPools();
+  return Entry;
 }

@@ -23,7 +23,9 @@
 #ifndef GENGC_SCHEME_COMPILER_H
 #define GENGC_SCHEME_COMPILER_H
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "scheme/Bytecode.h"
 #include "scheme/Interpreter.h"
@@ -34,8 +36,12 @@ class Compiler {
 public:
   /// \p I supplies the heap, the interned special-form symbols, and the
   /// global environment the compiled code will run against.
+  ///
+  /// Construction interns the special-form symbols (a safepoint); the
+  /// caller must keep the form it is about to compile rooted across it.
   Compiler(Interpreter &I, CompiledProgram &Program)
-      : I(I), H(I.heap()), Program(Program), ScopeSymbols(H) {}
+      : I(I), H(I.heap()), Program(Program), FS(I.heap()),
+        ScopeSymbols(H) {}
 
   /// Compiles one top-level form into a zero-argument entry unit.
   /// Returns the unit index, or SIZE_MAX on error (query error()).
@@ -53,12 +59,23 @@ private:
     size_t End;
   };
 
-  /// Code being emitted for one unit.
+  /// Code being emitted for one unit. Constants live behind a pointer
+  /// so finishUnit can hand the (still rooted) vector to PendingPools
+  /// without copying or re-registering root slots.
   struct UnitBuilder {
     std::vector<uint32_t> Code;
-    RootVector Constants;
+    std::unique_ptr<RootVector> Constants;
     std::string Name;
-    explicit UnitBuilder(Heap &H) : Constants(H) {}
+    explicit UnitBuilder(Heap &H)
+        : Constants(std::make_unique<RootVector>(H)) {}
+  };
+
+  /// The special-form symbols, interned once at construction and held
+  /// in root slots so a collection mid-compile cannot strand them.
+  struct RootedForms {
+    Root Quote, If, Define, Set, Lambda, CaseLambda, Begin, Let, LetStar,
+        Letrec, And, Or, Cond, Else, When, Unless;
+    explicit RootedForms(Heap &H);
   };
 
   void fail(const std::string &Message) {
@@ -114,12 +131,20 @@ private:
   size_t compileProcedureUnit(Value Clauses, const std::string &Name);
 
   size_t finishUnit(UnitBuilder &B);
+  /// Allocates the heap vector for every pending unit's constants and
+  /// patches the units to point at them. The only allocating step of a
+  /// compile; runs after the source walk so no bare Value is live.
+  void freezeConstantPools();
 
   Interpreter &I;
   Heap &H;
   CompiledProgram &Program;
+  RootedForms FS;
   RootVector ScopeSymbols;
   std::vector<Frame> Scopes;
+  /// Units finished during the walk, awaiting their frozen pools:
+  /// (unit index, rooted constants).
+  std::vector<std::pair<size_t, std::unique_ptr<RootVector>>> PendingPools;
   std::string ErrorMessage;
 };
 

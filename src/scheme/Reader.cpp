@@ -71,7 +71,10 @@ Value Reader::readDatum() {
     if (hadError())
       return Value::eof();
     Root Tail(H, H.cons(Quoted, Value::nil()));
-    return H.cons(H.intern("quote"), Tail);
+    // intern is a safepoint: it must not run as an argument of cons,
+    // where the other (already-converted) argument would go stale.
+    Root Quote(H, H.intern("quote"));
+    return H.cons(Quote, Tail);
   }
   if (C == '"')
     return readString();

@@ -17,6 +17,7 @@
 #define GENGC_SUPPORT_PTRHASHSET_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "support/Assert.h"

@@ -1,0 +1,197 @@
+//===- tests/gc/stress_test.cpp - StressGC and poisoning -----------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the correctness-stress tooling itself: StressGC (a full
+/// collection at every allocation safepoint), fromspace poisoning, and
+/// NoGcScope. The guardian/weak-pair/tconc scenarios re-run the paper's
+/// core protocols with objects moving at every opportunity, which is
+/// how the rooting bugs in the reader and bytecode compiler were found.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Guardian.h"
+#include "gc/Heap.h"
+#include "gc/NoGcScope.h"
+#include "gc/Roots.h"
+#include "gc/Tconc.h"
+
+#include <gtest/gtest.h>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig stressConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.StressGC = true;
+  C.StressInterval = 1;
+  C.PoisonFromSpace = true;
+  C.AutoCollect = true;
+  return C;
+}
+
+HeapConfig manualConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  C.PoisonFromSpace = true;
+  return C;
+}
+
+// Guardians under collect-on-every-allocation: registered objects whose
+// roots die become retrievable, survivors stay protected, and the drain
+// callback may itself allocate (triggering more full collections).
+TEST(StressTest, GuardianChurnUnderStress) {
+  Heap H(stressConfig());
+  Guardian G(H);
+  RootVector Keep(H);
+  const int N = 40;
+  for (int I = 0; I != N; ++I) {
+    Root P(H, H.cons(Value::fixnum(I), Value::nil()));
+    G.protect(P.get());
+    if (I % 2 == 0)
+      Keep.push_back(P.get());
+  }
+  // One more allocation proves the last dropped registrant dead.
+  H.cons(Value::fixnum(-1), Value::nil());
+
+  size_t Retrieved = G.drain([&](Value Obj) {
+    ASSERT_TRUE(Obj.isPair());
+    EXPECT_EQ(pairCar(Obj).asFixnum() % 2, 1)
+        << "only odd (dropped) registrants may be retrieved";
+    // Clean-up actions run as ordinary mutator code; allocating here
+    // forces another full collection mid-drain.
+    H.cons(Obj, Value::nil());
+  });
+  EXPECT_EQ(Retrieved, static_cast<size_t>(N / 2));
+  EXPECT_FALSE(G.hasPending());
+  H.verifyHeap();
+}
+
+// Weak pairs under stress: cars of dead targets break to #f, cars of
+// live targets are forwarded to the objects' new addresses, cdrs are
+// strong throughout.
+TEST(StressTest, WeakPairsClearUnderStress) {
+  Heap H(stressConfig());
+  RootVector Weaks(H);
+  RootVector Keep(H);
+  const int N = 40;
+  for (int I = 0; I != N; ++I) {
+    Root Target(H, H.cons(Value::fixnum(I), Value::nil()));
+    Weaks.push_back(H.weakCons(Target.get(), Value::fixnum(I)));
+    if (I % 2 == 0)
+      Keep.push_back(Target.get());
+  }
+  H.cons(Value::fixnum(-1), Value::nil());
+
+  int Broken = 0;
+  for (size_t I = 0; I != Weaks.size(); ++I) {
+    Value W = Weaks[I];
+    EXPECT_EQ(pairCdr(W).asFixnum(), static_cast<int64_t>(I))
+        << "the cdr ('link') field is a normal pointer";
+    if (pairCar(W).isFalse()) {
+      ++Broken;
+      EXPECT_EQ(I % 2, 1u) << "a kept target's weak car must not break";
+    } else {
+      EXPECT_EQ(pairCar(pairCar(W)).asFixnum(), static_cast<int64_t>(I));
+    }
+  }
+  EXPECT_EQ(Broken, N / 2);
+  H.verifyHeap();
+}
+
+// The Figure 2-4 tconc protocol with the queue's pairs copied (and
+// repointed) by a full collection at every append.
+TEST(StressTest, TconcFifoOrderUnderStress) {
+  Heap H(stressConfig());
+  Root T(H, H.makeGuardianTconc());
+  const int N = 32;
+  for (int I = 0; I != N; ++I)
+    tconcAppend(H, T.get(), Value::fixnum(I));
+  EXPECT_EQ(tconcLength(T.get()), static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(tconcRetrieve(H, T.get()).asFixnum(), I);
+  EXPECT_TRUE(tconcEmpty(T.get()));
+  EXPECT_TRUE(tconcRetrieve(H, T.get()).isFalse());
+  H.verifyHeap();
+}
+
+// StressInterval=N collects on every Nth allocation safepoint.
+TEST(StressTest, StressIntervalControlsCadence) {
+  HeapConfig C = stressConfig();
+  C.StressInterval = 4;
+  Heap H(C);
+  uint64_t Before = H.collectionCount();
+  for (int I = 0; I != 40; ++I)
+    H.cons(Value::fixnum(I), Value::nil());
+  EXPECT_EQ(H.collectionCount() - Before, 10u);
+}
+
+// Stress collections respect AutoCollect: a heap configured for manual
+// collection keeps precise control over when objects move.
+TEST(StressTest, StressRespectsManualCollectionControl) {
+  HeapConfig C = stressConfig();
+  C.AutoCollect = false;
+  Heap H(C);
+  uint64_t Before = H.collectionCount();
+  for (int I = 0; I != 40; ++I)
+    H.cons(Value::fixnum(I), Value::nil());
+  EXPECT_EQ(H.collectionCount(), Before);
+}
+
+// Fromspace poisoning: a stale pointer reads the poison pattern, not a
+// plausible-looking dead object.
+TEST(StressTest, FreedFromSpaceIsPoisoned) {
+  Heap H(manualConfig());
+  Value Stale = H.cons(Value::fixnum(1), Value::nil());
+  H.collectFull();
+  EXPECT_EQ(pairCar(Stale).bits(), FromSpacePoisonPattern);
+  EXPECT_EQ(pairCdr(Stale).bits(), FromSpacePoisonPattern);
+}
+
+// ...and acting on the poison word dies immediately (its low bits are
+// not a valid Value tag).
+TEST(StressDeathTest, PoisonedDereferenceDies) {
+  Heap H(manualConfig());
+  Value Stale = H.cons(Value::fixnum(1), Value::nil());
+  H.collectFull();
+  EXPECT_DEATH((void)pairCar(pairCar(Stale)), "pairCell on non-pair");
+}
+
+TEST(NoGcScopeDeathTest, AllocationInsideScopeDies) {
+  Heap H(manualConfig());
+  NoGcScope NoAlloc(H);
+  EXPECT_DEATH(H.cons(Value::fixnum(1), Value::nil()),
+               "allocation inside a NoGcScope");
+}
+
+TEST(NoGcScopeDeathTest, ExplicitCollectionInsideScopeDies) {
+  Heap H(manualConfig());
+  NoGcScope NoAlloc(H);
+  EXPECT_DEATH(H.collectFull(), "explicit collection inside a NoGcScope");
+}
+
+// The scope restores normal operation on exit, and nests.
+TEST(StressTest, NoGcScopeLiftsOnExit) {
+  Heap H(manualConfig());
+  {
+    NoGcScope Outer(H);
+    {
+      NoGcScope Inner(H);
+      EXPECT_EQ(H.noGcScopeDepth(), 2u);
+    }
+    EXPECT_EQ(H.noGcScopeDepth(), 1u);
+  }
+  EXPECT_EQ(H.noGcScopeDepth(), 0u);
+  Root P(H, H.cons(Value::fixnum(1), Value::nil()));
+  H.collectFull();
+  EXPECT_EQ(pairCar(P.get()).asFixnum(), 1);
+}
+
+} // namespace

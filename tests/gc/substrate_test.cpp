@@ -124,6 +124,8 @@ TEST(ArenaTest, AllocateAndTag) {
     EXPECT_EQ(A.infoAt(I).Generation, 2);
   }
   EXPECT_EQ(A.segmentsInUse(), 3u);
+  // rootcheck:allow(segment-base) — the substrate test addresses the
+  // arena directly; that is the interface under test.
   uintptr_t Addr = reinterpret_cast<uintptr_t>(A.segmentBase(S)) + 100;
   EXPECT_TRUE(A.containsAddress(Addr));
   EXPECT_EQ(A.segmentIndexOf(Addr), S);
@@ -189,6 +191,8 @@ TEST(SpaceContextTest, LargeObjectGetsDedicatedRun) {
   uintptr_t *Big = C.allocate(A, SpaceKind::Typed, 0, SegmentWords * 3);
   EXPECT_EQ(C.runs().size(), 2u);
   EXPECT_EQ(C.runs()[1].SegmentCount, 3u);
+  // rootcheck:allow(segment-base) — asserts the bump pointer's raw
+  // placement, which only segmentBase can express.
   EXPECT_EQ(Big, A.segmentBase(C.runs()[1].FirstSegment));
   // Subsequent small allocations start a fresh run (allocation order
   // across runs stays monotonic for the Cheney sweep).

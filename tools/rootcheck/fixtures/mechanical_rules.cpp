@@ -1,0 +1,35 @@
+// rootcheck self-test fixture: the mechanical rules. Never compiled.
+
+#include "gc/Heap.h"
+#include "heap/Arena.h"
+#include "support/Assert.h"
+
+using namespace gengc;
+
+// segment-base: raw segment arithmetic belongs in src/heap/ only.
+uintptr_t *peekSegment(Arena &A) {
+  return A.segmentBase(3); // expect: segment-base
+}
+
+// The allow-comment form, covering a multi-line statement.
+uintptr_t *peekSegmentBlessed(Arena &A) {
+  // rootcheck:allow(segment-base) — fixture demonstrating suppression.
+  uintptr_t *Base =
+      A.segmentBase(4);
+  return Base;
+}
+
+// unique-unreachable: the first site owns the message...
+void firstUnreachable() {
+  GENGC_UNREACHABLE("fixture: impossible state");
+}
+
+// ...and any copy is flagged, because a crash report shows nothing but
+// the message text.
+void secondUnreachable() {
+  GENGC_UNREACHABLE("fixture: impossible state"); // expect: unique-unreachable
+}
+
+void distinctUnreachable() {
+  GENGC_UNREACHABLE("fixture: a different impossible state");
+}

@@ -1,0 +1,91 @@
+// rootcheck self-test fixture: seeded rooting-discipline violations.
+// Never compiled; scanned by `rootcheck.py --self-test`, which checks
+// that each line annotated with an "expect:"-comment produces exactly
+// that diagnostic and nothing else does.
+
+#include "gc/Heap.h"
+#include "gc/NoGcScope.h"
+#include "gc/Roots.h"
+
+using namespace gengc;
+
+// The canonical bug: a bare Value held across an allocation.
+Value seededViolation(Heap &H) {
+  Value Stale = H.cons(Value::fixnum(1), Value::nil());
+  H.cons(Value::fixnum(2), Value::nil());
+  return Stale; // expect: unrooted-value
+}
+
+// Rooting the value discharges the obligation.
+Value rootedIsFine(Heap &H) {
+  Root Kept(H, H.cons(Value::fixnum(1), Value::nil()));
+  H.cons(Value::fixnum(2), Value::nil());
+  return Kept.get();
+}
+
+// Reassignment after the safepoint starts a fresh definition.
+Value reassignedIsFine(Heap &H) {
+  Value V = H.cons(Value::fixnum(1), Value::nil());
+  (void)V;
+  H.collectFull();
+  V = Value::fixnum(3);
+  return V;
+}
+
+// Immediates never point into the heap; collections cannot move them.
+Value immediateIsFine(Heap &H) {
+  Value N = Value::fixnum(42);
+  H.collectFull();
+  return N;
+}
+
+// A NoGcScope proves the region allocation-free (at runtime, any
+// allocation inside would assert), so bare Values are safe.
+Value noGcScopeDischarges(Heap &H, Value Input) {
+  NoGcScope NoAlloc(H);
+  Value Car = H.cons(Value::fixnum(1), Input);
+  return Car;
+}
+
+// Arguments of the allocating call itself are rooted by the callee
+// before it polls the safepoint, even across physical lines.
+Value argumentOfCallIsFine(Heap &H, Value Input) {
+  Value Pair = H.cons(Input, Value::nil());
+  return H.cons(Pair,
+                Value::nil());
+}
+
+// A diverging block cannot leak its allocation into the fall-through
+// path.
+Value divergingBranchIsFine(Heap &H, bool Flag) {
+  Value V = H.cons(Value::fixnum(1), Value::nil());
+  if (Flag) {
+    return H.cons(Value::fixnum(2), V);
+  }
+  return V;
+}
+
+// ...but a non-diverging branch does.
+Value nonDivergingBranchLeaks(Heap &H, bool Flag) {
+  Value V = H.cons(Value::fixnum(1), Value::nil());
+  if (Flag) {
+    H.collectFull();
+  }
+  return V; // expect: unrooted-value
+}
+
+// The suppression comment silences a diagnostic the author has argued
+// away.
+Value suppressed(Heap &H) {
+  Value V = H.cons(Value::fixnum(1), Value::nil());
+  H.collectFull();
+  // rootcheck:allow(unrooted-value) — hypothetical out-of-band rooting.
+  return V;
+}
+
+// Raw word pointers into the heap are as movable as tagged values.
+void rawWordPointer(Heap &H, Arena &A) {
+  uintptr_t *Base = A.segmentBase(0); // expect: segment-base
+  H.collectFull();
+  *Base = 0; // expect: unrooted-value
+}
