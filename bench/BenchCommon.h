@@ -15,6 +15,11 @@
 #ifndef GENGC_BENCH_BENCHCOMMON_H
 #define GENGC_BENCH_BENCHCOMMON_H
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "gc/Heap.h"
@@ -36,6 +41,52 @@ inline void ageHeapFully(Heap &H) {
   for (unsigned G = 0; G + 1 < H.config().Generations; ++G)
     H.collect(G);
 }
+
+/// Records every collection's pause through a post-GC hook and publishes
+/// GC totals plus pause percentiles as Google Benchmark custom counters,
+/// so scripts/bench.sh captures them in bench-results/*.json. Construct
+/// it right after the Heap; call addGcCounters() once, after the timing
+/// loop.
+class GcPauseRecorder {
+public:
+  explicit GcPauseRecorder(Heap &H) : H(H) {
+    H.addPostGcHook([this](Heap &, const GcStats &S) {
+      PauseNanos.push_back(S.DurationNanos);
+    });
+  }
+
+  void addGcCounters(benchmark::State &State) const {
+    const GcTotals &T = H.totals();
+    auto C = [](uint64_t N) {
+      return benchmark::Counter(static_cast<double>(N));
+    };
+    State.counters["gc_collections"] = C(T.Collections);
+    State.counters["gc_full_collections"] = C(T.FullCollections);
+    State.counters["gc_bytes_copied"] = C(T.BytesCopied);
+    State.counters["gc_objects_promoted"] = C(T.ObjectsPromoted);
+    State.counters["gc_segments_freed"] = C(T.SegmentsFreed);
+    State.counters["gc_total_pause_ns"] = C(T.DurationNanos);
+    if (PauseNanos.empty())
+      return;
+    std::vector<uint64_t> Sorted = PauseNanos;
+    std::sort(Sorted.begin(), Sorted.end());
+    State.counters["gc_pause_p50_ns"] = C(percentile(Sorted, 50));
+    State.counters["gc_pause_p99_ns"] = C(percentile(Sorted, 99));
+    State.counters["gc_pause_max_ns"] = C(Sorted.back());
+  }
+
+  size_t pausesRecorded() const { return PauseNanos.size(); }
+
+private:
+  static uint64_t percentile(const std::vector<uint64_t> &Sorted,
+                             unsigned P) {
+    const size_t Rank = (Sorted.size() - 1) * P / 100;
+    return Sorted[Rank];
+  }
+
+  Heap &H;
+  std::vector<uint64_t> PauseNanos;
+};
 
 } // namespace gengc
 

@@ -27,6 +27,7 @@ namespace {
 void BM_CollectionVsLiveData(benchmark::State &State) {
   const int64_t LivePairs = State.range(0);
   Heap H(benchConfig());
+  GcPauseRecorder Pauses(H);
   Root List(H, Value::nil());
   for (auto _ : State) {
     State.PauseTiming();
@@ -41,6 +42,7 @@ void BM_CollectionVsLiveData(benchmark::State &State) {
       benchmark::Counter(static_cast<double>(LivePairs));
   State.counters["bytes_copied"] =
       benchmark::Counter(static_cast<double>(H.lastStats().BytesCopied));
+  Pauses.addGcCounters(State);
 }
 BENCHMARK(BM_CollectionVsLiveData)
     ->RangeMultiplier(4)
@@ -89,6 +91,7 @@ BENCHMARK(BM_AllocationThroughput);
 // full pauses are proportional to all retained data.
 void BM_MinorPauseMixedHeap(benchmark::State &State) {
   Heap H(benchConfig());
+  GcPauseRecorder Pauses(H);
   Root OldList(H, Value::nil());
   for (int64_t I = 0; I != 262144; ++I)
     OldList = H.cons(Value::fixnum(I), OldList.get());
@@ -104,11 +107,13 @@ void BM_MinorPauseMixedHeap(benchmark::State &State) {
   }
   State.counters["old_pairs"] = benchmark::Counter(262144);
   State.counters["young_pairs"] = benchmark::Counter(1024);
+  Pauses.addGcCounters(State);
 }
 BENCHMARK(BM_MinorPauseMixedHeap)->Unit(benchmark::kMicrosecond);
 
 void BM_FullPauseMixedHeap(benchmark::State &State) {
   Heap H(benchConfig());
+  GcPauseRecorder Pauses(H);
   Root OldList(H, Value::nil());
   for (int64_t I = 0; I != 262144; ++I)
     OldList = H.cons(Value::fixnum(I), OldList.get());
@@ -116,6 +121,7 @@ void BM_FullPauseMixedHeap(benchmark::State &State) {
   for (auto _ : State)
     H.collectFull();
   State.counters["old_pairs"] = benchmark::Counter(262144);
+  Pauses.addGcCounters(State);
 }
 BENCHMARK(BM_FullPauseMixedHeap)->Unit(benchmark::kMicrosecond);
 

@@ -39,6 +39,7 @@ void churnRound(Heap &H, GuardedHashTable &T, int Round) {
 
 void BM_GuardedTableChurn(benchmark::State &State) {
   Heap H(benchConfig());
+  GcPauseRecorder Pauses(H);
   GuardedHashTable T(H, Buckets);
   int Round = 0;
   for (auto _ : State)
@@ -47,11 +48,13 @@ void BM_GuardedTableChurn(benchmark::State &State) {
       benchmark::Counter(static_cast<double>(T.entryCount()));
   State.counters["removed_total"] =
       benchmark::Counter(static_cast<double>(T.removedTotal()));
+  Pauses.addGcCounters(State);
 }
 BENCHMARK(BM_GuardedTableChurn)->Unit(benchmark::kMicrosecond);
 
 void BM_UnguardedTableChurn(benchmark::State &State) {
   Heap H(benchConfig());
+  GcPauseRecorder Pauses(H);
   GuardedHashTable T(H, Buckets, stableValueHash, /*Guarded=*/false);
   int Round = 0;
   for (auto _ : State)
@@ -61,6 +64,7 @@ void BM_UnguardedTableChurn(benchmark::State &State) {
       benchmark::Counter(static_cast<double>(T.entryCount()));
   State.counters["broken_entries"] =
       benchmark::Counter(static_cast<double>(T.brokenEntryCount()));
+  Pauses.addGcCounters(State);
 }
 BENCHMARK(BM_UnguardedTableChurn)->Unit(benchmark::kMicrosecond);
 

@@ -58,6 +58,7 @@ void workloadStep(AgedTable &S) {
 
 void BM_RehashAllUnderMinorGc(benchmark::State &State) {
   AgedTable S(EqRehashStrategy::RehashAllAfterGc, State.range(0));
+  GcPauseRecorder Pauses(S.H);
   uint64_t Before = S.T.keysRehashed();
   for (auto _ : State)
     workloadStep(S);
@@ -66,6 +67,7 @@ void BM_RehashAllUnderMinorGc(benchmark::State &State) {
   State.counters["rehashes_per_step"] = benchmark::Counter(
       static_cast<double>(S.T.keysRehashed() - Before) /
       static_cast<double>(State.iterations()));
+  Pauses.addGcCounters(State);
 }
 BENCHMARK(BM_RehashAllUnderMinorGc)
     ->RangeMultiplier(4)
@@ -74,6 +76,7 @@ BENCHMARK(BM_RehashAllUnderMinorGc)
 
 void BM_TransportMarkersUnderMinorGc(benchmark::State &State) {
   AgedTable S(EqRehashStrategy::TransportMarkers, State.range(0));
+  GcPauseRecorder Pauses(S.H);
   uint64_t Before = S.T.keysRehashed();
   for (auto _ : State)
     workloadStep(S);
@@ -82,6 +85,7 @@ void BM_TransportMarkersUnderMinorGc(benchmark::State &State) {
   State.counters["rehashes_per_step"] = benchmark::Counter(
       static_cast<double>(S.T.keysRehashed() - Before) /
       static_cast<double>(State.iterations()));
+  Pauses.addGcCounters(State);
 }
 BENCHMARK(BM_TransportMarkersUnderMinorGc)
     ->RangeMultiplier(4)

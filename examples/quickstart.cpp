@@ -29,7 +29,13 @@ int main() {
   Guardian G(H);
 
   // > (define x (cons 'a 'b))
-  Root X(H, H.cons(H.intern("a"), H.intern("b")));
+  // Each allocation gets its own rooted home before the next one runs:
+  // nesting two allocating calls in one expression would hold the first
+  // result as a bare temporary across the second's safepoint, the exact
+  // bug GENGC_STRESS exists to catch.
+  Root A(H, H.intern("a"));
+  Root B(H, H.intern("b"));
+  Root X(H, H.cons(A.get(), B.get()));
 
   // > (G x)           ; register x for preservation
   G.protect(X.get());

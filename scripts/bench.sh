@@ -9,6 +9,14 @@
 # JSON output (--benchmark_format=json) is the machine-readable record
 # DESIGN.md's experiment index expects; pass the files to
 # benchmark/tools/compare.py for A/B runs.
+#
+# GC-heavy benchmarks attach a GcPauseRecorder (bench/BenchCommon.h)
+# and publish collector counters into each entry's "counters" object:
+# gc_collections, gc_full_collections, gc_bytes_copied,
+# gc_objects_promoted, gc_segments_freed, gc_total_pause_ns, and the
+# per-run pause percentiles gc_pause_p50_ns / gc_pause_p99_ns /
+# gc_pause_max_ns. They land in the same JSON files automatically;
+# e.g.:  jq '.benchmarks[] | {name, gc_pause_p99_ns: .gc_pause_p99_ns}'
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

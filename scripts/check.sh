@@ -35,6 +35,13 @@ run_suite() {
   cmake --build "$dir" -j >/dev/null
   echo "==> [$name] test"
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  # Telemetry smoke: a traced run must produce a Chrome trace_event
+  # JSON file that a strict parser accepts.
+  echo "==> [$name] telemetry smoke"
+  GENGC_GC_LOG=1 GENGC_GC_TRACE="$dir/smoke-trace.json" \
+    "$dir/examples/quickstart" >/dev/null
+  python3 -m json.tool "$dir/smoke-trace.json" >/dev/null
+  rm -f "$dir/smoke-trace.json"
 }
 
 # The rootcheck lint needs no build at all; fail fast on it.

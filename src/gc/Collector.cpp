@@ -7,76 +7,144 @@
 
 #include "gc/Collector.h"
 
-#include <chrono>
 #include <cstring>
 
 #include "gc/Roots.h"
 #include "gc/Tconc.h"
+#include "gc/telemetry/Telemetry.h"
 
 using namespace gengc;
 
 void Collector::run(unsigned G) {
-  auto Start = std::chrono::steady_clock::now();
+  GcTelemetry &Tel = H.Telemetry;
+  const uint64_t StartNanos = Tel.now();
+  // Phase timers chain through this cursor so the phase spans tile the
+  // pause exactly (see PhaseTimer).
+  uint64_t PhaseCursor = StartNanos;
   H.InGc = true;
 
   const unsigned Oldest = H.oldestGeneration();
   GENGC_ASSERT(G <= Oldest, "collected generation out of range");
   T = std::min(G + 1, Oldest);
+  // Totals.Collections is bumped by accumulate() at the end, so the
+  // in-flight collection — which events recorded mid-pause must name —
+  // is one past it.
+  S.CollectionIndex = H.Totals.Collections + 1;
   S.CollectedGeneration = G;
   S.TargetGeneration = T;
 
-  detachFromSpace(G);
-
-  // Record the sweep start of every context copies can land in:
-  // generations 0..T at every tenure age. Contexts of the collected
-  // generations were just detached (empty, cursor {0,0}); anything
-  // already in generation T (when T > G) is an older object covered by
-  // the remembered sets, so its sweep starts at the current frontier.
-  for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
-    for (unsigned Gen = 0; Gen <= T; ++Gen)
-      for (unsigned Age = 0; Age != H.Cfg.TenureCopies; ++Age) {
-        SpaceContext &Ctx = H.Contexts[Sp][Gen][Age];
-        if (Ctx.runs().empty()) {
-          Cursors[Sp][Gen][Age] = SweepCursor{0, 0};
-        } else {
-          size_t Last = Ctx.runs().size() - 1;
-          Cursors[Sp][Gen][Age] =
-              SweepCursor{Last, Ctx.usedWordsOf(H.Segments, Last)};
-        }
-        if (Sp == static_cast<unsigned>(SpaceKind::WeakPair))
-          WeakScanStarts[Gen][Age] = Cursors[Sp][Gen][Age];
-      }
-
-  // Stale remembered entries of collected generations refer to
-  // from-space containers; their survivors are rescanned by the sweep.
-  for (unsigned I = 0; I <= G; ++I) {
-    H.Remembered[I].clear();
-    H.WeakRemembered[I].clear();
+  if (Tel.TraceEnabled) {
+    GcEvent E;
+    E.Type = GcEventType::CollectionBegin;
+    E.TimeNanos = StartNanos;
+    E.A = S.CollectionIndex;
+    E.Collection = static_cast<uint32_t>(S.CollectionIndex);
+    E.Generation = static_cast<uint8_t>(G);
+    Tel.emit(E);
   }
 
-  forwardRoots();
-  processRememberedSets(G);
-  kleeneSweep();
+  {
+    PhaseTimer PT(Tel, S, GcPhase::Setup, PhaseCursor);
+    detachFromSpace(G);
 
-  processGuardians(G);
+    // Record the sweep start of every context copies can land in:
+    // generations 0..T at every tenure age. Contexts of the collected
+    // generations were just detached (empty, cursor {0,0}); anything
+    // already in generation T (when T > G) is an older object covered by
+    // the remembered sets, so its sweep starts at the current frontier.
+    for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+      for (unsigned Gen = 0; Gen <= T; ++Gen)
+        for (unsigned Age = 0; Age != H.Cfg.TenureCopies; ++Age) {
+          SpaceContext &Ctx = H.Contexts[Sp][Gen][Age];
+          if (Ctx.runs().empty()) {
+            Cursors[Sp][Gen][Age] = SweepCursor{0, 0};
+          } else {
+            size_t Last = Ctx.runs().size() - 1;
+            Cursors[Sp][Gen][Age] =
+                SweepCursor{Last, Ctx.usedWordsOf(H.Segments, Last)};
+          }
+          if (Sp == static_cast<unsigned>(SpaceKind::WeakPair))
+            WeakScanStarts[Gen][Age] = Cursors[Sp][Gen][Age];
+        }
+
+    // Stale remembered entries of collected generations refer to
+    // from-space containers; their survivors are rescanned by the sweep.
+    for (unsigned I = 0; I <= G; ++I) {
+      H.Remembered[I].clear();
+      H.WeakRemembered[I].clear();
+    }
+  }
+
+  {
+    PhaseTimer PT(Tel, S, GcPhase::Roots, PhaseCursor);
+    forwardRoots();
+  }
+  {
+    PhaseTimer PT(Tel, S, GcPhase::RememberedSets, PhaseCursor);
+    processRememberedSets(G);
+  }
+  {
+    PhaseTimer PT(Tel, S, GcPhase::Copy, PhaseCursor);
+    kleeneSweep();
+  }
+  {
+    PhaseTimer PT(Tel, S, GcPhase::Guardians, PhaseCursor);
+    processGuardians(G);
+  }
 
   std::vector<uint32_t> ThunkQueue;
-  processFinalizeLists(G, ThunkQueue);
-
-  weakPairPass(G);
-  updateSymbolTable();
-  freeFromSpace();
+  {
+    PhaseTimer PT(Tel, S, GcPhase::Finalizers, PhaseCursor);
+    processFinalizeLists(G, ThunkQueue);
+  }
+  {
+    PhaseTimer PT(Tel, S, GcPhase::WeakPairs, PhaseCursor);
+    weakPairPass(G);
+  }
+  {
+    PhaseTimer PT(Tel, S, GcPhase::SymbolTable, PhaseCursor);
+    updateSymbolTable();
+  }
+  {
+    PhaseTimer PT(Tel, S, GcPhase::Reclaim, PhaseCursor);
+    freeFromSpace();
+  }
 
   H.BytesSinceGc = 0;
   H.GcPending = false;
   H.InGc = false;
 
-  S.DurationNanos = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - Start)
-          .count());
+  // The thunks are queued and counted now (so the totals see them) but
+  // run after the statistics are published.
+  S.FinalizerThunksRun = ThunkQueue.size();
+  S.DurationNanos = Tel.now() - StartNanos;
+
+  if (Tel.TraceEnabled) {
+    if (S.ObjectsPromoted != 0) {
+      GcEvent E;
+      E.Type = GcEventType::TenurePromotion;
+      E.TimeNanos = StartNanos + S.DurationNanos;
+      E.A = S.ObjectsPromoted;
+      E.B = S.BytesCopied;
+      E.Collection = static_cast<uint32_t>(S.CollectionIndex);
+      E.Generation = static_cast<uint8_t>(G);
+      Tel.emit(E);
+    }
+    GcEvent E;
+    E.Type = GcEventType::CollectionEnd;
+    E.TimeNanos = StartNanos + S.DurationNanos;
+    E.DurNanos = S.DurationNanos;
+    E.A = S.BytesCopied;
+    E.B = S.SegmentsFreed;
+    E.Collection = static_cast<uint32_t>(S.CollectionIndex);
+    E.Generation = static_cast<uint8_t>(G);
+    E.Detail = static_cast<uint16_t>(T);
+    Tel.emit(E);
+  }
+
   H.Totals.accumulate(S, Oldest);
-  S.CollectionIndex = H.Totals.Collections;
+  GENGC_ASSERT(S.CollectionIndex == H.Totals.Collections,
+               "collection index drifted from the totals");
   H.LastStats = S;
 
   // Dickey-style finalization thunks run "as part of the garbage
@@ -84,10 +152,8 @@ void Collector::run(unsigned G) {
   // allocation stays disabled while they run.
   if (!ThunkQueue.empty()) {
     H.NoAllocMode = true;
-    for (uint32_t Id : ThunkQueue) {
+    for (uint32_t Id : ThunkQueue)
       H.FinalizerThunks[Id]();
-      ++H.LastStats.FinalizerThunksRun;
-    }
     H.NoAllocMode = false;
   }
 }
@@ -102,10 +168,16 @@ void Collector::detachFromSpace(unsigned G) {
       for (unsigned Age = 0; Age != H.Cfg.TenureCopies; ++Age) {
         std::vector<SegmentRun> Runs =
             H.Contexts[Sp][I][Age].takeRuns(H.Segments);
-        for (const SegmentRun &R : Runs)
+        for (const SegmentRun &R : Runs) {
           for (uint32_t Seg = R.FirstSegment;
                Seg != R.FirstSegment + R.SegmentCount; ++Seg)
             H.Segments.infoAt(Seg).Flags |= SegmentInfo::FlagFromSpace;
+          // takeRuns sealed every run, so UsedWords is the occupied
+          // extent; the sum is the denominator of this collection's
+          // survival rate.
+          S.BytesInFromSpace +=
+              static_cast<uint64_t>(R.UsedWords) * sizeof(uintptr_t);
+        }
         FromRuns[Sp].insert(FromRuns[Sp].end(), Runs.begin(), Runs.end());
       }
     }
@@ -162,6 +234,7 @@ Value Collector::forward(Value V) {
 
   unsigned NewGen, NewAge;
   targetFor(Info.Generation, Info.Age, NewGen, NewAge);
+  const uint64_t Promoted = NewGen > Info.Generation ? 1 : 0;
 
   if (V.isPair()) {
     PairCell *Cell = V.pairCell();
@@ -176,6 +249,7 @@ Value Collector::forward(Value V) {
     Cell->Cdr = NewV.bits();
     ++S.ObjectsCopied;
     S.BytesCopied += 2 * sizeof(uintptr_t);
+    S.ObjectsPromoted += Promoted;
     return NewV;
   }
 
@@ -194,6 +268,7 @@ Value Collector::forward(Value V) {
   Header[1] = NewV.bits();
   ++S.ObjectsCopied;
   S.BytesCopied += AllocWords * sizeof(uintptr_t);
+  S.ObjectsPromoted += Promoted;
   return NewV;
 }
 
@@ -465,6 +540,16 @@ void Collector::processGuardians(unsigned G) {
     PendFinal.resize(Keep);
     if (FinalList.empty())
       break;
+    if (H.Telemetry.TraceEnabled) {
+      GcEvent Ev;
+      Ev.Type = GcEventType::GuardianResurrection;
+      Ev.TimeNanos = H.Telemetry.now();
+      Ev.A = FinalList.size();
+      Ev.Collection = static_cast<uint32_t>(S.CollectionIndex);
+      Ev.Generation = static_cast<uint8_t>(S.CollectedGeneration);
+      Ev.Detail = static_cast<uint16_t>(S.GuardianLoopIterations);
+      H.Telemetry.emit(Ev);
+    }
     for (const Entry &E : FinalList) {
       // Deliver the agent (== the object for plain registrations,
       // saving it from destruction; a distinct Section 5 agent lets the

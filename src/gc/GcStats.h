@@ -11,6 +11,12 @@
 /// e.g. ProtectedEntriesVisited must not grow with the number of
 /// registered objects parked in generations older than the one collected.
 ///
+/// Each collection is also broken down into phases (GcPhase): the
+/// per-phase wall-clock nanos in GcStats::Phases account for the whole
+/// pause, so DurationNanos minus Phases.totalNanos() is only the
+/// inter-phase bookkeeping (a handful of flag stores). The telemetry
+/// layer (gc/telemetry/) records the same phases as trace events.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENGC_GC_GCSTATS_H
@@ -20,6 +26,75 @@
 
 namespace gengc {
 
+/// The distinct phases of one collection, in execution order (the
+/// Section 4 phase structure; see Collector.h). Used to index
+/// GcStats::Phases and as the payload of PhaseSpan trace events.
+enum class GcPhase : uint8_t {
+  Setup = 0,      ///< From-space detach, sweep-cursor init, stale
+                  ///< remembered-set clearing.
+  Roots,          ///< Root-slot and root-vector forwarding.
+  RememberedSets, ///< Older generations' remembered-object scan.
+  Copy,           ///< The initial Cheney kleene-sweep to a fixpoint.
+  Guardians,      ///< Section 4 pend-hold/pend-final fixpoint loop
+                  ///< (including its interleaved kleene-sweeps).
+  Finalizers,     ///< register-for-finalization list triage.
+  WeakPairs,      ///< Weak-pair second pass (update or break cars).
+  SymbolTable,    ///< Weak symbol-table entry update/drop.
+  Reclaim,        ///< From-space poisoning and segment reclamation.
+};
+constexpr unsigned NumGcPhases = 9;
+
+/// Display name of a phase (stable identifiers; used by the trace
+/// exporter, the post-GC log line, and (gc-stats)).
+constexpr const char *gcPhaseName(GcPhase P) {
+  switch (P) {
+  case GcPhase::Setup:
+    return "setup";
+  case GcPhase::Roots:
+    return "roots";
+  case GcPhase::RememberedSets:
+    return "remembered-sets";
+  case GcPhase::Copy:
+    return "copy";
+  case GcPhase::Guardians:
+    return "guardians";
+  case GcPhase::Finalizers:
+    return "finalizers";
+  case GcPhase::WeakPairs:
+    return "weak-pairs";
+  case GcPhase::SymbolTable:
+    return "symbol-table";
+  case GcPhase::Reclaim:
+    return "reclaim";
+  }
+  return "unknown";
+}
+
+/// Wall-clock nanoseconds spent in each phase of one collection.
+struct GcPhaseBreakdown {
+  uint64_t Nanos[NumGcPhases] = {};
+
+  uint64_t &operator[](GcPhase P) {
+    return Nanos[static_cast<unsigned>(P)];
+  }
+  uint64_t operator[](GcPhase P) const {
+    return Nanos[static_cast<unsigned>(P)];
+  }
+
+  /// Sum over all phases; reconciles with GcStats::DurationNanos.
+  uint64_t totalNanos() const {
+    uint64_t Total = 0;
+    for (unsigned I = 0; I != NumGcPhases; ++I)
+      Total += Nanos[I];
+    return Total;
+  }
+
+  void accumulate(const GcPhaseBreakdown &Other) {
+    for (unsigned I = 0; I != NumGcPhases; ++I)
+      Nanos[I] += Other.Nanos[I];
+  }
+};
+
 struct GcStats {
   uint64_t CollectionIndex = 0;
   unsigned CollectedGeneration = 0; ///< The paper's g.
@@ -27,8 +102,16 @@ struct GcStats {
 
   uint64_t ObjectsCopied = 0;
   uint64_t BytesCopied = 0;
+  /// Survivors promoted into a generation older than the one they were
+  /// copied from (with TenureCopies == 1, every copy is a promotion).
+  uint64_t ObjectsPromoted = 0;
   uint64_t RootsScanned = 0;
   uint64_t RememberedObjectsScanned = 0;
+
+  /// Bytes occupied by the collected generations at the start of the
+  /// collection (the from-space extent). BytesCopied / BytesInFromSpace
+  /// is the collection's survival rate.
+  uint64_t BytesInFromSpace = 0;
 
   /// Guardian bookkeeping (Section 4 algorithm).
   uint64_t ProtectedEntriesVisited = 0; ///< Entries in protected[i], i<=g.
@@ -46,18 +129,36 @@ struct GcStats {
 
   uint64_t SegmentsFreed = 0;
   uint64_t DurationNanos = 0;
+
+  /// Where the pause went, phase by phase.
+  GcPhaseBreakdown Phases;
 };
 
-/// Running totals across all collections of a heap.
+/// Running totals across all collections of a heap. Every GcStats
+/// counter has a matching total here; accumulate() must be kept in sync
+/// when a counter is added (tests/gc/telemetry_test.cpp checks every
+/// field).
 struct GcTotals {
   uint64_t Collections = 0;
   uint64_t FullCollections = 0;
   uint64_t ObjectsCopied = 0;
   uint64_t BytesCopied = 0;
+  uint64_t ObjectsPromoted = 0;
+  uint64_t RootsScanned = 0;
+  uint64_t RememberedObjectsScanned = 0;
+  uint64_t BytesInFromSpace = 0;
   uint64_t ProtectedEntriesVisited = 0;
   uint64_t GuardianObjectsSaved = 0;
+  uint64_t ProtectedEntriesKept = 0;
+  uint64_t GuardianEntriesDropped = 0;
+  uint64_t GuardianLoopIterations = 0;
+  uint64_t WeakPairsExamined = 0;
   uint64_t WeakPointersBroken = 0;
+  uint64_t FinalizerThunksRun = 0;
+  uint64_t SymbolsDropped = 0;
+  uint64_t SegmentsFreed = 0;
   uint64_t DurationNanos = 0;
+  GcPhaseBreakdown Phases;
 
   void accumulate(const GcStats &S, unsigned OldestGeneration) {
     ++Collections;
@@ -65,10 +166,22 @@ struct GcTotals {
       ++FullCollections;
     ObjectsCopied += S.ObjectsCopied;
     BytesCopied += S.BytesCopied;
+    ObjectsPromoted += S.ObjectsPromoted;
+    RootsScanned += S.RootsScanned;
+    RememberedObjectsScanned += S.RememberedObjectsScanned;
+    BytesInFromSpace += S.BytesInFromSpace;
     ProtectedEntriesVisited += S.ProtectedEntriesVisited;
     GuardianObjectsSaved += S.GuardianObjectsSaved;
+    ProtectedEntriesKept += S.ProtectedEntriesKept;
+    GuardianEntriesDropped += S.GuardianEntriesDropped;
+    GuardianLoopIterations += S.GuardianLoopIterations;
+    WeakPairsExamined += S.WeakPairsExamined;
     WeakPointersBroken += S.WeakPointersBroken;
+    FinalizerThunksRun += S.FinalizerThunksRun;
+    SymbolsDropped += S.SymbolsDropped;
+    SegmentsFreed += S.SegmentsFreed;
     DurationNanos += S.DurationNanos;
+    Phases.accumulate(S.Phases);
   }
 };
 

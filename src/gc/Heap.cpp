@@ -14,6 +14,7 @@
 #include "gc/Collector.h"
 #include "gc/Roots.h"
 #include "gc/Tconc.h"
+#include "gc/telemetry/TraceExport.h"
 
 using namespace gengc;
 
@@ -45,9 +46,37 @@ Heap::Heap(HeapConfig Config) : Cfg(Config), Segments(Config.ArenaBytes) {
                "tenure copy count out of range");
   GENGC_ASSERT(Cfg.StressInterval >= 1, "stress interval must be >= 1");
   applyStressEnvironment(Cfg);
+  initTelemetry(Telemetry, Cfg);
+  if (Telemetry.TraceEnabled) {
+    // Segment traffic flows straight from the arena into the event
+    // ring; with tracing off the arena's observer slot stays null.
+    Segments.setSegmentObserver(
+        [](void *Ctx, bool IsAlloc, uint32_t First, uint32_t Count,
+           SpaceKind Space, uint8_t Generation) {
+          Heap *H = static_cast<Heap *>(Ctx);
+          GcEvent E;
+          E.Type = IsAlloc ? GcEventType::SegmentAlloc
+                           : GcEventType::SegmentFree;
+          E.TimeNanos = H->Telemetry.now();
+          E.A = First;
+          E.B = Count;
+          // During a collection the collector has not yet bumped
+          // Totals.Collections, so the in-flight index is Collections+1.
+          E.Collection = H->InGc
+                             ? static_cast<uint32_t>(H->Totals.Collections + 1)
+                             : 0;
+          E.Generation = Generation;
+          E.Detail = static_cast<uint16_t>(Space);
+          H->Telemetry.emit(E);
+        },
+        this);
+  }
 }
 
-Heap::~Heap() = default;
+Heap::~Heap() {
+  if (Telemetry.TraceEnabled && !Telemetry.TraceDumpPath.empty())
+    dumpChromeTraceToFile(Telemetry, Telemetry.TraceDumpPath);
+}
 
 //===----------------------------------------------------------------------===//
 // Allocation.
@@ -63,6 +92,7 @@ uintptr_t *Heap::allocateRaw(SpaceKind Space, size_t Words) {
                "collector cannot run, so allocating (a safepoint) here "
                "is a rooting-discipline violation");
   BytesSinceGc += Words * sizeof(uintptr_t);
+  TotalBytesAllocated += Words * sizeof(uintptr_t);
   if (BytesSinceGc >= Cfg.Gen0CollectBytes)
     GcPending = true;
   return Contexts[static_cast<unsigned>(Space)][0][0].allocate(
@@ -80,7 +110,7 @@ uintptr_t *Heap::allocateInGeneration(SpaceKind Space, unsigned Generation,
 
 void Heap::pollSafepoint() {
   if (InGc || !Cfg.AutoCollect || InSafepointCollection ||
-      NoGcScopeDepth != 0)
+      InPostGcHooks || NoGcScopeDepth != 0)
     return;
   // StressGC: force a full collection every StressInterval-th allocation
   // safepoint, invalidating any unrooted Value at the earliest possible
@@ -472,12 +502,24 @@ uint32_t Heap::registerForFinalization(Value Obj, FinalizerThunk Thunk) {
 
 void Heap::collect(unsigned MaxGeneration) {
   GENGC_ASSERT(!InGc, "re-entrant collection");
+  GENGC_ASSERT(!InPostGcHooks,
+               "collection requested from inside a post-GC hook: hooks "
+               "may allocate but must not collect (the statistics "
+               "snapshot they are reading would be clobbered)");
   GENGC_ASSERT(NoGcScopeDepth == 0,
                "explicit collection inside a NoGcScope");
   Collector C(*this);
   C.run(std::min(MaxGeneration, oldestGeneration()));
+  Telemetry.recordHistory(LastStats);
+  if (Telemetry.LogEnabled)
+    logCollectionLine(Telemetry, LastStats);
+  // Hooks run with automatic collection deferred (see addPostGcHook),
+  // so a hook that allocates can never recurse into collect() and the
+  // LastStats reference stays valid for the whole pass.
+  InPostGcHooks = true;
   for (auto &Hook : PostGcHooks)
     Hook(*this, LastStats);
+  InPostGcHooks = false;
 }
 
 void Heap::addRoot(Value *Slot) { RootSlots.push_back(Slot); }

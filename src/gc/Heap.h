@@ -36,6 +36,7 @@
 
 #include "gc/GcStats.h"
 #include "gc/HeapConfig.h"
+#include "gc/telemetry/Telemetry.h"
 #include "heap/Arena.h"
 #include "heap/SpaceContext.h"
 #include "object/Layout.h"
@@ -47,6 +48,7 @@ namespace gengc {
 class Collector;
 class NoGcScope;
 class RootVector;
+struct HeapCensus;
 
 /// Maximum supported generation count.
 constexpr unsigned MaxGenerations = 8;
@@ -195,7 +197,12 @@ public:
   }
 
   /// Hook invoked after every collection (automatic or explicit) with
-  /// that collection's statistics.
+  /// that collection's statistics, in registration order. Contract: a
+  /// hook may read the heap and may allocate (the statistics snapshot
+  /// it receives is the completed collection's), but automatic
+  /// collection is deferred while hooks run — a hook's allocations can
+  /// never trigger a nested collection — and a hook must not call
+  /// collect() itself.
   void addPostGcHook(std::function<void(Heap &, const GcStats &)> Hook) {
     PostGcHooks.push_back(std::move(Hook));
   }
@@ -203,6 +210,34 @@ public:
   const GcStats &lastStats() const { return LastStats; }
   const GcTotals &totals() const { return Totals; }
   uint64_t collectionCount() const { return Totals.Collections; }
+
+  //===------------------------------------------------------------------===//
+  // Observability (gc/telemetry/).
+  //===------------------------------------------------------------------===//
+
+  GcTelemetry &telemetry() { return Telemetry; }
+  const GcTelemetry &telemetry() const { return Telemetry; }
+
+  /// Toggles the one-line post-GC reporter at runtime (the Scheme
+  /// primitive (collect-notify bool)).
+  void setCollectNotify(bool On) { Telemetry.LogEnabled = On; }
+  bool collectNotify() const { return Telemetry.LogEnabled; }
+
+  /// Survival rate (bytes copied / bytes in from-space) of generation
+  /// \p Generation over the recorded history window; negative when no
+  /// collection of that generation is in the window.
+  double survivalRate(unsigned Generation) const {
+    return Telemetry.survivalRate(Generation);
+  }
+
+  /// Cumulative bytes the mutator has ever allocated (monotonic;
+  /// unaffected by collection, unlike liveBytes()).
+  uint64_t totalBytesAllocated() const { return TotalBytesAllocated; }
+
+  /// Walks the whole heap and returns per-(generation, space) occupancy
+  /// plus an object histogram (gc/telemetry/Census.h). Must be called
+  /// outside a collection; allocates nothing on the heap.
+  HeapCensus census() const;
 
   /// Live heap bytes (words in use across all contexts).
   size_t liveBytes() const;
@@ -325,8 +360,11 @@ private:
 
   GcStats LastStats;
   GcTotals Totals;
+  GcTelemetry Telemetry;
 
   size_t BytesSinceGc = 0;
+  /// Cumulative mutator allocation (totalBytesAllocated()).
+  uint64_t TotalBytesAllocated = 0;
   uint64_t AutomaticCollections = 0;
   /// Allocation safepoints seen since the last stress collection.
   unsigned SafepointsSinceStress = 0;
@@ -339,6 +377,10 @@ private:
   /// allocates would otherwise re-enter pollSafepoint and (under
   /// StressGC's per-allocation trigger) recurse without bound.
   bool InSafepointCollection = false;
+  /// Post-GC hooks may allocate; while they run, safepoints never start
+  /// a collection (which would clobber the LastStats snapshot the hooks
+  /// are reading) and explicit collect() calls assert.
+  bool InPostGcHooks = false;
 };
 
 } // namespace gengc

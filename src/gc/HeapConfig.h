@@ -105,6 +105,33 @@ struct HeapConfig {
   /// stress default; enabled automatically whenever StressGC is enabled
   /// through the environment.
   bool PoisonFromSpace = GENGC_STRESS_DEFAULT != 0;
+
+  //===------------------------------------------------------------------===//
+  // Observability (gc/telemetry/). Phase timing is always on; these
+  // knobs gate the optional reporters, whose disabled path is a single
+  // branch on a flag. The GENGC_GC_LOG and GENGC_GC_TRACE environment
+  // variables override the first two at Heap construction (see
+  // gc/telemetry/Telemetry.h).
+  //===------------------------------------------------------------------===//
+
+  /// One-line report to stderr after every collection (the moral
+  /// equivalent of Chez Scheme's collect-notify; also toggled at
+  /// runtime by (collect-notify bool) / Heap::setCollectNotify).
+  bool GcLog = false;
+
+  /// Record typed GC events (collections, phase spans, guardian
+  /// resurrections, promotions, segment traffic) into the telemetry
+  /// ring. GENGC_GC_TRACE=<path> additionally dumps the ring as a
+  /// Chrome trace_event JSON file when the heap is destroyed.
+  bool GcTrace = false;
+
+  /// Event-ring capacity when tracing is enabled; wrapping keeps the
+  /// newest events.
+  size_t TelemetryRingCapacity = 4096;
+
+  /// Per-collection statistics retained in the rolling history window
+  /// that feeds the per-generation survival-rate gauges.
+  size_t TelemetryHistoryDepth = 64;
 };
 
 } // namespace gengc

@@ -1,0 +1,137 @@
+//===- gc/telemetry/Census.h - On-demand heap census ----------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap::census() walks every live object (the same bump-order walk the
+/// verifier and the Cheney sweep use) and returns a HeapCensus: segment
+/// counts and occupancy per (generation, space), and an object histogram
+/// by census kind. The walk allocates nothing on the heap and must be
+/// taken outside a collection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_TELEMETRY_CENSUS_H
+#define GENGC_GC_TELEMETRY_CENSUS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gc/Heap.h"
+#include "heap/Arena.h"
+
+namespace gengc {
+
+/// Object classification for the census histogram: the pair spaces
+/// (which carry no headers) get their own entries ahead of the header
+/// ObjectKinds.
+enum class CensusKind : uint8_t {
+  Pair = 0,
+  WeakPair,
+  Vector,
+  String,
+  Symbol,
+  Box,
+  Flonum,
+  Bytevector,
+  Closure,
+  Primitive,
+  PortHandle,
+  Record,
+  Guardian,
+};
+constexpr unsigned NumCensusKinds = 13;
+
+constexpr const char *censusKindName(CensusKind K) {
+  switch (K) {
+  case CensusKind::Pair:
+    return "pair";
+  case CensusKind::WeakPair:
+    return "weak-pair";
+  case CensusKind::Vector:
+    return "vector";
+  case CensusKind::String:
+    return "string";
+  case CensusKind::Symbol:
+    return "symbol";
+  case CensusKind::Box:
+    return "box";
+  case CensusKind::Flonum:
+    return "flonum";
+  case CensusKind::Bytevector:
+    return "bytevector";
+  case CensusKind::Closure:
+    return "closure";
+  case CensusKind::Primitive:
+    return "primitive";
+  case CensusKind::PortHandle:
+    return "port-handle";
+  case CensusKind::Record:
+    return "record";
+  case CensusKind::Guardian:
+    return "guardian";
+  }
+  return "unknown";
+}
+
+/// A point-in-time snapshot of heap occupancy.
+struct HeapCensus {
+  /// One (generation, space) bucket.
+  struct Cell {
+    uint64_t SegmentCount = 0;
+    uint64_t UsedBytes = 0;
+    uint64_t ObjectCount = 0;
+  };
+
+  Cell Cells[MaxGenerations][NumSpaces];
+
+  /// Object histogram: counts and occupied bytes by census kind, over
+  /// the whole heap.
+  uint64_t KindCounts[NumCensusKinds] = {};
+  uint64_t KindBytes[NumCensusKinds] = {};
+
+  /// Generations the census actually covered (the heap's configured
+  /// count; rows past it are zero).
+  unsigned Generations = 0;
+
+  const Cell &cell(unsigned Generation, SpaceKind Space) const {
+    return Cells[Generation][static_cast<unsigned>(Space)];
+  }
+
+  uint64_t kindCount(CensusKind K) const {
+    return KindCounts[static_cast<unsigned>(K)];
+  }
+  uint64_t kindBytes(CensusKind K) const {
+    return KindBytes[static_cast<unsigned>(K)];
+  }
+
+  /// Totals over every (generation, space) bucket.
+  uint64_t totalSegments() const {
+    uint64_t N = 0;
+    for (unsigned G = 0; G != MaxGenerations; ++G)
+      for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+        N += Cells[G][Sp].SegmentCount;
+    return N;
+  }
+  uint64_t totalUsedBytes() const {
+    uint64_t N = 0;
+    for (unsigned G = 0; G != MaxGenerations; ++G)
+      for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+        N += Cells[G][Sp].UsedBytes;
+    return N;
+  }
+  uint64_t totalObjects() const {
+    uint64_t N = 0;
+    for (unsigned G = 0; G != MaxGenerations; ++G)
+      for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+        N += Cells[G][Sp].ObjectCount;
+    return N;
+  }
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_TELEMETRY_CENSUS_H

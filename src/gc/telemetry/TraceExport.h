@@ -1,0 +1,46 @@
+//===- gc/telemetry/TraceExport.h - Event exporters -----------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exporters over the telemetry event ring:
+///
+///  * writeChromeTrace — Chrome trace_event JSON ("JSON Object Format":
+///    a {"traceEvents": [...]} object of "X" complete spans and "i"
+///    instants), loadable in chrome://tracing and Perfetto. Collections
+///    and phases nest naturally on one track because phase spans lie
+///    inside their collection span.
+///  * writeEventLog — a compact one-event-per-line text log for
+///    grepping and diffing.
+///
+/// Both read only a snapshot of the ring; they never mutate heap state
+/// and may be called at any point outside a collection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_TELEMETRY_TRACEEXPORT_H
+#define GENGC_GC_TELEMETRY_TRACEEXPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "gc/telemetry/Telemetry.h"
+
+namespace gengc {
+
+/// Writes the ring's events as Chrome trace_event JSON.
+void writeChromeTrace(const GcTelemetry &T, std::ostream &OS);
+
+/// Writes the ring's events as a compact text log, one line per event.
+void writeEventLog(const GcTelemetry &T, std::ostream &OS);
+
+/// Writes the Chrome trace to \p Path; returns false (with a message on
+/// stderr) if the file cannot be opened.
+bool dumpChromeTraceToFile(const GcTelemetry &T, const std::string &Path);
+
+} // namespace gengc
+
+#endif // GENGC_GC_TELEMETRY_TRACEEXPORT_H

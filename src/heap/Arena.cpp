@@ -59,6 +59,9 @@ uint32_t Arena::allocateRun(uint32_t NumSegments, SpaceKind Space,
       Info.Flags = SegmentInfo::FlagInUse;
     }
     InUseCount += NumSegments;
+    if (Observer)
+      Observer(ObserverCtx, /*IsAlloc=*/true, First, NumSegments, Space,
+               Generation);
     return First;
   }
   GENGC_UNREACHABLE("heap exhausted: arena has no free run of the "
@@ -68,6 +71,13 @@ uint32_t Arena::allocateRun(uint32_t NumSegments, SpaceKind Space,
 void Arena::freeRun(uint32_t FirstSegment, uint32_t NumSegments) {
   GENGC_ASSERT(FirstSegment + NumSegments <= TotalSegments,
                "freeing segments outside the arena");
+  if (Observer) {
+    // Report before the entries are cleared so the observer still sees
+    // the run's space and generation tags.
+    const SegmentInfo &Info = Infos[FirstSegment];
+    Observer(ObserverCtx, /*IsAlloc=*/false, FirstSegment, NumSegments,
+             Info.Space, Info.Generation);
+  }
   for (uint32_t S = FirstSegment; S != FirstSegment + NumSegments; ++S) {
     SegmentInfo &Info = Infos[S];
     GENGC_ASSERT(Info.inUse(), "double free of segment");

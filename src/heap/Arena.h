@@ -78,6 +78,18 @@ public:
   Arena(const Arena &) = delete;
   Arena &operator=(const Arena &) = delete;
 
+  /// Observer invoked on every run allocation and free. Installed by the
+  /// heap's telemetry layer only when event tracing is enabled, so the
+  /// default path pays one null test per run operation (runs, not
+  /// objects: a run covers thousands of allocations).
+  using SegmentObserver = void (*)(void *Ctx, bool IsAlloc, uint32_t First,
+                                   uint32_t Count, SpaceKind Space,
+                                   uint8_t Generation);
+  void setSegmentObserver(SegmentObserver Fn, void *Ctx) {
+    Observer = Fn;
+    ObserverCtx = Ctx;
+  }
+
   /// Allocates a run of \p NumSegments contiguous segments, tagging each
   /// with \p Space and \p Generation. Returns the index of the first
   /// segment. Aborts if the arena is exhausted (the reservation is the
@@ -135,6 +147,8 @@ private:
   uintptr_t Base = 0;
   size_t TotalSegments = 0;
   size_t InUseCount = 0;
+  SegmentObserver Observer = nullptr;
+  void *ObserverCtx = nullptr;
   std::vector<SegmentInfo> Infos;
   /// Sorted by First; adjacent runs are merged on free.
   std::vector<FreeRun> FreeRuns;

@@ -148,6 +148,103 @@ void Interpreter::installPrimitives() {
     return Value::fixnum(I.heap().generationOf(A[0]));
   });
 
+  //===--- Observability (gc/telemetry/) -----------------------------------===//
+  // Bytes currently occupied by live objects (Chez's bytes-allocated).
+  Def("bytes-allocated", 0, 0, [](Interpreter &I, RootVector &) {
+    return Value::fixnum(static_cast<intptr_t>(I.heap().liveBytes()));
+  });
+  // (collect-notify) reads the post-GC reporter flag; (collect-notify b)
+  // sets it and returns the previous value.
+  Def("collect-notify", 0, 1, [](Interpreter &I, RootVector &A) {
+    bool Previous = I.heap().collectNotify();
+    if (A.size() == 1)
+      I.heap().setCollectNotify(A[0] != Value::falseV());
+    return Value::boolean(Previous);
+  });
+  // Association list of collector statistics: running totals, the last
+  // collection's counters and per-phase nanoseconds, per-generation
+  // occupancy, and survival rates over the recent history window.
+  Def("gc-stats", 0, 0, [](Interpreter &I, RootVector &) {
+    Heap &H = I.heap();
+    // Snapshot everything first: building the list below allocates, and
+    // under stress mode any allocation may run a collection that
+    // rewrites lastStats()/totals() mid-build.
+    const GcStats Last = H.lastStats();
+    const GcTotals Tot = H.totals();
+    const uint64_t LiveBytes = H.liveBytes();
+    const uint64_t TotalAllocated = H.totalBytesAllocated();
+    const uint64_t SegmentsInUse = H.segmentsInUse();
+    const unsigned Generations = H.config().Generations;
+    Heap::GenerationUsage Usage[MaxGenerations];
+    double Rates[MaxGenerations];
+    for (unsigned G = 0; G != Generations; ++G) {
+      Usage[G] = H.generationUsage(G);
+      Rates[G] = H.survivalRate(G);
+    }
+
+    RootVector Entries(H);
+    auto Fix = [](uint64_t N) {
+      return Value::fixnum(static_cast<intptr_t>(N));
+    };
+    auto Add = [&](const char *Name, Value V) {
+      Root RV(H, V);
+      Root Sym(H, H.intern(Name));
+      Entries.push_back(H.cons(Sym, RV));
+    };
+    Add("collections", Fix(Tot.Collections));
+    Add("full-collections", Fix(Tot.FullCollections));
+    Add("bytes-allocated", Fix(LiveBytes));
+    Add("total-bytes-allocated", Fix(TotalAllocated));
+    Add("segments-in-use", Fix(SegmentsInUse));
+    Add("total-objects-copied", Fix(Tot.ObjectsCopied));
+    Add("total-bytes-copied", Fix(Tot.BytesCopied));
+    Add("total-objects-promoted", Fix(Tot.ObjectsPromoted));
+    Add("total-guardian-objects-saved", Fix(Tot.GuardianObjectsSaved));
+    Add("total-weak-pointers-broken", Fix(Tot.WeakPointersBroken));
+    Add("total-finalizer-thunks-run", Fix(Tot.FinalizerThunksRun));
+    Add("total-gc-nanos", Fix(Tot.DurationNanos));
+    Add("last-generation", Fix(Last.CollectedGeneration));
+    Add("last-target-generation", Fix(Last.TargetGeneration));
+    Add("last-duration-nanos", Fix(Last.DurationNanos));
+    Add("last-objects-copied", Fix(Last.ObjectsCopied));
+    Add("last-bytes-copied", Fix(Last.BytesCopied));
+    Add("last-bytes-in-from-space", Fix(Last.BytesInFromSpace));
+    Add("last-segments-freed", Fix(Last.SegmentsFreed));
+
+    // ((setup . ns) (roots . ns) ...), in phase order.
+    {
+      Root Phases(H, Value::nil());
+      for (unsigned P = NumGcPhases; P != 0; --P) {
+        GcPhase Ph = static_cast<GcPhase>(P - 1);
+        Root Sym(H, H.intern(gcPhaseName(Ph)));
+        Root Pair(H, H.cons(Sym, Fix(Last.Phases[Ph])));
+        Phases = H.cons(Pair, Phases);
+      }
+      Add("last-phase-nanos", Phases);
+    }
+
+    // ((gen segments used-bytes survival-rate-or-#f) ...).
+    {
+      Root Gens(H, Value::nil());
+      for (unsigned G = Generations; G != 0; --G) {
+        const unsigned Gen = G - 1;
+        Root Rate(H, Rates[Gen] < 0 ? Value::falseV()
+                                    : H.makeFlonum(Rates[Gen]));
+        Root Row(H, H.cons(Rate, Value::nil()));
+        Row = H.cons(Fix(Usage[Gen].UsedBytes), Row);
+        Row = H.cons(Fix(Usage[Gen].SegmentCount), Row);
+        Row = H.cons(Value::fixnum(Gen), Row);
+        Gens = H.cons(Row, Gens);
+      }
+      Add("generations", Gens);
+    }
+
+    Root Result(H, Value::nil());
+    for (size_t J = Entries.size(); J != 0; --J)
+      Result = H.cons(Entries[J - 1], Result);
+    return Result.get();
+  });
+
   //===--- Equality ---------------------------------------------------------===//
   Def("eq?", 2, 2, [](Interpreter &, RootVector &A) {
     return Value::boolean(A[0] == A[1]);

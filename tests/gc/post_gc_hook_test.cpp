@@ -1,0 +1,110 @@
+//===- tests/gc/post_gc_hook_test.cpp - Post-GC hook contract ------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+// Heap::addPostGcHook's contract: hooks run after every collection in
+// registration order, see the completed collection's statistics (the
+// same snapshot lastStats() returns), and may allocate — automatic
+// collection is deferred while hooks run, so an allocating hook can
+// never recurse into the collector. Calling collect() from a hook is
+// an invariant violation and aborts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig testConfig() {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  return C;
+}
+
+TEST(PostGcHookTest, HooksRunInRegistrationOrder) {
+  Heap H(testConfig());
+  std::vector<int> Order;
+  H.addPostGcHook([&](Heap &, const GcStats &) { Order.push_back(1); });
+  H.addPostGcHook([&](Heap &, const GcStats &) { Order.push_back(2); });
+  H.addPostGcHook([&](Heap &, const GcStats &) { Order.push_back(3); });
+  H.collectMinor();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  H.collectMinor();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(PostGcHookTest, HookSeesCompletedStatsSnapshot) {
+  Heap H(testConfig());
+  Root L(H, Value::nil());
+  for (int I = 0; I != 500; ++I)
+    L = H.cons(Value::fixnum(I), L.get());
+
+  bool Ran = false;
+  H.addPostGcHook([&](Heap &Inner, const GcStats &S) {
+    Ran = true;
+    // The snapshot is the finished collection's: counters are final
+    // and it is the very object lastStats() returns.
+    EXPECT_EQ(&S, &Inner.lastStats());
+    EXPECT_EQ(S.CollectionIndex, Inner.totals().Collections);
+    EXPECT_EQ(S.CollectedGeneration, 0u);
+    EXPECT_EQ(S.TargetGeneration, 1u);
+    EXPECT_GT(S.ObjectsCopied, 0u);
+    EXPECT_GT(S.DurationNanos, 0u);
+    EXPECT_GT(S.Phases.totalNanos(), 0u);
+  });
+  H.collectMinor();
+  EXPECT_TRUE(Ran);
+}
+
+TEST(PostGcHookTest, AllocatingHookDoesNotRecurse) {
+  HeapConfig C = testConfig();
+  C.AutoCollect = true;
+  C.Gen0CollectBytes = 64 * 1024; // Tiny trigger.
+  Heap H(C);
+
+  int HookRuns = 0;
+  H.addPostGcHook([&](Heap &Inner, const GcStats &S) {
+    ++HookRuns;
+    const uint64_t IndexBefore = S.CollectionIndex;
+    // Allocate far past the automatic trigger: collection is deferred
+    // while hooks run, so this must not start a nested collection
+    // (which would clobber the S we are reading).
+    for (int I = 0; I != 8192; ++I)
+      Inner.cons(Value::fixnum(I), Value::nil());
+    EXPECT_EQ(S.CollectionIndex, IndexBefore);
+    EXPECT_EQ(Inner.totals().Collections, IndexBefore);
+  });
+
+  H.collectMinor();
+  EXPECT_EQ(HookRuns, 1);
+  EXPECT_EQ(H.totals().Collections, 1u);
+
+  // Deferral ends with the hook pass: the hook's allocations left
+  // generation 0 past its trigger, so mutator allocation fires the
+  // next automatic collection normally.
+  for (int I = 0; I != 4096 && H.totals().Collections == 1; ++I)
+    H.cons(Value::fixnum(I), Value::nil());
+  EXPECT_EQ(H.totals().Collections, 2u);
+  EXPECT_EQ(HookRuns, 2);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(PostGcHookDeathTest, CollectInsideHookAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Heap H(testConfig());
+  H.addPostGcHook(
+      [](Heap &Inner, const GcStats &) { Inner.collectMinor(); });
+  EXPECT_DEATH(H.collectMinor(), "post-GC hook");
+}
+#endif
+
+} // namespace
