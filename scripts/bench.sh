@@ -4,7 +4,16 @@
 #
 #   scripts/bench.sh                 # all benchmarks, Release build
 #   scripts/bench.sh bench_tconc     # a subset, by target name
+#   scripts/bench.sh --summarize     # no run: just (re)build the
+#                                    # BENCH_<date>.json summary from
+#                                    # whatever is in bench-results/
 #   BENCH_OUT=/tmp/run1 scripts/bench.sh
+#
+# Every invocation ends by aggregating the per-binary JSON files into a
+# single BENCH_<YYYY-MM-DD>.json at the repo root: one row per
+# benchmark with its timing plus any gc_* collector counters, and
+# fleet-wide pause percentiles. That file is the snapshot DESIGN.md's
+# experiment index points at; commit it when the numbers move.
 #
 # JSON output (--benchmark_format=json) is the machine-readable record
 # DESIGN.md's experiment index expects; pass the files to
@@ -23,6 +32,80 @@ cd "$(dirname "$0")/.."
 
 OUT="${BENCH_OUT:-bench-results}"
 DIR="${BENCH_BUILD:-build-bench}"
+
+summarize() {
+  python3 - "$OUT" <<'PYEOF'
+import glob, json, os, sys, datetime
+
+out_dir = sys.argv[1]
+rows, totals, pauses = [], {}, {"p50": [], "p99": [], "max": []}
+files_read, files_bad = 0, 0
+GC_KEYS = ("gc_collections", "gc_full_collections", "gc_bytes_copied",
+           "gc_objects_promoted", "gc_segments_freed", "gc_total_pause_ns")
+
+for path in sorted(glob.glob(os.path.join(out_dir, "*.json"))):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench.sh: skipping malformed {path}: {e}", file=sys.stderr)
+        files_bad += 1
+        continue
+    files_read += 1
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue  # mean/median/stddev rows duplicate the raw runs
+        row = {
+            "file": os.path.splitext(os.path.basename(path))[0],
+            "name": b.get("name"),
+            "real_time": b.get("real_time"),
+            "cpu_time": b.get("cpu_time"),
+            "time_unit": b.get("time_unit"),
+            "iterations": b.get("iterations"),
+        }
+        for key, val in b.items():
+            if key.startswith("gc_"):
+                row[key] = val
+                if key in GC_KEYS:
+                    totals[key] = totals.get(key, 0) + val
+        for pct in pauses:
+            key = f"gc_pause_{pct}_ns"
+            if key in b:
+                pauses[pct].append(b[key])
+        rows.append(row)
+
+summary = {
+    "date": datetime.date.today().isoformat(),
+    "source": out_dir,
+    "files": files_read,
+    "files_skipped": files_bad,
+    "gc_totals": totals,
+    # Fleet-wide view over every benchmark that attached a
+    # GcPauseRecorder: worst and median of the per-benchmark
+    # percentiles.
+    "pause_percentiles_ns": {
+        pct: {
+            "max": max(vals),
+            "median": sorted(vals)[len(vals) // 2],
+            "benchmarks": len(vals),
+        } if vals else None
+        for pct, vals in pauses.items()
+    },
+    "benchmarks": rows,
+}
+name = f"BENCH_{summary['date']}.json"
+with open(name, "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(f"==> {name}: {len(rows)} benchmarks from {files_read} files"
+      + (f" ({files_bad} skipped)" if files_bad else ""))
+PYEOF
+}
+
+if [ "${1:-}" = "--summarize" ]; then
+  summarize
+  exit 0
+fi
 
 cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$DIR" -j >/dev/null
@@ -47,3 +130,4 @@ for name in "${BENCHES[@]}"; do
 done
 
 echo "==> results in $OUT/"
+summarize

@@ -42,6 +42,12 @@ run_suite() {
     "$dir/examples/quickstart" >/dev/null
   python3 -m json.tool "$dir/smoke-trace.json" >/dev/null
   rm -f "$dir/smoke-trace.json"
+  # Differential fuzz smoke: the fixed-seed corpus cross-checks every
+  # collection against the shadow-model oracle (also runs inside CTest
+  # as gcfuzz.seed_corpus; repeated here so a failure prints the
+  # shrunk reproducer trace prominently at the end of the gate).
+  echo "==> [$name] gcfuzz smoke"
+  "$dir/tools/gcfuzz/gcfuzz" --seed-corpus --out "$dir"
 }
 
 # The rootcheck lint needs no build at all; fail fast on it.

@@ -250,6 +250,8 @@ Value Collector::forward(Value V) {
     ++S.ObjectsCopied;
     S.BytesCopied += 2 * sizeof(uintptr_t);
     S.ObjectsPromoted += Promoted;
+    if (H.ForwardWitness)
+      H.ForwardWitness(H.ForwardWitnessCtx, V.bits(), NewV.bits());
     return NewV;
   }
 
@@ -269,6 +271,8 @@ Value Collector::forward(Value V) {
   ++S.ObjectsCopied;
   S.BytesCopied += AllocWords * sizeof(uintptr_t);
   S.ObjectsPromoted += Promoted;
+  if (H.ForwardWitness)
+    H.ForwardWitness(H.ForwardWitnessCtx, V.bits(), NewV.bits());
   return NewV;
 }
 
@@ -527,6 +531,7 @@ void Collector::processGuardians(unsigned G) {
   // point to another guardian), hence the fixpoint loop; a tconc that
   // never becomes accessible means the guardian was dropped and the
   // entry is discarded, letting its objects be reclaimed.
+  bool FaultDroppedOne = false;
   while (true) {
     ++S.GuardianLoopIterations;
     std::vector<Entry> FinalList;
@@ -551,6 +556,14 @@ void Collector::processGuardians(unsigned G) {
       H.Telemetry.emit(Ev);
     }
     for (const Entry &E : FinalList) {
+      if (H.Cfg.InjectedFault == GcFaultInjection::DropFirstResurrection &&
+          !FaultDroppedOne) {
+        // Injected bug: silently lose one resurrection per collection.
+        // The agent is neither forwarded nor delivered, so an object the
+        // paper's algorithm would save is reclaimed instead.
+        FaultDroppedOne = true;
+        continue;
+      }
       // Deliver the agent (== the object for plain registrations,
       // saving it from destruction; a distinct Section 5 agent lets the
       // object itself be discarded).
@@ -689,7 +702,8 @@ void Collector::fixWeakCar(Value WeakPair) {
   // new address is placed in the car field. Otherwise, #f is placed in
   // the car field." Guardian-salvaged objects were forwarded before this
   // pass runs, so they are updated, not broken.
-  if (isForwarded(Car)) {
+  if (isForwarded(Car) &&
+      H.Cfg.InjectedFault != GcFaultInjection::BreakLiveWeakCar) {
     Cell->Car = forwardedAddress(Car).bits();
     Value NewCar = Value::fromBits(Cell->Car);
     // Track a young car (possible under tenure policies, or after this

@@ -282,6 +282,25 @@ public:
   /// any allocation or collection trips a GENGC_ASSERT.
   unsigned noGcScopeDepth() const { return NoGcScopeDepth; }
 
+  //===------------------------------------------------------------------===//
+  // Fuzzing hooks (src/testing/, tools/gcfuzz/).
+  //===------------------------------------------------------------------===//
+
+  /// Forwarding witness: invoked by the collector for every object it
+  /// copies, with the value bits before and after the copy. This gives
+  /// the model-differential fuzzer stable object identity across moving
+  /// collections without rooting anything (rooting would change the
+  /// liveness being tested). Within one collection old addresses cannot
+  /// alias new ones (from-space is only reclaimed at the end), so the
+  /// (Old -> New) pairs of a cycle form a map. The callback runs inside
+  /// the collector: it must not touch the heap.
+  using ForwardWitnessFn = void (*)(void *Ctx, uintptr_t OldBits,
+                                    uintptr_t NewBits);
+  void setForwardWitness(ForwardWitnessFn Fn, void *Ctx) {
+    ForwardWitness = Fn;
+    ForwardWitnessCtx = Ctx;
+  }
+
 private:
   friend class Collector;
   friend class NoGcScope;
@@ -357,6 +376,9 @@ private:
 
   std::function<void(Heap &)> CollectRequestHandler;
   std::vector<std::function<void(Heap &, const GcStats &)>> PostGcHooks;
+
+  ForwardWitnessFn ForwardWitness = nullptr;
+  void *ForwardWitnessCtx = nullptr;
 
   GcStats LastStats;
   GcTotals Totals;

@@ -39,6 +39,23 @@ namespace gengc {
 /// the next collection happened to leave behind.
 constexpr uintptr_t FromSpacePoisonPattern = 0xDEADBEEFDEADBEEFull;
 
+/// Test-only fault injection (HeapConfig::InjectedFault), used by the
+/// model-differential fuzzer (src/testing/, tools/gcfuzz/) to prove the
+/// oracle actually catches collector bugs. Both faults are memory-safe
+/// by construction — they corrupt the *semantics* (liveness and
+/// weak-pointer answers), never the heap structure — so the fuzzer
+/// reports a clean divergence instead of crashing.
+enum class GcFaultInjection : uint8_t {
+  None = 0,
+  /// processGuardians silently drops the first resurrection of every
+  /// collection: the guarded object is neither forwarded nor
+  /// delivered, so a model-live object is reclaimed.
+  DropFirstResurrection,
+  /// fixWeakCar breaks weak cars whose target was copied (i.e. is
+  /// live), inverting the paper's update-vs-break rule.
+  BreakLiveWeakCar,
+};
+
 struct HeapConfig {
   /// Virtual address space reserved for the heap; also the hard heap
   /// size limit. Committed lazily.
@@ -98,6 +115,10 @@ struct HeapConfig {
   /// Collect on every Nth allocation safepoint under StressGC. 1 (the
   /// default) collects on every allocation.
   unsigned StressInterval = 1;
+
+  /// Deliberate collector bug for fuzzer validation (see GcFaultInjection
+  /// above). Always None outside tools/gcfuzz and the fuzz tests.
+  GcFaultInjection InjectedFault = GcFaultInjection::None;
 
   /// Fill evacuated from-space segments with FromSpacePoisonPattern at
   /// the end of every collection. Any surviving stale pointer then reads

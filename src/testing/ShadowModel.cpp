@@ -1,0 +1,474 @@
+//===- testing/ShadowModel.cpp - Non-moving reachability oracle ----------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/ShadowModel.h"
+
+#include <algorithm>
+
+#include "support/Assert.h"
+
+using namespace gengc;
+using namespace gengc::gcfuzz;
+
+//===----------------------------------------------------------------------===//
+// Allocation mirror.
+//===----------------------------------------------------------------------===//
+
+ObjId ShadowModel::newObject(SKind Kind) {
+  SObj O;
+  O.Kind = Kind;
+  Objects.push_back(std::move(O));
+  return static_cast<ObjId>(Objects.size() - 1);
+}
+
+ObjId ShadowModel::cons(SVal Car, SVal Cdr) {
+  ObjId Id = newObject(SKind::Pair);
+  Objects[Id].Fields = {Car, Cdr};
+  return Id;
+}
+
+ObjId ShadowModel::weakCons(SVal Car, SVal Cdr) {
+  ObjId Id = newObject(SKind::WeakPair);
+  Objects[Id].Fields = {Car, Cdr};
+  return Id;
+}
+
+ObjId ShadowModel::makeVector(uint32_t Length, SVal Fill) {
+  ObjId Id = newObject(SKind::Vector);
+  Objects[Id].Length = Length;
+  Objects[Id].Fields.assign(Length, Fill);
+  return Id;
+}
+
+ObjId ShadowModel::makeString(const std::string &Data) {
+  ObjId Id = newObject(SKind::String);
+  Objects[Id].Length = static_cast<uint32_t>(Data.size());
+  Objects[Id].Data = Data;
+  return Id;
+}
+
+ObjId ShadowModel::makeBytevector(uint32_t Length) {
+  ObjId Id = newObject(SKind::Bytevector);
+  Objects[Id].Length = Length;
+  return Id;
+}
+
+ObjId ShadowModel::makeFlonum(uint64_t FloBits) {
+  ObjId Id = newObject(SKind::Flonum);
+  Objects[Id].FloBits = FloBits;
+  return Id;
+}
+
+ObjId ShadowModel::makeBox(SVal V) {
+  ObjId Id = newObject(SKind::Box);
+  Objects[Id].Fields = {V};
+  return Id;
+}
+
+ObjId ShadowModel::makeRecord(SVal Tag, uint32_t FieldCount, SVal Fill) {
+  GENGC_ASSERT(FieldCount >= 1, "records have at least a tag slot");
+  ObjId Id = newObject(SKind::Record);
+  Objects[Id].Length = FieldCount;
+  Objects[Id].Fields.assign(FieldCount, Fill);
+  Objects[Id].Fields[0] = Tag;
+  return Id;
+}
+
+SVal ShadowModel::intern(const std::string &Name) {
+  auto It = Symbols.find(Name);
+  if (It != Symbols.end())
+    return SVal::object(It->second);
+  // Mirrors Heap::intern: fresh string first, then the symbol whose
+  // SymName field references it; SymHash is fixnum 0, SymPlist is '().
+  ObjId Str = makeString(Name);
+  ObjId Sym = newObject(SKind::Symbol);
+  Objects[Sym].Fields = {SVal::object(Str),
+                         SVal::immediate(Value::fixnum(0)),
+                         SVal::immediate(Value::nil())};
+  Symbols.emplace(Name, Sym);
+  return SVal::object(Sym);
+}
+
+ObjId ShadowModel::makeGuardianTconc() {
+  ObjId Z = cons(SVal::immediate(Value::falseV()),
+                 SVal::immediate(Value::nil()));
+  Objects[Z].TconcPart = true;
+  ObjId Header = cons(SVal::object(Z), SVal::object(Z));
+  Objects[Header].TconcPart = true;
+  Objects[Header].TconcHeader = true;
+  return Header;
+}
+
+void ShadowModel::setField(ObjId Obj, uint32_t Index, SVal V) {
+  GENGC_ASSERT(Index < Objects[Obj].Fields.size(),
+               "shadow field index out of range");
+  Objects[Obj].Fields[Index] = V;
+}
+
+//===----------------------------------------------------------------------===//
+// Guardians (mutator side).
+//===----------------------------------------------------------------------===//
+
+void ShadowModel::guardianProtect(ObjId Tconc, SVal Obj, SVal Agent) {
+  Protected[0].push_back({Obj, SVal::object(Tconc), Agent});
+}
+
+SVal ShadowModel::guardianRetrieve(ObjId Tconc) {
+  SObj &Header = Objects[Tconc];
+  if (Header.Fields[0] == Header.Fields[1])
+    return SVal::immediate(Value::falseV());
+  // Figure 4: Y = car(car(T)); car(T) = cdr(car(T)); clear the cell.
+  ObjId X = Header.Fields[0].Id;
+  SVal Y = Objects[X].Fields[0];
+  Header.Fields[0] = Objects[X].Fields[1];
+  Objects[X].Fields[0] = SVal::immediate(Value::falseV());
+  Objects[X].Fields[1] = SVal::immediate(Value::falseV());
+  return Y;
+}
+
+bool ShadowModel::guardianHasPending(ObjId Tconc) const {
+  const SObj &Header = Objects[Tconc];
+  return Header.Fields[0] != Header.Fields[1];
+}
+
+//===----------------------------------------------------------------------===//
+// Collection.
+//===----------------------------------------------------------------------===//
+
+size_t ShadowModel::allocWords(const SObj &O) {
+  switch (O.Kind) {
+  case SKind::Pair:
+  case SKind::WeakPair:
+    return 2;
+  case SKind::Vector:
+  case SKind::Record:
+    return std::max<size_t>(2, 1 + O.Length);
+  case SKind::String:
+  case SKind::Bytevector:
+    return std::max<size_t>(
+        2, 1 + (O.Length + sizeof(uintptr_t) - 1) / sizeof(uintptr_t));
+  case SKind::Symbol:
+    return 4;
+  case SKind::Box:
+  case SKind::Flonum:
+    return 2;
+  }
+  GENGC_UNREACHABLE("bad shadow kind in allocWords");
+}
+
+namespace {
+
+/// Mirrors Collector::targetFor.
+void modelTargetFor(unsigned Gen, unsigned Age, unsigned T,
+                    unsigned TenureCopies, unsigned &NewGen,
+                    unsigned &NewAge) {
+  if (Age + 1 >= TenureCopies) {
+    NewGen = T;
+    NewAge = 0;
+  } else {
+    NewGen = Gen;
+    NewAge = Age + 1;
+  }
+}
+
+} // namespace
+
+ShadowModel::CollectOutcome
+ShadowModel::collect(unsigned RequestedGeneration) {
+  CollectOutcome Out;
+  const unsigned Oldest = Generations - 1;
+  const unsigned G = std::min(RequestedGeneration, Oldest);
+  const unsigned T = std::min(G + 1, Oldest);
+  Out.Collected = G;
+  Out.Target = T;
+  const size_t PreCount = Objects.size();
+  Out.PreCount = PreCount;
+  Out.Copied.assign(PreCount, 0);
+  ModelGcStats &St = Out.Stats;
+
+  for (size_t Id = 0; Id != PreCount; ++Id) {
+    const SObj &O = Objects[Id];
+    if (O.Alive && O.Gen <= G)
+      St.BytesInFromSpace += allocWords(O) * sizeof(uintptr_t);
+  }
+
+  // "Copied" is the model's F set: live objects in collected
+  // generations. Ids born during the collection (guardian tconc cells
+  // appended below) count as trivially live; old-generation objects are
+  // never from-space.
+  std::vector<ObjId> Work;
+  auto isFwd = [&](const SVal &V) {
+    if (!V.IsId)
+      return true;
+    if (V.Id >= PreCount)
+      return true;
+    return Objects[V.Id].Gen > G || Out.Copied[V.Id] != 0;
+  };
+  auto forwardObj = [&](ObjId Id) {
+    if (Id >= PreCount)
+      return;
+    SObj &O = Objects[Id];
+    GENGC_ASSERT(O.Alive, "model traversal reached a reclaimed object");
+    if (O.Gen > G || Out.Copied[Id])
+      return;
+    Out.Copied[Id] = 1;
+    ++St.ObjectsCopied;
+    St.BytesCopied += allocWords(O) * sizeof(uintptr_t);
+    Work.push_back(Id);
+  };
+  auto forwardVal = [&](const SVal &V) {
+    if (V.IsId)
+      forwardObj(V.Id);
+  };
+  // Traverses the strong edges of one object (a weak pair's car is not
+  // an edge).
+  auto scanObj = [&](const SObj &O) {
+    if (O.Kind == SKind::WeakPair) {
+      forwardVal(O.Fields[1]);
+      return;
+    }
+    for (const SVal &F : O.Fields)
+      forwardVal(F);
+  };
+  // Cheney closure over everything discovered so far.
+  auto sweep = [&]() {
+    while (!Work.empty()) {
+      ObjId Id = Work.back();
+      Work.pop_back();
+      scanObj(Objects[Id]);
+    }
+  };
+
+  // Roots: the runner's root stack and per-op scratch operands, the
+  // symbol table when it is strong, and — the generational contract —
+  // every live object of an uncollected generation, whether or not it
+  // is itself reachable. That last clause models the remembered sets'
+  // conservatism exactly: old floating garbage retains its young
+  // children.
+  for (const SVal &V : RootStack)
+    forwardVal(V);
+  for (const SVal &V : Scratch)
+    forwardVal(V);
+  if (!WeakSymbolTable)
+    for (const auto &KV : Symbols)
+      forwardObj(KV.second);
+  for (size_t Id = 0; Id != PreCount; ++Id) {
+    const SObj &O = Objects[Id];
+    if (O.Alive && O.Gen > G)
+      scanObj(O);
+  }
+  sweep();
+
+  // Guardians: the Section 4 algorithm, in the collector's exact
+  // order. First block — classify entries of protected[0..G];
+  // distinct Section 5 agents are forwarded inline during
+  // classification (without closure until the block completes).
+  std::vector<SEntry> PendHold, PendFinal;
+  bool ForwardedAnAgent = false;
+  for (unsigned I = 0; I <= G; ++I) {
+    for (const SEntry &E : Protected[I]) {
+      ++St.ProtectedEntriesVisited;
+      if (isFwd(E.Obj)) {
+        if (E.Agent != E.Obj) {
+          forwardVal(E.Agent);
+          ForwardedAnAgent = true;
+        }
+        PendHold.push_back(E);
+      } else {
+        PendFinal.push_back(E);
+      }
+    }
+    Protected[I].clear();
+  }
+  if (ForwardedAnAgent)
+    sweep();
+
+  // Second block — salvage fixpoint. Each round delivers every entry
+  // whose tconc is accessible, appending the agent to the tconc via a
+  // fresh pair born directly in the target generation, then closes
+  // reachability (a delivered object can make more tconcs accessible).
+  while (true) {
+    ++St.GuardianLoopIterations;
+    std::vector<SEntry> FinalList;
+    size_t Keep = 0;
+    for (const SEntry &E : PendFinal) {
+      if (isFwd(E.Tconc))
+        FinalList.push_back(E);
+      else
+        PendFinal[Keep++] = E;
+    }
+    PendFinal.resize(Keep);
+    if (FinalList.empty())
+      break;
+    for (const SEntry &E : FinalList) {
+      forwardVal(E.Agent);
+      // Collector::appendToTconc: fresh (#f . #f) cell in (target
+      // generation, age 0); fill the old last cell; publish.
+      ObjId NewCell = cons(SVal::immediate(Value::falseV()),
+                           SVal::immediate(Value::falseV()));
+      Objects[NewCell].Gen = static_cast<uint8_t>(T);
+      Objects[NewCell].TconcPart = true;
+      SObj &Header = Objects[E.Tconc.Id];
+      ObjId OldLast = Header.Fields[1].Id;
+      Objects[OldLast].Fields[0] = E.Agent;
+      Objects[OldLast].Fields[1] = SVal::object(NewCell);
+      Objects[E.Tconc.Id].Fields[1] = SVal::object(NewCell);
+      ++St.GuardianObjectsSaved;
+    }
+    sweep();
+  }
+  St.GuardianEntriesDropped += PendFinal.size();
+
+  // Third block — re-park surviving registrations on the protected
+  // list of the youngest post-collection generation among the entry's
+  // heap participants; a dead guardian drops the registration.
+  auto postGen = [&](ObjId Id) -> unsigned {
+    const SObj &O = Objects[Id];
+    if (Id >= PreCount || O.Gen > G)
+      return O.Gen;
+    GENGC_ASSERT(Out.Copied[Id], "post-generation of a reclaimed object");
+    unsigned NG, NA;
+    modelTargetFor(O.Gen, O.Age, T, TenureCopies, NG, NA);
+    return NG;
+  };
+  for (const SEntry &E : PendHold) {
+    if (isFwd(E.Tconc)) {
+      unsigned Index = Oldest;
+      for (const SVal *V : {&E.Obj, &E.Tconc, &E.Agent})
+        if (V->IsId)
+          Index = std::min(Index, postGen(V->Id));
+      Protected[Index].push_back(E);
+      ++St.ProtectedEntriesKept;
+    } else {
+      ++St.GuardianEntriesDropped;
+    }
+  }
+
+  // Weak-pair pass: every surviving weak pair whose car points at a
+  // collected-generation object that was not copied gets its car broken
+  // to #f. (The real collector visits copied weak pairs by sweeping
+  // to-space and older ones via the weak remembered sets; if those sets
+  // ever miss a pair, the walk or verifyHeap diverges — that is a bug
+  // this model exists to catch, not to imitate.)
+  for (size_t Id = 0; Id != PreCount; ++Id) {
+    SObj &O = Objects[Id];
+    if (!O.Alive || O.Kind != SKind::WeakPair)
+      continue;
+    if (O.Gen <= G && !Out.Copied[Id])
+      continue; // The pair itself is dying.
+    SVal &Car = O.Fields[0];
+    if (!Car.IsId || Car.Id >= PreCount)
+      continue;
+    const SObj &Target = Objects[Car.Id];
+    if (Target.Gen <= G && !Out.Copied[Car.Id]) {
+      Car = SVal::immediate(Value::falseV());
+      ++St.WeakPointersBroken;
+    }
+  }
+
+  // Weak symbol table: entries whose symbol died are dropped
+  // (Friedman-Wise).
+  if (WeakSymbolTable) {
+    for (auto It = Symbols.begin(); It != Symbols.end();) {
+      ObjId Id = It->second;
+      if (Id < PreCount && Objects[Id].Gen <= G && !Out.Copied[Id]) {
+        It = Symbols.erase(It);
+        ++St.SymbolsDropped;
+      } else {
+        ++It;
+      }
+    }
+  }
+
+  // Reclaim / promote.
+  for (size_t Id = 0; Id != PreCount; ++Id) {
+    SObj &O = Objects[Id];
+    if (!O.Alive || O.Gen > G)
+      continue;
+    if (Out.Copied[Id]) {
+      unsigned NG, NA;
+      modelTargetFor(O.Gen, O.Age, T, TenureCopies, NG, NA);
+      if (NG > O.Gen)
+        ++St.ObjectsPromoted;
+      O.Gen = static_cast<uint8_t>(NG);
+      O.Age = static_cast<uint8_t>(NA);
+    } else {
+      O.Alive = false;
+      O.Fields.clear();
+      O.Data.clear();
+    }
+  }
+
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Census prediction.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SpaceKind spaceOfKind(SKind K) {
+  switch (K) {
+  case SKind::Pair:
+    return SpaceKind::Pair;
+  case SKind::WeakPair:
+    return SpaceKind::WeakPair;
+  case SKind::Vector:
+  case SKind::Symbol:
+  case SKind::Box:
+  case SKind::Record:
+    return SpaceKind::Typed;
+  case SKind::String:
+  case SKind::Flonum:
+  case SKind::Bytevector:
+    return SpaceKind::Data;
+  }
+  GENGC_UNREACHABLE("bad shadow kind in spaceOf");
+}
+
+CensusKind censusKindOf(SKind K) {
+  switch (K) {
+  case SKind::Pair:
+    return CensusKind::Pair;
+  case SKind::WeakPair:
+    return CensusKind::WeakPair;
+  case SKind::Vector:
+    return CensusKind::Vector;
+  case SKind::String:
+    return CensusKind::String;
+  case SKind::Symbol:
+    return CensusKind::Symbol;
+  case SKind::Box:
+    return CensusKind::Box;
+  case SKind::Flonum:
+    return CensusKind::Flonum;
+  case SKind::Bytevector:
+    return CensusKind::Bytevector;
+  case SKind::Record:
+    return CensusKind::Record;
+  }
+  GENGC_UNREACHABLE("bad shadow kind in censusKindOf");
+}
+
+} // namespace
+
+ModelCensus ShadowModel::censusExpect() const {
+  ModelCensus C;
+  for (const SObj &O : Objects) {
+    if (!O.Alive)
+      continue;
+    const unsigned Sp = static_cast<unsigned>(spaceOfKind(O.Kind));
+    const unsigned K = static_cast<unsigned>(censusKindOf(O.Kind));
+    const uint64_t Bytes = allocWords(O) * sizeof(uintptr_t);
+    C.ObjectCount[O.Gen][Sp] += 1;
+    C.UsedBytes[O.Gen][Sp] += Bytes;
+    C.KindCounts[K] += 1;
+    C.KindBytes[K] += Bytes;
+  }
+  return C;
+}

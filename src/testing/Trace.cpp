@@ -1,0 +1,157 @@
+//===- testing/Trace.cpp - Random mutator traces --------------------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "support/XorShift.h"
+
+using namespace gengc;
+using namespace gengc::gcfuzz;
+
+namespace {
+
+struct OpInfo {
+  Op Code;
+  const char *Name;
+  unsigned Weight;
+};
+
+// Weights shape the mix toward the interactions the paper cares about:
+// plenty of pairs and mutation (remembered-set traffic), a steady
+// trickle of guardians and weak pairs, and enough drops/collections
+// that objects actually die while registered.
+const OpInfo OpTable[NumOps] = {
+    {Op::Cons, "cons", 12},
+    {Op::WeakCons, "weak-cons", 8},
+    {Op::MakeVector, "make-vector", 5},
+    {Op::MakeLargeVector, "make-large-vector", 1},
+    {Op::MakeString, "make-string", 3},
+    {Op::MakeBytevector, "make-bytevector", 2},
+    {Op::MakeFlonum, "make-flonum", 2},
+    {Op::MakeBox, "make-box", 3},
+    {Op::MakeRecord, "make-record", 3},
+    {Op::Intern, "intern", 4},
+    {Op::SetCar, "set-car!", 6},
+    {Op::SetCdr, "set-cdr!", 5},
+    {Op::VectorSet, "vector-set!", 4},
+    {Op::BoxSet, "box-set!", 2},
+    {Op::RecordSet, "record-set!", 2},
+    {Op::RootPush, "root-push", 4},
+    {Op::RootPop, "root-pop", 3},
+    {Op::DropSlot, "drop-slot", 7},
+    {Op::DupSlot, "dup-slot", 3},
+    {Op::GuardianNew, "guardian-new", 3},
+    {Op::Guard, "guard", 6},
+    {Op::GuardWithAgent, "guard-with-agent", 3},
+    {Op::Retrieve, "retrieve", 5},
+    {Op::Drain, "drain", 2},
+    {Op::Collect, "collect", 4},
+};
+
+unsigned totalWeight() {
+  unsigned W = 0;
+  for (const OpInfo &I : OpTable)
+    W += I.Weight;
+  return W;
+}
+
+} // namespace
+
+const char *gengc::gcfuzz::opName(Op O) {
+  for (const OpInfo &I : OpTable)
+    if (I.Code == O)
+      return I.Name;
+  return "unknown";
+}
+
+bool gengc::gcfuzz::opFromName(const std::string &Name, Op &O) {
+  for (const OpInfo &I : OpTable)
+    if (Name == I.Name) {
+      O = I.Code;
+      return true;
+    }
+  return false;
+}
+
+Trace gengc::gcfuzz::generateTrace(uint64_t Seed, size_t OpCount) {
+  Trace T;
+  T.Seed = Seed;
+  T.Ops.reserve(OpCount);
+  XorShift Rng(Seed);
+  const unsigned Total = totalWeight();
+  for (size_t I = 0; I != OpCount; ++I) {
+    uint64_t Pick = Rng.nextBelow(Total);
+    const OpInfo *Chosen = &OpTable[0];
+    for (const OpInfo &Info : OpTable) {
+      if (Pick < Info.Weight) {
+        Chosen = &Info;
+        break;
+      }
+      Pick -= Info.Weight;
+    }
+    TraceOp OpRec;
+    OpRec.Code = static_cast<uint8_t>(Chosen->Code);
+    OpRec.A = static_cast<uint32_t>(Rng.next());
+    OpRec.B = static_cast<uint32_t>(Rng.next());
+    OpRec.C = static_cast<uint32_t>(Rng.next());
+    T.Ops.push_back(OpRec);
+  }
+  return T;
+}
+
+std::string gengc::gcfuzz::serializeTrace(const Trace &T) {
+  std::ostringstream OS;
+  OS << "gcfuzz-trace v1\n";
+  OS << "seed " << T.Seed << "\n";
+  for (const TraceOp &O : T.Ops)
+    OS << opName(static_cast<Op>(O.Code)) << " " << O.A << " " << O.B
+       << " " << O.C << "\n";
+  return OS.str();
+}
+
+bool gengc::gcfuzz::deserializeTrace(const std::string &Text, Trace &T,
+                                     std::string &Error) {
+  std::istringstream IS(Text);
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != "gcfuzz-trace v1") {
+    Error = "missing 'gcfuzz-trace v1' header";
+    return false;
+  }
+  T = Trace();
+  size_t LineNo = 1;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    std::string Head;
+    LS >> Head;
+    if (Head == "seed") {
+      LS >> T.Seed;
+      continue;
+    }
+    Op Code;
+    if (!opFromName(Head, Code)) {
+      Error = "line " + std::to_string(LineNo) + ": unknown op '" +
+              Head + "'";
+      return false;
+    }
+    TraceOp O;
+    O.Code = static_cast<uint8_t>(Code);
+    if (!(LS >> O.A >> O.B >> O.C)) {
+      Error = "line " + std::to_string(LineNo) +
+              ": expected three operands";
+      return false;
+    }
+    T.Ops.push_back(O);
+  }
+  return true;
+}

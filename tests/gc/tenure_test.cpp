@@ -146,6 +146,65 @@ TEST(TenureTest, WeakPairsUnderTenure) {
   H.verifyHeap();
 }
 
+// --- Multi-segment large-object runs under tenure --------------------
+//
+// A ~2000-slot vector occupies a run of several contiguous 4KiB
+// segments. Runs must move through the same age/tenure schedule as
+// small objects, survive copies intact, and be salvageable whole by a
+// guardian.
+
+TEST(TenureTest, LargeObjectRunCrossesGenerations) {
+  Heap H(tenureConfig(2));
+  constexpr size_t N = 2000; // > 3 segments of payload.
+  Root V(H, H.makeVector(N, Value::falseV()));
+  for (size_t I = 0; I != N; ++I)
+    H.vectorSet(V.get(), I, Value::fixnum(static_cast<intptr_t>(I)));
+  EXPECT_EQ(H.generationOf(V.get()), 0u);
+  H.collectMinor();
+  EXPECT_EQ(H.generationOf(V.get()), 0u)
+      << "the tenure delay applies to multi-segment runs too";
+  H.collectMinor();
+  EXPECT_EQ(H.generationOf(V.get()), 1u);
+  H.collect(1);
+  H.collect(1);
+  EXPECT_EQ(H.generationOf(V.get()), 2u);
+  for (size_t I = 0; I != N; ++I)
+    ASSERT_EQ(objectField(V.get(), I).asFixnum(),
+              static_cast<intptr_t>(I))
+        << "slot " << I << " corrupted while the run crossed generations";
+  H.verifyHeap();
+}
+
+TEST(TenureTest, LargeRunGuardedAndResurrected) {
+  Heap H(tenureConfig(1));
+  Guardian G(H);
+  Root W(H, Value::nil());
+  {
+    Root V(H, H.makeVector(1500, Value::fixnum(3)));
+    H.vectorSet(V.get(), 0, H.cons(Value::fixnum(21), Value::nil()));
+    W = H.weakCons(V.get(), Value::nil());
+    G.protect(V.get());
+  }
+  H.collectMinor();
+  // The whole run was inaccessible but guarded: salvaged in one piece,
+  // so the weak reference is forwarded rather than broken.
+  ASSERT_TRUE(pairCar(W.get()).isObject());
+  Root V2(H, G.retrieve());
+  ASSERT_TRUE(isVector(V2.get()));
+  ASSERT_EQ(objectLength(V2.get()), 1500u);
+  EXPECT_EQ(objectField(V2.get(), 5).asFixnum(), 3);
+  EXPECT_EQ(pairCar(objectField(V2.get(), 0)).asFixnum(), 21);
+  EXPECT_GE(H.generationOf(V2.get()), 1u)
+      << "the salvaged run lands in the target generation";
+  EXPECT_EQ(V2.get(), pairCar(W.get()));
+  // Final release.
+  V2 = Value::nil();
+  H.collectFull();
+  EXPECT_TRUE(pairCar(W.get()).isFalse());
+  EXPECT_FALSE(G.hasPending());
+  H.verifyHeap();
+}
+
 TEST(TenureTest, ChurnStaysSoundUnderTenure) {
   Heap H(tenureConfig(3));
   Guardian G(H);

@@ -216,6 +216,110 @@ TEST(WeakPairTest, WeakPairsExaminedStatIsProportional) {
       << "old, unmutated weak pairs are not rescanned by a minor GC";
 }
 
+// --- Weak pairs crossed with guardians -------------------------------
+//
+// The paper's two retention mechanisms interact in one collection: the
+// guardian salvage pass runs *before* the weak-pointer pass, so a
+// guarded object that dies is copied by salvage and every weak
+// reference to it is forwarded, not broken. Only when nothing (guardian
+// included) preserves the object does the weak car break.
+
+TEST(WeakPairTest, GuardedObjectResurrectionKeepsWeakCarIntact) {
+  Heap H(testConfig());
+  Guardian G(H);
+  Root W(H, Value::nil());
+  {
+    Root X(H, H.cons(Value::fixnum(11), Value::nil()));
+    W = H.weakCons(X.get(), Value::nil());
+    G.protect(X.get());
+  }
+  H.collectMinor();
+  // X was inaccessible but guarded: resurrection wins over weakness.
+  ASSERT_TRUE(pairCar(W.get()).isPair());
+  EXPECT_EQ(H.lastStats().WeakPointersBroken, 0u);
+  Root Y(H, G.retrieve());
+  ASSERT_TRUE(Y.get().isPair());
+  EXPECT_EQ(pairCar(Y.get()).asFixnum(), 11);
+  EXPECT_EQ(Y.get(), pairCar(W.get()))
+      << "the weak car and the retrieved object are the same (eq?)";
+  // Final release: retrieved, un-reguarded, unreferenced.
+  Y = Value::nil();
+  H.collectFull();
+  EXPECT_TRUE(pairCar(W.get()).isFalse());
+  H.verifyHeap();
+}
+
+TEST(WeakPairTest, AgentDeliveryDiscardsObjectAndBreaksWeakCar) {
+  Heap H(testConfig());
+  Guardian G(H);
+  Root W(H, Value::nil());
+  Root Agent(H, H.cons(Value::fixnum(99), Value::nil()));
+  {
+    Root X(H, H.cons(Value::fixnum(12), Value::nil()));
+    W = H.weakCons(X.get(), Value::nil());
+    G.protectWithAgent(X.get(), Agent.get());
+  }
+  H.collectMinor();
+  // Section 5: the agent, not the object, is preserved. X itself is
+  // discarded, so the weak reference breaks in the same collection the
+  // agent is delivered.
+  EXPECT_TRUE(pairCar(W.get()).isFalse());
+  EXPECT_GE(H.lastStats().WeakPointersBroken, 1u);
+  Root D(H, G.retrieve());
+  EXPECT_EQ(D.get(), Agent.get());
+  EXPECT_TRUE(G.retrieve().isFalse());
+  H.verifyHeap();
+}
+
+TEST(WeakPairTest, ReGuardingAcrossRoundsKeepsWeakCarAlive) {
+  Heap H(testConfig());
+  Guardian G(H);
+  Root W(H, Value::nil());
+  {
+    Root X(H, H.cons(Value::fixnum(13), Value::nil()));
+    W = H.weakCons(X.get(), Value::nil());
+    G.protect(X.get());
+  }
+  for (int Round = 0; Round != 4; ++Round) {
+    H.collectFull();
+    ASSERT_TRUE(pairCar(W.get()).isPair())
+        << "round " << Round << ": resurrection must precede weak scan";
+    Root Y(H, G.retrieve());
+    ASSERT_TRUE(Y.get().isPair()) << "round " << Round;
+    EXPECT_EQ(pairCar(Y.get()).asFixnum(), 13);
+    G.protect(Y.get()); // Re-guard: the next round resurrects again.
+  }
+  H.collectFull();
+  G.drain([](Value V) { ASSERT_TRUE(V.isPair()); }); // No re-guard.
+  H.collectFull();
+  EXPECT_TRUE(pairCar(W.get()).isFalse());
+  H.verifyHeap();
+}
+
+TEST(WeakPairTest, GuardedOldObjectResurrectedByOldCollection) {
+  Heap H(testConfig());
+  Guardian G(H);
+  Root W(H, Value::nil());
+  {
+    Root X(H, H.cons(Value::fixnum(14), Value::nil()));
+    W = H.weakCons(X.get(), Value::nil());
+    H.collect(1); // Park both X and the weak pair in an old generation.
+    EXPECT_GE(H.generationOf(X.get()), 1u);
+    G.protect(X.get());
+  }
+  const unsigned OldGen = H.generationOf(pairCar(W.get()));
+  H.collectMinor();
+  ASSERT_TRUE(pairCar(W.get()).isPair())
+      << "a minor GC does not touch the old guarded object";
+  H.collect(OldGen); // Now X's generation is collected: resurrection.
+  ASSERT_TRUE(pairCar(W.get()).isPair());
+  Root Y(H, G.retrieve());
+  ASSERT_TRUE(Y.get().isPair());
+  EXPECT_EQ(pairCar(Y.get()).asFixnum(), 14);
+  EXPECT_EQ(Y.get(), pairCar(W.get()));
+  H.verifyHeap();
+}
+
 TEST(WeakPairTest, WeakBoxHelpers) {
   Heap H(testConfig());
   Root Box(H, Value::nil());

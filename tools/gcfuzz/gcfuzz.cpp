@@ -1,0 +1,237 @@
+//===- tools/gcfuzz/gcfuzz.cpp - Differential GC fuzzer CLI ---------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs random mutator traces against the real Heap and the exact
+// reachability shadow model simultaneously (see src/testing/). On
+// divergence, greedily shrinks the trace and writes a replay file.
+//
+//   gcfuzz --seed-corpus                 fixed-seed smoke corpus (CI)
+//   gcfuzz --seed N [--config NAME]      one seed
+//   gcfuzz --traces N [--config all]     N seeds per config
+//   gcfuzz --trace-replay FILE           replay a saved trace
+//   gcfuzz --fault drop-resurrection     inject a liveness bug (must be
+//                                        caught; exercises the oracle)
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/TraceRunner.h"
+
+using namespace gengc;
+using namespace gengc::gcfuzz;
+
+namespace {
+
+struct Options {
+  uint64_t Seed = 1;
+  bool SeedGiven = false;
+  uint64_t Traces = 0;
+  size_t Ops = 140;
+  std::string ConfigName = "all";
+  std::string Fault = "none";
+  bool SeedCorpus = false;
+  std::string ReplayFile;
+  std::string OutDir = ".";
+  bool NoShrink = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gcfuzz [--seed N] [--traces N] [--ops K]\n"
+      "              [--config NAME|all] [--fault none|drop-resurrection|"
+      "break-weak]\n"
+      "              [--seed-corpus] [--trace-replay FILE] [--out DIR]\n"
+      "              [--no-shrink]\n");
+}
+
+bool applyFault(const std::string &Name, HeapConfig &Cfg) {
+  if (Name == "none")
+    return true;
+  if (Name == "drop-resurrection") {
+    Cfg.InjectedFault = GcFaultInjection::DropFirstResurrection;
+    return true;
+  }
+  if (Name == "break-weak") {
+    Cfg.InjectedFault = GcFaultInjection::BreakLiveWeakCar;
+    return true;
+  }
+  return false;
+}
+
+std::vector<FuzzConfig> selectConfigs(const Options &Opt) {
+  if (Opt.ConfigName == "all")
+    return standardConfigs();
+  FuzzConfig C;
+  if (!findConfig(Opt.ConfigName, C)) {
+    std::fprintf(stderr, "gcfuzz: unknown config '%s' (have:",
+                 Opt.ConfigName.c_str());
+    for (const FuzzConfig &K : standardConfigs())
+      std::fprintf(stderr, " %s", K.Name.c_str());
+    std::fprintf(stderr, ")\n");
+    std::exit(2);
+  }
+  return {C};
+}
+
+/// Shrinks, reports, and saves a diverging trace. Returns the exit code.
+int reportDivergence(const Trace &T, const FuzzConfig &Cfg,
+                     const RunResult &R, const Options &Opt) {
+  std::fprintf(stderr,
+               "gcfuzz: DIVERGENCE under config '%s' (seed %llu, %zu "
+               "ops)\n  %s\n",
+               Cfg.Name.c_str(),
+               static_cast<unsigned long long>(T.Seed), T.Ops.size(),
+               R.Message.c_str());
+  Trace Minimal = T;
+  if (!Opt.NoShrink) {
+    Minimal = shrinkTrace(T, Cfg.Config);
+    RunResult MR = runTrace(Minimal, Cfg.Config);
+    std::fprintf(stderr,
+                 "gcfuzz: shrunk %zu -> %zu ops\n  %s\n", T.Ops.size(),
+                 Minimal.Ops.size(), MR.Message.c_str());
+  }
+  const std::string Path = Opt.OutDir + "/gcfuzz-failure-" +
+                           Cfg.Name + "-seed" +
+                           std::to_string(T.Seed) + ".trace";
+  std::ofstream OS(Path);
+  if (OS) {
+    OS << "# gcfuzz divergence under config '" << Cfg.Name << "'\n"
+       << "# " << R.Message << "\n"
+       << serializeTrace(Minimal);
+    std::fprintf(stderr, "gcfuzz: wrote %s (replay with --trace-replay)\n",
+                 Path.c_str());
+  }
+  return 1;
+}
+
+int runSeeds(const std::vector<FuzzConfig> &Configs, uint64_t FirstSeed,
+             uint64_t Count, const Options &Opt) {
+  uint64_t TotalCollections = 0, TotalTraces = 0;
+  for (const FuzzConfig &Cfg : Configs) {
+    for (uint64_t S = FirstSeed; S != FirstSeed + Count; ++S) {
+      Trace T = generateTrace(S, Opt.Ops);
+      RunResult R = runTrace(T, Cfg.Config);
+      if (R.Diverged)
+        return reportDivergence(T, Cfg, R, Opt);
+      TotalCollections += R.Collections;
+      ++TotalTraces;
+    }
+    std::printf("gcfuzz: config '%s': %llu traces clean\n",
+                Cfg.Name.c_str(), static_cast<unsigned long long>(Count));
+  }
+  std::printf("gcfuzz: OK — %llu traces, %llu collections cross-checked, "
+              "zero divergence\n",
+              static_cast<unsigned long long>(TotalTraces),
+              static_cast<unsigned long long>(TotalCollections));
+  return 0;
+}
+
+int replay(const Options &Opt, const std::vector<FuzzConfig> &Configs) {
+  std::ifstream IS(Opt.ReplayFile);
+  if (!IS) {
+    std::fprintf(stderr, "gcfuzz: cannot open %s\n",
+                 Opt.ReplayFile.c_str());
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  Trace T;
+  std::string Error;
+  if (!deserializeTrace(Buf.str(), T, Error)) {
+    std::fprintf(stderr, "gcfuzz: %s: %s\n", Opt.ReplayFile.c_str(),
+                 Error.c_str());
+    return 2;
+  }
+  int Exit = 0;
+  for (const FuzzConfig &Cfg : Configs) {
+    RunResult R = runTrace(T, Cfg.Config);
+    if (R.Diverged) {
+      std::printf("config '%s': DIVERGED at op %zu: %s\n",
+                  Cfg.Name.c_str(), R.OpIndex, R.Message.c_str());
+      Exit = 1;
+    } else {
+      std::printf("config '%s': clean (%llu collections)\n",
+                  Cfg.Name.c_str(),
+                  static_cast<unsigned long long>(R.Collections));
+    }
+  }
+  return Exit;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string A = Argv[I];
+    auto next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "gcfuzz: %s needs an argument\n", A.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (A == "--seed") {
+      Opt.Seed = std::strtoull(next(), nullptr, 0);
+      Opt.SeedGiven = true;
+    } else if (A == "--traces") {
+      Opt.Traces = std::strtoull(next(), nullptr, 0);
+    } else if (A == "--ops") {
+      Opt.Ops = std::strtoull(next(), nullptr, 0);
+    } else if (A == "--config") {
+      Opt.ConfigName = next();
+    } else if (A == "--fault") {
+      Opt.Fault = next();
+    } else if (A == "--seed-corpus") {
+      Opt.SeedCorpus = true;
+    } else if (A == "--trace-replay") {
+      Opt.ReplayFile = next();
+    } else if (A == "--out") {
+      Opt.OutDir = next();
+    } else if (A == "--no-shrink") {
+      Opt.NoShrink = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "gcfuzz: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  std::vector<FuzzConfig> Configs = selectConfigs(Opt);
+  for (FuzzConfig &C : Configs)
+    if (!applyFault(Opt.Fault, C.Config)) {
+      std::fprintf(stderr, "gcfuzz: unknown fault '%s'\n",
+                   Opt.Fault.c_str());
+      return 2;
+    }
+
+  if (!Opt.ReplayFile.empty())
+    return replay(Opt, Configs);
+
+  if (Opt.SeedCorpus) {
+    // The fixed-seed smoke corpus: every standard config, deterministic
+    // seeds, sized to stay within a CI smoke budget even under ASan.
+    return runSeeds(Configs, /*FirstSeed=*/1000, /*Count=*/40, Opt);
+  }
+
+  if (Opt.Traces != 0)
+    return runSeeds(Configs, Opt.SeedGiven ? Opt.Seed : 1, Opt.Traces,
+                    Opt);
+
+  return runSeeds(Configs, Opt.Seed, 1, Opt);
+}
