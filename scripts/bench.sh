@@ -4,6 +4,10 @@
 #
 #   scripts/bench.sh                 # all benchmarks, Release build
 #   scripts/bench.sh bench_tconc     # a subset, by target name
+#   scripts/bench.sh --loadgen       # shard-count scaling sweep of the
+#                                    # runtime load driver (1..8 shards,
+#                                    # open-loop sessions); one JSON per
+#                                    # shard count lands in bench-results/
 #   scripts/bench.sh --summarize     # no run: just (re)build the
 #                                    # BENCH_<date>.json summary from
 #                                    # whatever is in bench-results/
@@ -103,6 +107,33 @@ PYEOF
 }
 
 if [ "${1:-}" = "--summarize" ]; then
+  summarize
+  exit 0
+fi
+
+if [ "${1:-}" = "--loadgen" ]; then
+  # Shard-count scaling sweep: the same per-shard session load at 1, 2,
+  # 4, 8 shards, open-loop (think time between sessions) so aggregate
+  # throughput reflects shard parallelism rather than core count —
+  # see EXPERIMENTS.md's shard-scaling walkthrough for reading the
+  # numbers on small machines. Each run's JSON is Google-Benchmark-
+  # shaped, so the summarize step folds the gc_* counters and pause
+  # percentiles in alongside the microbenchmarks.
+  LG_SESSIONS="${LG_SESSIONS:-16}"
+  LG_OPS="${LG_OPS:-300}"
+  LG_THINK_US="${LG_THINK_US:-1000}"
+  LG_SEED="${LG_SEED:-11}"
+  cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$DIR" -j --target loadgen >/dev/null
+  mkdir -p "$OUT"
+  for shards in 1 2 4 8; do
+    echo "==> loadgen: $shards shard(s)"
+    "$DIR/tools/loadgen/loadgen" \
+      --shards "$shards" --sessions "$LG_SESSIONS" --ops "$LG_OPS" \
+      --seed "$LG_SEED" --think-time-us "$LG_THINK_US" --fail-rate 5 \
+      --json "$OUT/loadgen_shards${shards}.json"
+  done
+  echo "==> results in $OUT/"
   summarize
   exit 0
 fi

@@ -7,6 +7,10 @@
 #                               # allocation + fromspace poisoning)
 #   scripts/check.sh --asan     # additionally run the suite under
 #                               # AddressSanitizer + UBSan
+#   scripts/check.sh --tsan     # additionally run the suite under
+#                               # ThreadSanitizer (the shard runtime's
+#                               # cross-thread edges: mailboxes,
+#                               # executor, shutdown ordering)
 #   scripts/check.sh --all      # all of the above
 #
 # Each mode uses its own build tree under build-check/ so switching
@@ -17,11 +21,13 @@ cd "$(dirname "$0")/.."
 
 STRESS=0
 ASAN=0
+TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
     --asan) ASAN=1 ;;
-    --all) STRESS=1; ASAN=1 ;;
+    --tsan) TSAN=1 ;;
+    --all) STRESS=1; ASAN=1; TSAN=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -48,6 +54,13 @@ run_suite() {
   # shrunk reproducer trace prominently at the end of the gate).
   echo "==> [$name] gcfuzz smoke"
   "$dir/tools/gcfuzz/gcfuzz" --seed-corpus --out "$dir"
+  # Shard-runtime accounting smoke: eight private heaps, cross-shard
+  # messages, background finalization with injected transient
+  # failures; a nonzero exit means a resource went unaccounted (and
+  # under --tsan, any data race fails the run).
+  echo "==> [$name] loadgen smoke"
+  "$dir/tools/loadgen/loadgen" --shards 8 --sessions 8 --ops 200 \
+    --seed 11 --fail-rate 5 >/dev/null
 }
 
 # The rootcheck lint needs no build at all; fail fast on it.
@@ -63,6 +76,10 @@ fi
 
 if [ "$ASAN" = 1 ]; then
   run_suite asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGENGC_SAN=address,undefined
+fi
+
+if [ "$TSAN" = 1 ]; then
+  run_suite tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGENGC_SAN=thread
 fi
 
 echo "==> all checks passed"

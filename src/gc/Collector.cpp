@@ -317,6 +317,15 @@ void Collector::forwardRoots() {
       forwardSlot(&V);
       ++S.RootsScanned;
     }
+  // External root scanners (Heap::addExternalRootScanner) let subsystems
+  // that store Values in their own structures — e.g. the shard runtime's
+  // session tables — participate in every collection without registering
+  // each slot individually.
+  for (auto &Entry : H.ExternalRootScanners)
+    Entry.second([this](Value *Slot) {
+      forwardSlot(Slot);
+      ++S.RootsScanned;
+    });
   if (!H.Cfg.WeakSymbolTable) {
     // Strong interning: every table entry is a root.
     for (auto &Entry : H.SymbolTable) {

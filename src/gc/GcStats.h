@@ -183,6 +183,32 @@ struct GcTotals {
     DurationNanos += S.DurationNanos;
     Phases.accumulate(S.Phases);
   }
+
+  /// Folds another heap's totals into this one (cross-shard
+  /// aggregation; see gc/telemetry/Aggregate.h). Like accumulate(),
+  /// must cover every field.
+  void merge(const GcTotals &O) {
+    Collections += O.Collections;
+    FullCollections += O.FullCollections;
+    ObjectsCopied += O.ObjectsCopied;
+    BytesCopied += O.BytesCopied;
+    ObjectsPromoted += O.ObjectsPromoted;
+    RootsScanned += O.RootsScanned;
+    RememberedObjectsScanned += O.RememberedObjectsScanned;
+    BytesInFromSpace += O.BytesInFromSpace;
+    ProtectedEntriesVisited += O.ProtectedEntriesVisited;
+    GuardianObjectsSaved += O.GuardianObjectsSaved;
+    ProtectedEntriesKept += O.ProtectedEntriesKept;
+    GuardianEntriesDropped += O.GuardianEntriesDropped;
+    GuardianLoopIterations += O.GuardianLoopIterations;
+    WeakPairsExamined += O.WeakPairsExamined;
+    WeakPointersBroken += O.WeakPointersBroken;
+    FinalizerThunksRun += O.FinalizerThunksRun;
+    SymbolsDropped += O.SymbolsDropped;
+    SegmentsFreed += O.SegmentsFreed;
+    DurationNanos += O.DurationNanos;
+    Phases.accumulate(O.Phases);
+  }
 };
 
 } // namespace gengc

@@ -38,7 +38,9 @@ void applyStressEnvironment(HeapConfig &Cfg) {
 
 } // namespace
 
-Heap::Heap(HeapConfig Config) : Cfg(Config), Segments(Config.ArenaBytes) {
+Heap::Heap(HeapConfig Config)
+    : Cfg(Config), Segments(Config.ArenaBytes),
+      OwnerThread(std::this_thread::get_id()) {
   GENGC_ASSERT(Cfg.Generations >= 1 && Cfg.Generations <= MaxGenerations,
                "generation count out of range");
   GENGC_ASSERT(Cfg.CollectionRadix >= 2, "collection radix must be >= 2");
@@ -82,7 +84,20 @@ Heap::~Heap() {
 // Allocation.
 //===----------------------------------------------------------------------===//
 
+void Heap::checkOwner(const char *Op) const {
+  if (!Cfg.CheckThreadAffinity || onOwnerThread())
+    return;
+  std::fprintf(stderr,
+               "gengc fatal error: %s called from a thread that does not "
+               "own this heap (shards are single-threaded: cross-shard "
+               "access must go through the runtime mailbox, not the raw "
+               "Heap; see src/runtime/)\n",
+               Op);
+  std::abort();
+}
+
 uintptr_t *Heap::allocateRaw(SpaceKind Space, size_t Words) {
+  checkOwner("allocation");
   GENGC_ASSERT(!NoAllocMode,
                "allocation inside a register-for-finalization thunk: the "
                "thunk runs as part of garbage collection and must not "
@@ -328,6 +343,7 @@ Value Heap::makeList(const std::vector<Value> &Elements) {
 //===----------------------------------------------------------------------===//
 
 void Heap::writeBarrier(Value Container, Value V, bool WeakField) {
+  checkOwner("barriered store");
   if (!V.isHeapPointer())
     return;
   const SegmentInfo &CInfo = Segments.infoFor(Container.heapAddress());
@@ -436,6 +452,7 @@ Value Heap::makeGuardianTconc() {
 }
 
 void Heap::guardianProtect(Value Tconc, Value Obj) {
+  checkOwner("guardianProtect");
   GENGC_ASSERT(Tconc.isPair(), "guardian tconc must be a pair");
   // install-guardian adds the (obj . tconc) entry to the protected list
   // for generation 0. The agent defaults to the object itself.
@@ -443,11 +460,13 @@ void Heap::guardianProtect(Value Tconc, Value Obj) {
 }
 
 void Heap::guardianProtectWithAgent(Value Tconc, Value Obj, Value Agent) {
+  checkOwner("guardianProtectWithAgent");
   GENGC_ASSERT(Tconc.isPair(), "guardian tconc must be a pair");
   Protected[0].push_back({Obj.bits(), Tconc.bits(), Agent.bits()});
 }
 
 Value Heap::guardianRetrieve(Value Tconc) {
+  checkOwner("guardianRetrieve");
   GENGC_ASSERT(Tconc.isPair(), "guardian tconc must be a pair");
   // Figure 4. The mutator owns the header's car; no critical section is
   // needed even if a collection intervenes, because the collector only
@@ -490,6 +509,7 @@ void gengc::tconcAppend(Heap &H, Value Tconc, Value Obj) {
 //===----------------------------------------------------------------------===//
 
 uint32_t Heap::registerForFinalization(Value Obj, FinalizerThunk Thunk) {
+  checkOwner("registerForFinalization");
   uint32_t Id = static_cast<uint32_t>(FinalizerThunks.size());
   FinalizerThunks.push_back(std::move(Thunk));
   FinalizeLists[0].push_back({Obj.bits(), Id});
@@ -501,6 +521,7 @@ uint32_t Heap::registerForFinalization(Value Obj, FinalizerThunk Thunk) {
 //===----------------------------------------------------------------------===//
 
 void Heap::collect(unsigned MaxGeneration) {
+  checkOwner("collect");
   GENGC_ASSERT(!InGc, "re-entrant collection");
   GENGC_ASSERT(!InPostGcHooks,
                "collection requested from inside a post-GC hook: hooks "
@@ -522,9 +543,13 @@ void Heap::collect(unsigned MaxGeneration) {
   InPostGcHooks = false;
 }
 
-void Heap::addRoot(Value *Slot) { RootSlots.push_back(Slot); }
+void Heap::addRoot(Value *Slot) {
+  checkOwner("addRoot");
+  RootSlots.push_back(Slot);
+}
 
 void Heap::removeRoot(Value *Slot) {
+  checkOwner("removeRoot");
   // Roots are overwhelmingly removed in LIFO order (RAII), so search
   // from the back.
   for (size_t I = RootSlots.size(); I != 0; --I) {
@@ -536,9 +561,13 @@ void Heap::removeRoot(Value *Slot) {
   GENGC_UNREACHABLE("removeRoot: slot was not registered");
 }
 
-void Heap::addRootVector(RootVector *Vec) { RootVectors.push_back(Vec); }
+void Heap::addRootVector(RootVector *Vec) {
+  checkOwner("addRootVector");
+  RootVectors.push_back(Vec);
+}
 
 void Heap::removeRootVector(RootVector *Vec) {
+  checkOwner("removeRootVector");
   for (size_t I = RootVectors.size(); I != 0; --I) {
     if (RootVectors[I - 1] == Vec) {
       RootVectors.erase(RootVectors.begin() + static_cast<ptrdiff_t>(I - 1));
@@ -546,4 +575,23 @@ void Heap::removeRootVector(RootVector *Vec) {
     }
   }
   GENGC_UNREACHABLE("removeRootVector: vector was not registered");
+}
+
+uint32_t Heap::addExternalRootScanner(ExternalRootScanner Scanner) {
+  checkOwner("addExternalRootScanner");
+  uint32_t Id = NextExternalScannerId++;
+  ExternalRootScanners.emplace_back(Id, std::move(Scanner));
+  return Id;
+}
+
+void Heap::removeExternalRootScanner(uint32_t Id) {
+  checkOwner("removeExternalRootScanner");
+  for (size_t I = ExternalRootScanners.size(); I != 0; --I) {
+    if (ExternalRootScanners[I - 1].first == Id) {
+      ExternalRootScanners.erase(ExternalRootScanners.begin() +
+                                 static_cast<ptrdiff_t>(I - 1));
+      return;
+    }
+  }
+  GENGC_UNREACHABLE("removeExternalRootScanner: id was not registered");
 }

@@ -30,6 +30,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -261,6 +262,36 @@ public:
   void addRootVector(RootVector *Vec);
   void removeRootVector(RootVector *Vec);
 
+  /// External-root handoff hook. A scanner enumerates Value slots that
+  /// live in caller-owned storage (a session table, a shard's staging
+  /// area) by invoking the visitor once per slot; the collector calls
+  /// every registered scanner during the root phase and forwards the
+  /// visited slots in place, exactly like Root/RootVector slots. This
+  /// lets bulk structures register one scanner instead of copying every
+  /// element into a RootVector. The scanner runs inside the collector:
+  /// it must visit slots only — no allocation, no heap reads beyond the
+  /// slots themselves — and the slot storage must stay stable for as
+  /// long as the scanner is registered. Returns an id for removal.
+  using RootVisitor = std::function<void(Value *)>;
+  using ExternalRootScanner = std::function<void(const RootVisitor &)>;
+  uint32_t addExternalRootScanner(ExternalRootScanner Scanner);
+  void removeExternalRootScanner(uint32_t Id);
+
+  //===------------------------------------------------------------------===//
+  // Owner-thread affinity (HeapConfig::CheckThreadAffinity).
+  //===------------------------------------------------------------------===//
+
+  /// Rebinds the heap to the calling thread. Used at exactly one point
+  /// by the shard runtime: a heap constructed on a coordinator thread is
+  /// bound to its worker before the worker touches it. Must not be
+  /// called while another thread still uses the heap.
+  void bindToCurrentThread() { OwnerThread = std::this_thread::get_id(); }
+
+  /// True if the calling thread is the heap's owner.
+  bool onOwnerThread() const {
+    return std::this_thread::get_id() == OwnerThread;
+  }
+
   //===------------------------------------------------------------------===//
   // Verification (debugging / tests).
   //===------------------------------------------------------------------===//
@@ -342,6 +373,10 @@ private:
   void pollSafepoint();
   unsigned chooseAutomaticGeneration();
 
+  /// Aborts with a diagnostic naming \p Op if affinity checking is on
+  /// and the calling thread is not the heap's owner.
+  void checkOwner(const char *Op) const;
+
   /// Write barrier for a store of \p V into \p Container. \p WeakField
   /// marks stores into a weak pair's car, which go to the weak remembered
   /// set (the pointer is weak, so it is not a root, but the collector
@@ -358,6 +393,12 @@ private:
 
   std::vector<Value *> RootSlots;
   std::vector<RootVector *> RootVectors;
+  std::vector<std::pair<uint32_t, ExternalRootScanner>> ExternalRootScanners;
+  uint32_t NextExternalScannerId = 0;
+
+  /// The thread every heap operation must run on (the constructing
+  /// thread, until bindToCurrentThread() moves ownership).
+  std::thread::id OwnerThread;
 
   /// Remembered sets: per generation, objects that may contain strong
   /// pointers into younger generations.

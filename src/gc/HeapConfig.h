@@ -88,6 +88,17 @@ struct HeapConfig {
   /// explicitly.
   bool AutoCollect = true;
 
+  /// Owner-thread affinity checking. A Heap is single-threaded by
+  /// contract: the shard-per-thread runtime (src/runtime/) gives every
+  /// worker its own private heap, and nothing in the collector is
+  /// prepared for concurrent mutation. With this flag on (the default —
+  /// the check is two word compares), every allocation, collection,
+  /// root registration, guardian operation, and barriered store asserts
+  /// that it runs on the thread that constructed the heap (or the one
+  /// that last called Heap::bindToCurrentThread), so cross-shard misuse
+  /// aborts at the faulting call instead of corrupting a heap.
+  bool CheckThreadAffinity = true;
+
   /// When true, the symbol intern table holds its symbols weakly:
   /// symbols reachable only from the table are reclaimed and their
   /// entries dropped, as in Friedman and Wise's scatter-table collection

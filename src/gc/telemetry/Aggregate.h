@@ -1,0 +1,60 @@
+//===- gc/telemetry/Aggregate.h - Cross-shard GC aggregation --*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet view over per-heap telemetry. Every Heap keeps its own
+/// GcTotals and pause history; the shard runtime samples one
+/// ShardGcSample per shard (on the owning thread, so no heap is read
+/// concurrently) and aggregateShards() folds the fleet into combined
+/// totals plus cross-shard pause percentiles — the numbers a multi-heap
+/// deployment actually watches: not one heap's p99, but the p99 a
+/// request would see landing on any shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_TELEMETRY_AGGREGATE_H
+#define GENGC_GC_TELEMETRY_AGGREGATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gc/GcStats.h"
+
+namespace gengc {
+
+/// One shard's GC telemetry, sampled on the shard's own thread.
+struct ShardGcSample {
+  uint32_t ShardId = 0;
+  GcTotals Totals;
+  std::vector<uint64_t> PauseNanos; ///< One entry per collection.
+  uint64_t BytesAllocated = 0;
+};
+
+/// The fleet roll-up.
+struct FleetGcStats {
+  size_t Shards = 0;
+  GcTotals Combined; ///< Field-wise sum over shards.
+  uint64_t TotalBytesAllocated = 0;
+  /// Pause percentiles over the merged per-collection pause
+  /// distribution of every shard (zeros when no collections ran).
+  uint64_t PauseP50Nanos = 0;
+  uint64_t PauseP99Nanos = 0;
+  uint64_t PauseMaxNanos = 0;
+};
+
+/// Folds per-shard samples into the fleet view.
+FleetGcStats aggregateShards(const std::vector<ShardGcSample> &Samples);
+
+/// Human-readable multi-line summary (one line per shard + fleet line),
+/// for load-driver and tool output.
+std::string formatFleetSummary(const std::vector<ShardGcSample> &Samples,
+                               const FleetGcStats &Fleet);
+
+} // namespace gengc
+
+#endif // GENGC_GC_TELEMETRY_AGGREGATE_H

@@ -12,6 +12,10 @@
 /// closed; an in-memory FS lets the tests observe exactly which bytes
 /// reached the "disk" and when.
 ///
+/// Thread-safe, like the kernel it stands in for: in the shard runtime
+/// the FinalizationExecutor flushes dropped ports (appending here) from
+/// its own thread while shard threads keep creating and writing files.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENGC_IO_FILESYSTEM_H
@@ -19,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,14 +32,19 @@ namespace gengc {
 class MemoryFileSystem {
 public:
   bool exists(const std::string &Path) const {
+    std::lock_guard<std::mutex> Lock(M);
     return Files.find(Path) != Files.end();
   }
 
   /// Creates or truncates a file.
-  void create(const std::string &Path) { Files[Path].clear(); }
+  void create(const std::string &Path) {
+    std::lock_guard<std::mutex> Lock(M);
+    Files[Path].clear();
+  }
 
   /// Whole-file read; returns false if the file does not exist.
   bool read(const std::string &Path, std::string &Out) const {
+    std::lock_guard<std::mutex> Lock(M);
     auto It = Files.find(Path);
     if (It == Files.end())
       return false;
@@ -44,27 +54,40 @@ public:
 
   /// Appends bytes to a file (created if absent).
   void append(const std::string &Path, const char *Data, size_t N) {
+    std::lock_guard<std::mutex> Lock(M);
     std::vector<char> &F = Files[Path];
     F.insert(F.end(), Data, Data + N);
     ++WriteOps;
   }
 
   void write(const std::string &Path, const std::string &Contents) {
+    std::lock_guard<std::mutex> Lock(M);
     Files[Path].assign(Contents.begin(), Contents.end());
   }
 
-  bool remove(const std::string &Path) { return Files.erase(Path) != 0; }
+  bool remove(const std::string &Path) {
+    std::lock_guard<std::mutex> Lock(M);
+    return Files.erase(Path) != 0;
+  }
 
-  size_t fileCount() const { return Files.size(); }
+  size_t fileCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Files.size();
+  }
   size_t sizeOf(const std::string &Path) const {
+    std::lock_guard<std::mutex> Lock(M);
     auto It = Files.find(Path);
     return It == Files.end() ? 0 : It->second.size();
   }
   /// Number of physical append operations ("system calls"), a proxy for
   /// flush traffic in the benches.
-  uint64_t writeOperations() const { return WriteOps; }
+  uint64_t writeOperations() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return WriteOps;
+  }
 
 private:
+  mutable std::mutex M;
   std::map<std::string, std::vector<char>> Files;
   uint64_t WriteOps = 0;
 };

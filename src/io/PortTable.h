@@ -18,12 +18,20 @@
 /// point of the reproduction is that the garbage collector (via
 /// guardians) is what rescues dropped ports.
 ///
+/// The table is thread-safe: in the shard runtime, a shard's mutator
+/// opens and writes ports on the shard thread while the
+/// FinalizationExecutor flushes and closes dropped ones from its own
+/// thread. Port state lives in a deque so ids stay stable and open
+/// never invalidates another thread's port.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENGC_IO_PORTTABLE_H
 #define GENGC_IO_PORTTABLE_H
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +52,7 @@ public:
     std::string Contents;
     bool Ok = FS.read(Path, Contents);
     GENGC_ASSERT(Ok, "open-input-file: file does not exist");
+    std::lock_guard<std::mutex> Lock(M);
     Ports.push_back(PortState{Path, {Contents.begin(), Contents.end()},
                               0, PortKind::Input, true});
     ++OpenedCount;
@@ -53,6 +62,7 @@ public:
   /// Opens (creates/truncates) a file for writing. Returns the port id.
   intptr_t openOutput(const std::string &Path) {
     FS.create(Path);
+    std::lock_guard<std::mutex> Lock(M);
     Ports.push_back(PortState{Path, {}, 0, PortKind::Output, true});
     ++OpenedCount;
     return static_cast<intptr_t>(Ports.size() - 1);
@@ -60,6 +70,7 @@ public:
 
   /// Reads one character, or -1 at end of file.
   int readChar(intptr_t Id) {
+    std::lock_guard<std::mutex> Lock(M);
     PortState &P = state(Id);
     GENGC_ASSERT(P.Kind == PortKind::Input, "readChar on output port");
     GENGC_ASSERT(P.Open, "readChar on closed port");
@@ -71,61 +82,89 @@ public:
   /// Buffered character write; spills to the file system when the
   /// buffer fills.
   void writeChar(intptr_t Id, char C) {
+    std::lock_guard<std::mutex> Lock(M);
     PortState &P = state(Id);
     GENGC_ASSERT(P.Kind == PortKind::Output, "writeChar on input port");
     GENGC_ASSERT(P.Open, "writeChar on closed port");
     P.Buffer.push_back(C);
     if (P.Buffer.size() >= BufferSize)
-      flush(Id);
+      flushLocked(P);
   }
 
   void writeString(intptr_t Id, const std::string &S) {
-    for (char C : S)
-      writeChar(Id, C);
+    std::lock_guard<std::mutex> Lock(M);
+    PortState &P = state(Id);
+    GENGC_ASSERT(P.Kind == PortKind::Output, "writeString on input port");
+    GENGC_ASSERT(P.Open, "writeString on closed port");
+    for (char C : S) {
+      P.Buffer.push_back(C);
+      if (P.Buffer.size() >= BufferSize)
+        flushLocked(P);
+    }
   }
 
   /// flush-output-port: pushes buffered bytes to the file system.
   void flush(intptr_t Id) {
+    std::lock_guard<std::mutex> Lock(M);
     PortState &P = state(Id);
     GENGC_ASSERT(P.Open, "flush on closed port");
-    if (P.Kind != PortKind::Output || P.Buffer.empty())
-      return;
-    FS.append(P.Path, P.Buffer.data(), P.Buffer.size());
-    P.Buffer.clear();
-    ++FlushCount;
+    flushLocked(P);
   }
 
   /// close-input-port / close-output-port. Closing an output port
   /// flushes first. Idempotent, mirroring Scheme's tolerant close.
   void close(intptr_t Id) {
+    std::lock_guard<std::mutex> Lock(M);
     PortState &P = state(Id);
     if (!P.Open)
       return;
     if (P.Kind == PortKind::Output)
-      flush(Id);
+      flushLocked(P);
     P.Open = false;
     P.Buffer.clear();
     P.Buffer.shrink_to_fit();
     ++ClosedCount;
   }
 
-  bool isOpen(intptr_t Id) const { return state(Id).Open; }
-  PortKind kindOf(intptr_t Id) const { return state(Id).Kind; }
-  const std::string &pathOf(intptr_t Id) const { return state(Id).Path; }
-  size_t bufferedBytes(intptr_t Id) const { return state(Id).Buffer.size(); }
+  bool isOpen(intptr_t Id) const {
+    std::lock_guard<std::mutex> Lock(M);
+    return state(Id).Open;
+  }
+  PortKind kindOf(intptr_t Id) const {
+    std::lock_guard<std::mutex> Lock(M);
+    return state(Id).Kind;
+  }
+  std::string pathOf(intptr_t Id) const {
+    std::lock_guard<std::mutex> Lock(M);
+    return state(Id).Path;
+  }
+  size_t bufferedBytes(intptr_t Id) const {
+    std::lock_guard<std::mutex> Lock(M);
+    return state(Id).Buffer.size();
+  }
 
   /// Number of ports currently open: the "tied up system resources" the
   /// paper worries about.
   size_t openPortCount() const {
+    std::lock_guard<std::mutex> Lock(M);
     size_t N = 0;
     for (const PortState &P : Ports)
       if (P.Open)
         ++N;
     return N;
   }
-  uint64_t totalOpened() const { return OpenedCount; }
-  uint64_t totalClosed() const { return ClosedCount; }
-  uint64_t totalFlushes() const { return FlushCount; }
+  uint64_t totalOpened() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return OpenedCount;
+  }
+  uint64_t totalClosed() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return ClosedCount;
+  }
+  uint64_t totalFlushes() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return FlushCount;
+  }
 
 private:
   struct PortState {
@@ -147,9 +186,20 @@ private:
     return Ports[static_cast<size_t>(Id)];
   }
 
+  void flushLocked(PortState &P) {
+    if (P.Kind != PortKind::Output || P.Buffer.empty())
+      return;
+    FS.append(P.Path, P.Buffer.data(), P.Buffer.size());
+    P.Buffer.clear();
+    ++FlushCount;
+  }
+
   MemoryFileSystem &FS;
   size_t BufferSize;
-  std::vector<PortState> Ports;
+  mutable std::mutex M;
+  /// Deque, not vector: a concurrent open must not move the PortState
+  /// another thread holds a reference to inside a member function.
+  std::deque<PortState> Ports;
   uint64_t OpenedCount = 0;
   uint64_t ClosedCount = 0;
   uint64_t FlushCount = 0;

@@ -18,56 +18,170 @@
 /// exactly once and leaks are observable. GuardedExternalMemory builds
 /// the Scheme-header-plus-guardian pattern on top of it.
 ///
+/// The manager is thread-safe and every failure mode is defined,
+/// counted behavior rather than corruption: the shard runtime's
+/// FinalizationExecutor frees blocks from its own thread, possibly
+/// after the owning shard has shut the manager down, and a retried
+/// finalizer may attempt the same free twice. allocate() reports
+/// exhaustion (capacity exceeded) and late allocation (after shutdown)
+/// by returning -1; free() reports double frees and late frees by
+/// returning false. Nothing here aborts except a structurally invalid
+/// block id.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENGC_RESOURCE_EXTERNALMEMORY_H
 #define GENGC_RESOURCE_EXTERNALMEMORY_H
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/Guardian.h"
 
 namespace gengc {
 
-/// Stand-in for a foreign allocator. Tracks blocks by id; double frees
-/// and leaks are hard errors / queryable state.
+/// Stand-in for a foreign allocator. Tracks blocks by id; double frees,
+/// exhaustion, and use after shutdown are defined, counted outcomes.
 class ExternalMemoryManager {
 public:
+  /// \p CapacityBytes caps live external memory; 0 means unlimited.
+  explicit ExternalMemoryManager(size_t CapacityBytes = 0)
+      : CapacityBytes(CapacityBytes) {}
+
+  /// Returns a fresh block id, or -1 if the manager is shut down or the
+  /// allocation would exceed CapacityBytes (counted as lateAllocations /
+  /// exhaustions respectively).
   intptr_t allocate(size_t Bytes) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (ShutdownFlag) {
+      ++LateAllocCount;
+      return -1;
+    }
+    if (CapacityBytes != 0 && LiveBytesCount + Bytes > CapacityBytes) {
+      ++ExhaustionCount;
+      return -1;
+    }
     Blocks.push_back({Bytes, true});
     ++AllocCount;
     LiveBytesCount += Bytes;
     return static_cast<intptr_t>(Blocks.size() - 1);
   }
 
-  void free(intptr_t Id) {
-    GENGC_ASSERT(Id >= 0 && static_cast<size_t>(Id) < Blocks.size(),
-                 "free of unknown external block");
-    Block &B = Blocks[static_cast<size_t>(Id)];
-    GENGC_ASSERT(B.Live, "double free of external block");
-    B.Live = false;
-    ++FreeCount;
-    LiveBytesCount -= B.Bytes;
+  /// Frees a block. Returns true iff this call actually freed it; a
+  /// double free or a free after shutdown() returns false and bumps the
+  /// corresponding counter instead of corrupting the accounting.
+  bool free(intptr_t Id) {
+    std::lock_guard<std::mutex> Lock(M);
+    Block &B = blockLocked(Id);
+    if (ShutdownFlag) {
+      ++LateFreeCount;
+      return false;
+    }
+    if (!B.Live) {
+      ++DoubleFreeCount;
+      return false;
+    }
+    return freeLocked(B);
+  }
+
+  /// Frees a block iff it is still live. Unlike free(), an already-dead
+  /// block is not an error and is not counted as a double free: this is
+  /// the clean-up-action path, where an explicit early free may have
+  /// legitimately beaten the guardian to the block.
+  bool freeIfLive(intptr_t Id) {
+    std::lock_guard<std::mutex> Lock(M);
+    Block &B = blockLocked(Id);
+    if (ShutdownFlag) {
+      if (B.Live)
+        ++LateFreeCount;
+      return false;
+    }
+    if (!B.Live)
+      return false;
+    return freeLocked(B);
+  }
+
+  /// Marks the foreign library as torn down: subsequent allocate()
+  /// returns -1 and free()/freeIfLive() return false, all counted.
+  /// Returns the number of blocks still live (leaked) at shutdown.
+  size_t shutdown() {
+    std::lock_guard<std::mutex> Lock(M);
+    ShutdownFlag = true;
+    return AllocCount - FreeCount;
   }
 
   bool isLive(intptr_t Id) const {
-    return Blocks[static_cast<size_t>(Id)].Live;
+    std::lock_guard<std::mutex> Lock(M);
+    return Blocks[checkedIndex(Id)].Live;
   }
-  size_t liveBlocks() const { return AllocCount - FreeCount; }
-  size_t liveBytes() const { return LiveBytesCount; }
-  uint64_t totalAllocations() const { return AllocCount; }
-  uint64_t totalFrees() const { return FreeCount; }
+  size_t liveBlocks() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return AllocCount - FreeCount;
+  }
+  size_t liveBytes() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return LiveBytesCount;
+  }
+  uint64_t totalAllocations() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return AllocCount;
+  }
+  uint64_t totalFrees() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return FreeCount;
+  }
+  uint64_t doubleFrees() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return DoubleFreeCount;
+  }
+  uint64_t exhaustions() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return ExhaustionCount;
+  }
+  uint64_t lateFrees() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return LateFreeCount;
+  }
+  uint64_t lateAllocations() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return LateAllocCount;
+  }
+  bool isShutdown() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return ShutdownFlag;
+  }
 
 private:
   struct Block {
     size_t Bytes;
     bool Live;
   };
+
+  size_t checkedIndex(intptr_t Id) const {
+    GENGC_ASSERT(Id >= 0 && static_cast<size_t>(Id) < Blocks.size(),
+                 "external memory: unknown block id");
+    return static_cast<size_t>(Id);
+  }
+  Block &blockLocked(intptr_t Id) { return Blocks[checkedIndex(Id)]; }
+  bool freeLocked(Block &B) {
+    B.Live = false;
+    ++FreeCount;
+    LiveBytesCount -= B.Bytes;
+    return true;
+  }
+
+  mutable std::mutex M;
+  size_t CapacityBytes;
   std::vector<Block> Blocks;
   uint64_t AllocCount = 0;
   uint64_t FreeCount = 0;
+  uint64_t DoubleFreeCount = 0;
+  uint64_t ExhaustionCount = 0;
+  uint64_t LateFreeCount = 0;
+  uint64_t LateAllocCount = 0;
   size_t LiveBytesCount = 0;
+  bool ShutdownFlag = false;
 };
 
 /// The Scheme-header pattern: each external block is represented in the
@@ -79,28 +193,29 @@ public:
   GuardedExternalMemory(Heap &H, ExternalMemoryManager &Mgr)
       : H(H), Mgr(Mgr), G(H), Tag(H, H.intern("external-block")) {}
 
-  /// Allocates \p Bytes of external memory and returns its heap header.
+  /// Allocates \p Bytes of external memory and returns its heap header,
+  /// or #f if the manager refused (exhausted or shut down) — in that
+  /// case nothing was allocated and nothing is guarded.
   Value allocate(size_t Bytes) {
     reclaimDropped();
     intptr_t Id = Mgr.allocate(Bytes);
+    if (Id < 0)
+      return Value::falseV();
     Root Header(H, H.makeRecord(Tag, 2, Value::fixnum(Id)));
     G.protect(Header);
     return Header;
   }
 
   /// Frees the blocks of all headers proven inaccessible. Returns the
-  /// number freed.
+  /// number of headers drained.
   size_t reclaimDropped() {
-    return G.drain([this](Value Header) {
-      intptr_t Id = blockIdOf(Header);
-      if (Mgr.isLive(Id))
-        Mgr.free(Id);
-    });
+    return G.drain([this](Value Header) { Mgr.freeIfLive(blockIdOf(Header)); });
   }
 
   /// Explicit early free through the header (the clean-up action then
-  /// sees a dead block and skips it).
-  void freeNow(Value Header) { Mgr.free(blockIdOf(Header)); }
+  /// sees a dead block and skips it). Returns false on double free or
+  /// free after shutdown, mirroring ExternalMemoryManager::free.
+  bool freeNow(Value Header) { return Mgr.free(blockIdOf(Header)); }
 
   static intptr_t blockIdOf(Value Header) {
     GENGC_ASSERT(isRecord(Header), "not an external block header");

@@ -17,12 +17,34 @@
 /// The pool hands out bytevector "bitmaps". Every object handed out is
 /// registered with a guardian; when the program drops its last
 /// reference, the next acquire() finds it in the guardian, skips the
-/// expensive initialization, and reuses it.
+/// expensive initialization, and reuses it. Programs in a hurry can
+/// also release() explicitly without waiting for a collection.
+///
+/// Each bitmap carries an 8-byte lease stamp in its first bytes
+/// (registration count, released flag, magic), which is what makes the
+/// failure modes the runtime needs defined instead of corrupting:
+///
+///  - double release(): detected via the released flag; counted,
+///    returns false, and the object is NOT pushed onto the free list a
+///    second time (no aliased leases).
+///  - release() then re-acquire() then drop: the registration count
+///    ensures the object is guardian-registered exactly once, so a
+///    later drain delivers it exactly once.
+///  - exhaustion: with MaxOutstanding set, acquire() beyond the cap
+///    returns #f and counts an exhaustion failure.
+///  - after shutdown(): acquire() returns #f and release() returns
+///    false, both counted — a late finalizer touching a dead pool is
+///    observable, never fatal.
+///
+/// The pool is shard-local by design: it allocates from its Heap, so
+/// it inherits the heap's owner-thread affinity and needs no lock.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENGC_RESOURCE_RESOURCEPOOL_H
 #define GENGC_RESOURCE_RESOURCEPOOL_H
+
+#include <cstring>
 
 #include "core/Guardian.h"
 
@@ -30,47 +52,151 @@ namespace gengc {
 
 class ResourcePool {
 public:
-  /// \p BitmapBytes is the size of each pooled object; \p InitSweeps
-  /// scales the simulated initialization cost (the expensive part that
-  /// reuse avoids).
-  ResourcePool(Heap &H, size_t BitmapBytes, unsigned InitSweeps = 8)
-      : H(H), G(H), FreeList(H), BitmapBytes(BitmapBytes),
-        InitSweeps(InitSweeps) {}
+  /// Bytes reserved at the start of every bitmap for the lease stamp;
+  /// the usable payload starts at this offset.
+  static constexpr size_t HeaderBytes = 8;
 
-  /// Returns an initialized bitmap, reusing a dropped one if available.
+  /// \p BitmapBytes is the size of each pooled object (must cover the
+  /// lease stamp); \p InitSweeps scales the simulated initialization
+  /// cost (the expensive part that reuse avoids); \p MaxOutstanding
+  /// caps concurrently leased objects (0 = unlimited).
+  ResourcePool(Heap &H, size_t BitmapBytes, unsigned InitSweeps = 8,
+               size_t MaxOutstanding = 0)
+      : H(H), G(H), FreeList(H), BitmapBytes(BitmapBytes),
+        InitSweeps(InitSweeps), MaxOutstanding(MaxOutstanding) {
+    GENGC_ASSERT(BitmapBytes >= HeaderBytes,
+                 "pool bitmaps must be large enough for the lease stamp");
+  }
+
+  /// Returns an initialized bitmap, reusing a dropped or released one
+  /// if available; #f if the pool is exhausted or shut down.
   Value acquire() {
+    if (ShutdownFlag) {
+      ++LateAcquireCount;
+      return Value::falseV();
+    }
     refillFreeList();
     if (!FreeList.empty()) {
       Root Obj(H, FreeList.back());
       FreeList.pop_back();
+      Lease L = leaseOf(Obj.get());
+      L.Flags &= static_cast<uint16_t>(~ReleasedFlag);
+      bool NeedsProtect = L.Regs == 0;
+      if (NeedsProtect)
+        L.Regs = 1;
+      setLease(Obj.get(), L);
+      if (NeedsProtect)
+        G.protect(Obj); // Re-register for its next lifetime.
       ++ReuseCount;
-      G.protect(Obj); // Re-register for its next lifetime.
+      ++OutstandingCount;
       return Obj;
+    }
+    if (MaxOutstanding != 0 && OutstandingCount >= MaxOutstanding) {
+      ++ExhaustionCount;
+      return Value::falseV();
     }
     Root Obj(H, H.makeBytevector(BitmapBytes));
     expensiveInitialize(Obj);
+    setLease(Obj.get(), Lease{1, 0, LeaseMagic});
     ++InitCount;
+    ++OutstandingCount;
     G.protect(Obj);
     return Obj;
   }
 
+  /// Explicitly returns a leased bitmap to the free list without
+  /// waiting for the collector to prove it dropped. Returns true iff
+  /// this call released it; a double release or a release after
+  /// shutdown() returns false and bumps the corresponding counter.
+  bool release(Value Obj) {
+    Lease L = leaseOf(Obj);
+    if (ShutdownFlag) {
+      ++LateReleaseCount;
+      return false;
+    }
+    if (L.Flags & ReleasedFlag) {
+      ++DoubleReleaseCount;
+      return false;
+    }
+    L.Flags |= ReleasedFlag;
+    setLease(Obj, L);
+    FreeList.push_back(Obj);
+    ++ReleaseCount;
+    --OutstandingCount;
+    return true;
+  }
+
   /// Moves every dropped bitmap from the guardian to the free list.
+  /// An object that was explicitly released (already on the free list)
+  /// only has its registration count decremented.
   size_t refillFreeList() {
-    return G.drain([this](Value Obj) { FreeList.push_back(Obj); });
+    return G.drain([this](Value Obj) {
+      Lease L = leaseOf(Obj);
+      GENGC_ASSERT(L.Regs > 0, "pool drain: bitmap with no registration");
+      --L.Regs;
+      if (L.Flags & ReleasedFlag) {
+        setLease(Obj, L);
+        return; // Explicitly released earlier; already on the free list.
+      }
+      L.Flags |= ReleasedFlag;
+      setLease(Obj, L);
+      FreeList.push_back(Obj);
+      ++ReclaimCount;
+      --OutstandingCount;
+    });
+  }
+
+  /// Marks the pool as torn down: acquire() returns #f and release()
+  /// returns false from here on, both counted. Returns the number of
+  /// bitmaps still leased (outstanding) at shutdown.
+  size_t shutdown() {
+    ShutdownFlag = true;
+    return OutstandingCount;
   }
 
   size_t freeListSize() const { return FreeList.size(); }
+  size_t outstanding() const { return OutstandingCount; }
   uint64_t initializations() const { return InitCount; }
   uint64_t reuses() const { return ReuseCount; }
+  uint64_t releases() const { return ReleaseCount; }
+  uint64_t reclaims() const { return ReclaimCount; }
+  uint64_t doubleReleases() const { return DoubleReleaseCount; }
+  uint64_t exhaustionFailures() const { return ExhaustionCount; }
+  uint64_t lateAcquires() const { return LateAcquireCount; }
+  uint64_t lateReleases() const { return LateReleaseCount; }
+  bool isShutdown() const { return ShutdownFlag; }
 
 private:
+  /// Lease stamp stored in the first HeaderBytes of every bitmap. It
+  /// travels with the object when the collector copies it.
+  struct Lease {
+    uint32_t Regs;  ///< Outstanding guardian registrations (0 or 1).
+    uint16_t Flags; ///< ReleasedFlag when the object is on the free list.
+    uint16_t Magic; ///< LeaseMagic; catches foreign bytevectors.
+  };
+  static constexpr uint16_t LeaseMagic = 0xB17A;
+  static constexpr uint16_t ReleasedFlag = 1;
+  static_assert(sizeof(Lease) == HeaderBytes, "lease stamp must fit header");
+
+  Lease leaseOf(Value Obj) const {
+    GENGC_ASSERT(isBytevector(Obj), "not a pool bitmap");
+    Lease L;
+    std::memcpy(&L, bytevectorData(Obj), sizeof(Lease));
+    GENGC_ASSERT(L.Magic == LeaseMagic, "bytevector is not a pool bitmap");
+    return L;
+  }
+  void setLease(Value Obj, const Lease &L) {
+    std::memcpy(bytevectorData(Obj), &L, sizeof(Lease));
+  }
+
   void expensiveInitialize(Value Obj) {
     // Deterministic pattern fill, swept InitSweeps times to model the
-    // cost of building the fixed structure the paper describes.
+    // cost of building the fixed structure the paper describes. The
+    // lease stamp prefix is not part of the payload.
     uint8_t *Data = bytevectorData(Obj);
     const size_t N = objectLength(Obj);
     for (unsigned Sweep = 0; Sweep != InitSweeps; ++Sweep)
-      for (size_t I = 0; I != N; ++I)
+      for (size_t I = HeaderBytes; I != N; ++I)
         Data[I] = static_cast<uint8_t>((I * 31 + Sweep * 17 + 7) & 0xFF);
   }
 
@@ -79,8 +205,17 @@ private:
   RootVector FreeList;
   size_t BitmapBytes;
   unsigned InitSweeps;
+  size_t MaxOutstanding;
+  size_t OutstandingCount = 0;
   uint64_t InitCount = 0;
   uint64_t ReuseCount = 0;
+  uint64_t ReleaseCount = 0;
+  uint64_t ReclaimCount = 0;
+  uint64_t DoubleReleaseCount = 0;
+  uint64_t ExhaustionCount = 0;
+  uint64_t LateAcquireCount = 0;
+  uint64_t LateReleaseCount = 0;
+  bool ShutdownFlag = false;
 };
 
 } // namespace gengc

@@ -1,0 +1,191 @@
+//===- runtime/FinalizationExecutor.cpp - Background finalization --------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/FinalizationExecutor.h"
+
+#include "support/Assert.h"
+
+namespace gengc {
+namespace runtime {
+
+FinalizationExecutor::FinalizationExecutor()
+    : FinalizationExecutor(Config()) {}
+
+FinalizationExecutor::FinalizationExecutor(Config Cfg) : Cfg(Cfg) {
+  Worker = std::thread([this] { workerMain(); });
+}
+
+FinalizationExecutor::~FinalizationExecutor() { drainAndStop(); }
+
+FinalizationExecutor::QueueId FinalizationExecutor::registerQueue(
+    std::string Name, Action Act) {
+  std::lock_guard<std::mutex> Lock(M);
+  GENGC_ASSERT(!Stopping, "registerQueue on a stopping executor");
+  Queues.push_back(Queue{std::move(Name), std::move(Act), {}, 0});
+  return static_cast<QueueId>(Queues.size() - 1);
+}
+
+bool FinalizationExecutor::submit(QueueId QId, intptr_t Payload,
+                                  intptr_t Aux) {
+  std::unique_lock<std::mutex> Lock(M);
+  GENGC_ASSERT(QId < Queues.size(), "submit to unregistered queue");
+  if (Stopping)
+    return false;
+  if (PendingCount >= Cfg.HighWatermark) {
+    ++S.BackpressureWaits;
+    SpaceAvailable.wait(Lock, [this] {
+      return PendingCount < Cfg.HighWatermark || Stopping;
+    });
+    if (Stopping)
+      return false;
+  }
+  Queue &Q = Queues[QId];
+  PendingTicket P;
+  P.Ticket = FinalizationTicket{Q.NextSeq++, Payload, Aux};
+  P.Attempts = 0;
+  P.NotBefore = std::chrono::steady_clock::time_point{}; // Ready now.
+  Q.Pending.push_back(P);
+  ++PendingCount;
+  ++S.Submitted;
+  if (PendingCount > S.MaxPending)
+    S.MaxPending = PendingCount;
+  Lock.unlock();
+  WorkAvailable.notify_one();
+  return true;
+}
+
+size_t FinalizationExecutor::runPassLocked(
+    std::unique_lock<std::mutex> &Lock,
+    std::chrono::steady_clock::time_point Now) {
+  size_t Ran = 0;
+  for (size_t QI = 0; QI != Queues.size(); ++QI) {
+    for (size_t B = 0; B != Cfg.BatchSize; ++B) {
+      Queue &Q = Queues[QI]; // Re-index: registerQueue may grow the vector
+                             // while the lock is dropped below.
+      if (Q.Pending.empty())
+        break;
+      PendingTicket P = Q.Pending.front();
+      // A head still backing off blocks its whole queue: running a
+      // younger ticket first would break per-queue FIFO. Draining
+      // ignores the delay (but not the retry cap).
+      if (!Draining && P.NotBefore > Now)
+        break;
+      Q.Pending.pop_front();
+
+      // Copy the action out: registerQueue may reallocate Queues while
+      // the lock is dropped around the call.
+      Action Act = Q.Act;
+      bool Ok = false;
+      Lock.unlock();
+      try {
+        Ok = Act(P.Ticket);
+      } catch (...) {
+        Ok = false;
+      }
+      Lock.lock();
+      ++Ran;
+
+      if (Ok) {
+        ++S.Executed;
+        --PendingCount;
+      } else {
+        ++S.Failed;
+        ++P.Attempts;
+        if (P.Attempts >= Cfg.MaxRetries) {
+          Quarantine.push_back(QuarantinedTicket{
+              static_cast<QueueId>(QI), P.Ticket, P.Attempts});
+          ++S.Quarantined;
+          --PendingCount;
+        } else {
+          // Exponential backoff, waiting at the queue head.
+          P.NotBefore =
+              Now + Cfg.BaseBackoff * (uint64_t{1} << (P.Attempts - 1));
+          Queues[QI].Pending.push_front(P);
+          ++S.Retried;
+          break; // Head is backing off; move to the next queue.
+        }
+      }
+      if (PendingCount < Cfg.HighWatermark)
+        SpaceAvailable.notify_all();
+      if (PendingCount == 0)
+        Idle.notify_all();
+    }
+  }
+  return Ran;
+}
+
+void FinalizationExecutor::workerMain() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (true) {
+    auto Now = std::chrono::steady_clock::now();
+    size_t Ran = runPassLocked(Lock, Now);
+    if (Ran != 0) {
+      ++S.Batches;
+      continue;
+    }
+    if (PendingCount == 0) {
+      Idle.notify_all();
+      if (Stopping)
+        return;
+      WorkAvailable.wait(Lock,
+                         [this] { return PendingCount != 0 || Stopping; });
+      continue;
+    }
+    // Everything pending is backing off. Sleep until the earliest
+    // deadline (drain mode never gets here: it treats delays as ready).
+    auto Earliest = std::chrono::steady_clock::time_point::max();
+    for (const Queue &Q : Queues)
+      if (!Q.Pending.empty() && Q.Pending.front().NotBefore < Earliest)
+        Earliest = Q.Pending.front().NotBefore;
+    WorkAvailable.wait_until(Lock, Earliest);
+  }
+}
+
+void FinalizationExecutor::drainAndStop() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping && !Worker.joinable())
+      return;
+    Stopping = true;
+    Draining = true;
+  }
+  WorkAvailable.notify_all();
+  SpaceAvailable.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+  GENGC_ASSERT(PendingCount == 0, "executor stopped with tickets pending");
+}
+
+void FinalizationExecutor::waitIdle() {
+  std::unique_lock<std::mutex> Lock(M);
+  Idle.wait(Lock, [this] { return PendingCount == 0; });
+}
+
+size_t FinalizationExecutor::pending() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return PendingCount;
+}
+
+FinalizationExecutor::Stats FinalizationExecutor::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}
+
+std::vector<FinalizationExecutor::QuarantinedTicket>
+FinalizationExecutor::quarantined() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Quarantine;
+}
+
+std::string FinalizationExecutor::queueName(QueueId Id) const {
+  std::lock_guard<std::mutex> Lock(M);
+  GENGC_ASSERT(Id < Queues.size(), "queueName of unregistered queue");
+  return Queues[Id].Name;
+}
+
+} // namespace runtime
+} // namespace gengc

@@ -1,0 +1,157 @@
+//===- runtime/Mailbox.h - Bounded MPSC shard mailbox ---------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The only channel between shards: a bounded multi-producer,
+/// single-consumer queue of PinnedMessages. Producers are any threads
+/// (typically other shards' event loops); the consumer is the owning
+/// shard's thread. Because messages are pinned (no heap pointers), the
+/// queue needs no GC cooperation — a plain mutex + condvars suffice,
+/// and TSan can verify the whole protocol.
+///
+/// Backpressure is explicit: send() blocks while the queue is at
+/// capacity (counted), trySend() refuses instead. close() wakes every
+/// blocked producer and consumer; messages already queued remain
+/// receivable so shutdown can drain without losing work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_RUNTIME_MAILBOX_H
+#define GENGC_RUNTIME_MAILBOX_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "runtime/PinnedMessage.h"
+
+namespace gengc {
+namespace runtime {
+
+class Mailbox {
+public:
+  struct Stats {
+    uint64_t Sent = 0;
+    uint64_t Received = 0;
+    uint64_t MaxDepth = 0;
+    uint64_t BackpressureBlocks = 0; ///< send() calls that had to wait.
+    uint64_t RejectedFull = 0;       ///< trySend() refusals (queue full).
+    uint64_t RejectedClosed = 0;     ///< Sends after close().
+  };
+
+  explicit Mailbox(size_t Capacity = 64) : Capacity(Capacity) {}
+
+  /// Blocks while the queue is full. Returns false iff the mailbox was
+  /// closed (message not enqueued).
+  bool send(PinnedMessage Msg) {
+    std::unique_lock<std::mutex> Lock(M);
+    if (Queue.size() >= Capacity && !Closed) {
+      ++S.BackpressureBlocks;
+      NotFull.wait(Lock, [this] { return Queue.size() < Capacity || Closed; });
+    }
+    return enqueueLocked(std::move(Msg), Lock);
+  }
+
+  /// Non-blocking send. Returns false if the queue is full or closed.
+  bool trySend(PinnedMessage Msg) {
+    std::unique_lock<std::mutex> Lock(M);
+    if (!Closed && Queue.size() >= Capacity) {
+      ++S.RejectedFull;
+      return false;
+    }
+    return enqueueLocked(std::move(Msg), Lock);
+  }
+
+  /// Non-blocking receive (consumer side). Returns false if empty.
+  bool tryReceive(PinnedMessage &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    if (Queue.empty())
+      return false;
+    Out = std::move(Queue.front());
+    Queue.pop_front();
+    ++S.Received;
+    Lock.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Consumer-side wait: returns when a message is available (true) or
+  /// the mailbox is closed and drained (false).
+  bool waitNonEmpty() {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [this] { return !Queue.empty() || Closed; });
+    return !Queue.empty();
+  }
+
+  /// Closes the mailbox: subsequent sends fail, blocked producers wake,
+  /// queued messages remain receivable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Closed = true;
+    }
+    NotFull.notify_all();
+    NotEmpty.notify_all();
+  }
+
+  bool isClosed() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Closed;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Queue.size();
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return S;
+  }
+
+  /// Hook invoked (outside the lock) whenever a message is enqueued;
+  /// the owning shard uses it to wake its event loop.
+  void setWakeHook(std::function<void()> Hook) {
+    std::lock_guard<std::mutex> Lock(M);
+    Wake = std::move(Hook);
+  }
+
+private:
+  bool enqueueLocked(PinnedMessage &&Msg, std::unique_lock<std::mutex> &Lock) {
+    if (Closed) {
+      ++S.RejectedClosed;
+      return false;
+    }
+    Queue.push_back(std::move(Msg));
+    ++S.Sent;
+    if (Queue.size() > S.MaxDepth)
+      S.MaxDepth = Queue.size();
+    std::function<void()> Hook = Wake;
+    Lock.unlock();
+    NotEmpty.notify_one();
+    if (Hook)
+      Hook();
+    return true;
+  }
+
+  mutable std::mutex M;
+  std::condition_variable NotEmpty;
+  std::condition_variable NotFull;
+  size_t Capacity;
+  std::deque<PinnedMessage> Queue;
+  std::function<void()> Wake;
+  Stats S;
+  bool Closed = false;
+};
+
+} // namespace runtime
+} // namespace gengc
+
+#endif // GENGC_RUNTIME_MAILBOX_H

@@ -1,0 +1,266 @@
+//===- runtime/PinnedMessage.cpp - Deep-copy encode/decode ---------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PinnedMessage.h"
+
+#include <unordered_map>
+
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+#include "object/Layout.h"
+
+namespace gengc {
+namespace runtime {
+
+namespace {
+
+/// Worklist-driven encoder. nodeFor() assigns indices on first visit
+/// (so cycles terminate); the queue fills node contents afterwards.
+/// No GC allocation happens anywhere in the walk, so the address map
+/// keyed on Value bits stays valid throughout.
+class Encoder {
+public:
+  Encoder(Heap &H, PinnedMessage &Out, TransferPolicy Policy)
+      : H(H), Out(Out), Policy(Policy) {}
+
+  bool encode(Value Root) {
+    Out.Nodes.clear();
+    Out.SeveredEdges = 0;
+    if (!encodeField(Root, Out.RootField))
+      return false;
+    while (Cursor != Queue.size()) {
+      // Queue grows during fill; plain index iteration is the fixpoint.
+      auto [NodeIdx, V] = Queue[Cursor++];
+      if (!fillNode(NodeIdx, V))
+        return false;
+    }
+    return true;
+  }
+
+private:
+  bool encodeField(Value V, PinnedField &F) {
+    if (!V.isHeapPointer()) {
+      F = PinnedField::immediate(V);
+      return true;
+    }
+    uint32_t Idx;
+    if (!nodeFor(V, Idx))
+      return false;
+    F = PinnedField::ref(Idx);
+    return true;
+  }
+
+  bool nodeFor(Value V, uint32_t &Idx) {
+    auto [It, Inserted] =
+        Seen.try_emplace(V.bits(), static_cast<uint32_t>(Out.Nodes.size()));
+    Idx = It->second;
+    if (!Inserted)
+      return true;
+    Out.Nodes.emplace_back();
+    if (!transferable(V)) {
+      if (Policy == TransferPolicy::Reject)
+        return false;
+      Out.Nodes[Idx].Kind = PinnedKind::Severed;
+      ++Out.SeveredEdges;
+      return true; // Leave the node empty; decodes as #f.
+    }
+    Queue.emplace_back(Idx, V);
+    return true;
+  }
+
+  bool transferable(Value V) {
+    if (V.isPair())
+      return true;
+    switch (objectKind(V)) {
+    case ObjectKind::Vector:
+    case ObjectKind::Record:
+    case ObjectKind::Box:
+    case ObjectKind::String:
+    case ObjectKind::Bytevector:
+    case ObjectKind::Flonum:
+    case ObjectKind::Symbol:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  bool fillNode(uint32_t Idx, Value V) {
+    // Fields must be encoded into locals first: encodeField can grow
+    // Out.Nodes, invalidating any reference into it.
+    if (V.isPair()) {
+      PinnedField Car, Cdr;
+      if (!encodeField(pairCar(V), Car) || !encodeField(pairCdr(V), Cdr))
+        return false;
+      PinnedNode &N = Out.Nodes[Idx];
+      N.Kind = H.isWeakPair(V) ? PinnedKind::WeakPair : PinnedKind::Pair;
+      N.Fields = {Car, Cdr};
+      return true;
+    }
+    switch (objectKind(V)) {
+    case ObjectKind::Vector:
+    case ObjectKind::Record: {
+      const bool IsRecord = objectKind(V) == ObjectKind::Record;
+      const size_t Len = objectLength(V);
+      std::vector<PinnedField> Fields(Len);
+      for (size_t I = 0; I != Len; ++I)
+        if (!encodeField(objectField(V, I), Fields[I]))
+          return false;
+      PinnedNode &N = Out.Nodes[Idx];
+      N.Kind = IsRecord ? PinnedKind::Record : PinnedKind::Vector;
+      N.Fields = std::move(Fields);
+      return true;
+    }
+    case ObjectKind::Box: {
+      PinnedField F;
+      if (!encodeField(objectField(V, 0), F))
+        return false;
+      PinnedNode &N = Out.Nodes[Idx];
+      N.Kind = PinnedKind::Box;
+      N.Fields = {F};
+      return true;
+    }
+    case ObjectKind::String: {
+      PinnedNode &N = Out.Nodes[Idx];
+      N.Kind = PinnedKind::String;
+      const char *Data = stringData(V);
+      N.Bytes.assign(Data, Data + objectLength(V));
+      return true;
+    }
+    case ObjectKind::Bytevector: {
+      PinnedNode &N = Out.Nodes[Idx];
+      N.Kind = PinnedKind::Bytevector;
+      const uint8_t *Data = bytevectorData(V);
+      N.Bytes.assign(Data, Data + objectLength(V));
+      return true;
+    }
+    case ObjectKind::Flonum: {
+      PinnedNode &N = Out.Nodes[Idx];
+      N.Kind = PinnedKind::Flonum;
+      N.Flonum = flonumValue(V);
+      return true;
+    }
+    case ObjectKind::Symbol: {
+      // Symbol identity crosses shards by name: the receiver re-interns.
+      PinnedNode &N = Out.Nodes[Idx];
+      N.Kind = PinnedKind::Symbol;
+      Value Name = objectField(V, SymName);
+      const char *Data = stringData(Name);
+      N.Bytes.assign(Data, Data + objectLength(Name));
+      return true;
+    }
+    default:
+      GENGC_UNREACHABLE("pinned encode: unhandled transferable kind");
+    }
+  }
+
+  Heap &H;
+  PinnedMessage &Out;
+  TransferPolicy Policy;
+  std::unordered_map<uintptr_t, uint32_t> Seen;
+  std::vector<std::pair<uint32_t, Value>> Queue;
+  size_t Cursor = 0;
+};
+
+Value fieldValue(const PinnedField &F, const RootVector &Decoded) {
+  return F.IsRef ? Decoded[static_cast<size_t>(F.Bits)]
+                 : Value::fromBits(F.Bits);
+}
+
+} // namespace
+
+bool encodeMessage(Heap &H, Value V, PinnedMessage &Out,
+                   TransferPolicy Policy) {
+  return Encoder(H, Out, Policy).encode(V);
+}
+
+Value decodeMessage(Heap &H, const PinnedMessage &Msg) {
+  // Phase 1: allocate a shell per node, rooted so later allocations and
+  // stress collections can move them freely. Reference fields are wired
+  // in phase 2, once every shell exists.
+  RootVector Decoded(H);
+  for (const PinnedNode &N : Msg.Nodes) {
+    switch (N.Kind) {
+    case PinnedKind::Pair:
+      Decoded.push_back(H.cons(Value::falseV(), Value::falseV()));
+      break;
+    case PinnedKind::WeakPair:
+      Decoded.push_back(H.weakCons(Value::falseV(), Value::falseV()));
+      break;
+    case PinnedKind::Vector:
+      Decoded.push_back(H.makeVector(N.Fields.size(), Value::falseV()));
+      break;
+    case PinnedKind::Record:
+      GENGC_ASSERT(!N.Fields.empty(), "pinned record without a tag field");
+      Decoded.push_back(
+          H.makeRecord(Value::falseV(), N.Fields.size(), Value::falseV()));
+      break;
+    case PinnedKind::Box:
+      Decoded.push_back(H.makeBox(Value::falseV()));
+      break;
+    case PinnedKind::String:
+      Decoded.push_back(H.makeString(
+          std::string_view(reinterpret_cast<const char *>(N.Bytes.data()),
+                           N.Bytes.size())));
+      break;
+    case PinnedKind::Bytevector: {
+      Value BV = H.makeBytevector(N.Bytes.size());
+      if (!N.Bytes.empty())
+        std::copy(N.Bytes.begin(), N.Bytes.end(), bytevectorData(BV));
+      Decoded.push_back(BV);
+      break;
+    }
+    case PinnedKind::Flonum:
+      Decoded.push_back(H.makeFlonum(N.Flonum));
+      break;
+    case PinnedKind::Symbol:
+      Decoded.push_back(H.intern(
+          std::string_view(reinterpret_cast<const char *>(N.Bytes.data()),
+                           N.Bytes.size())));
+      break;
+    case PinnedKind::Severed:
+      Decoded.push_back(Value::falseV());
+      break;
+    }
+  }
+
+  // Phase 2: wire reference fields through the barriered setters. No
+  // allocation happens here, only stores.
+  for (size_t I = 0; I != Msg.Nodes.size(); ++I) {
+    const PinnedNode &N = Msg.Nodes[I];
+    Value Obj = Decoded[I];
+    switch (N.Kind) {
+    case PinnedKind::Pair:
+    case PinnedKind::WeakPair:
+      H.setCar(Obj, fieldValue(N.Fields[0], Decoded));
+      H.setCdr(Obj, fieldValue(N.Fields[1], Decoded));
+      break;
+    case PinnedKind::Vector:
+      for (size_t F = 0; F != N.Fields.size(); ++F)
+        H.vectorSet(Obj, F, fieldValue(N.Fields[F], Decoded));
+      break;
+    case PinnedKind::Record:
+      for (size_t F = 0; F != N.Fields.size(); ++F)
+        H.objectFieldSet(Obj, F, fieldValue(N.Fields[F], Decoded));
+      break;
+    case PinnedKind::Box:
+      H.boxSet(Obj, fieldValue(N.Fields[0], Decoded));
+      break;
+    case PinnedKind::String:
+    case PinnedKind::Bytevector:
+    case PinnedKind::Flonum:
+    case PinnedKind::Symbol:
+    case PinnedKind::Severed:
+      break; // Leaves; content already final.
+    }
+  }
+
+  return fieldValue(Msg.RootField, Decoded);
+}
+
+} // namespace runtime
+} // namespace gengc

@@ -1,0 +1,263 @@
+//===- runtime/Shard.cpp - Shard threads and runtime orchestration -------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Shard.h"
+
+#include <chrono>
+
+#include "core/TransportGuardian.h"
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+
+namespace gengc {
+namespace runtime {
+
+/// Shard-thread-only wrapper: the per-shard transport guardian that
+/// implements the shard-exit policy. Every value exported through
+/// sendValue is watched; deliveries (the object moved — or died —
+/// inside the sender after export) are counted into the report.
+class TransportWatch {
+public:
+  explicit TransportWatch(Heap &H) : TG(H) {}
+
+  void watch(Value V) { TG.watch(V); }
+  size_t drainMoved() {
+    return TG.drainMoved([](Value) {});
+  }
+
+private:
+  TransportGuardian TG;
+};
+
+//===----------------------------------------------------------------------===//
+// Shard
+//===----------------------------------------------------------------------===//
+
+Shard::Shard(uint32_t Id, HeapConfig HeapCfg, size_t MailboxCapacity,
+             FinalizationExecutor &Exec)
+    : Id(Id), HeapCfg(HeapCfg), Exec(Exec), Inbox(MailboxCapacity) {
+  Rep.ShardId = Id;
+  Rep.Gc.ShardId = Id;
+}
+
+void Shard::post(Task T) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Tasks.push_back(std::move(T));
+  }
+  WorkSignal.notify_one();
+}
+
+void Shard::run(Task T) {
+  GENGC_ASSERT(std::this_thread::get_id() != Thread.get_id(),
+               "Shard::run from the shard's own thread would deadlock");
+  std::mutex DoneM;
+  std::condition_variable DoneCv;
+  bool Done = false;
+  post([&](Shard &S) {
+    T(S);
+    // Signal under the lock: DoneM/DoneCv live on the caller's stack,
+    // and the caller may observe Done and destroy them the moment the
+    // lock is released — an unlocked notify could still be inside the
+    // condition variable at that point.
+    std::lock_guard<std::mutex> Lock(DoneM);
+    Done = true;
+    DoneCv.notify_one();
+  });
+  std::unique_lock<std::mutex> Lock(DoneM);
+  DoneCv.wait(Lock, [&] { return Done; });
+}
+
+bool Shard::sendValue(Shard &To, Value V, TransferPolicy Policy) {
+  GENGC_ASSERT(HeapPtr && HeapPtr->onOwnerThread(),
+               "sendValue must run on the sending shard's thread");
+  PinnedMessage Msg;
+  {
+    Root RV(*HeapPtr, V);
+    if (!encodeMessage(*HeapPtr, RV.get(), Msg, Policy))
+      return false;
+    // Shard-exit policy: watch the exported value through the transport
+    // guardian, so later movement (or death) inside this shard is
+    // observable — the receiver holds only a copy.
+    ExitWatch->watch(RV.get());
+    ++Rep.ExportsWatched;
+  }
+  return To.Inbox.trySend(std::move(Msg));
+}
+
+void Shard::pumpInbox() {
+  GENGC_ASSERT(HeapPtr && HeapPtr->onOwnerThread(),
+               "pumpInbox must run on the shard thread");
+  // Messages only — deliberately NOT posted tasks: pumpInbox is called
+  // from inside running tasks, and re-entering the task queue there
+  // would nest task executions arbitrarily deep.
+  PinnedMessage Msg;
+  while (Inbox.tryReceive(Msg)) {
+    ++Rep.MessagesReceived;
+    Rep.MessagesDecodedNodes += Msg.nodeCount();
+    {
+      Root RV(*HeapPtr, decodeMessage(*HeapPtr, Msg));
+      if (Local)
+        Local->onMessage(*this, RV.get());
+    }
+    Rep.ExportsMoved += ExitWatch->drainMoved();
+  }
+}
+
+Shard &Shard::peer(size_t I) {
+  GENGC_ASSERT(Owner, "peer() on a shard outside a runtime");
+  return Owner->shard(I);
+}
+
+size_t Shard::drainWorkLocked(std::unique_lock<std::mutex> &Lock) {
+  size_t Ran = 0;
+  while (true) {
+    // Posted tasks first (they are rarer and often control messages).
+    if (!Tasks.empty()) {
+      Task T = std::move(Tasks.front());
+      Tasks.pop_front();
+      Lock.unlock();
+      T(*this);
+      ++Rep.TasksRun;
+      Lock.lock();
+      ++Ran;
+      continue;
+    }
+    Lock.unlock();
+    PinnedMessage Msg;
+    const bool Got = Inbox.tryReceive(Msg);
+    if (Got) {
+      ++Rep.MessagesReceived;
+      Rep.MessagesDecodedNodes += Msg.nodeCount();
+      {
+        Root RV(*HeapPtr, decodeMessage(*HeapPtr, Msg));
+        if (Local)
+          Local->onMessage(*this, RV.get());
+      }
+      Rep.ExportsMoved += ExitWatch->drainMoved();
+      Lock.lock();
+      ++Ran;
+      continue;
+    }
+    Lock.lock();
+    return Ran;
+  }
+}
+
+void Shard::loopUntilStopped() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (true) {
+    drainWorkLocked(Lock);
+    if (StopRequested && Tasks.empty() && Inbox.depth() == 0)
+      return;
+    // Sleep until a post() or an inbox wake. The timeout is a safety
+    // net for the close() race (close is not routed through the wake
+    // hook); it only matters during shutdown.
+    WorkSignal.wait_for(Lock, std::chrono::milliseconds(50), [this] {
+      return !Tasks.empty() || Inbox.depth() != 0 || StopRequested;
+    });
+  }
+}
+
+void Shard::requestStop() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    StopRequested = true;
+  }
+  WorkSignal.notify_one();
+}
+
+void Shard::threadMain(
+    const std::function<std::unique_ptr<ShardLocal>(Shard &)> &Init) {
+  // The heap is constructed here so the shard thread is its owner; it
+  // lives on the stack of the thread, making any use-after-exit loud.
+  Heap H(HeapCfg);
+  HeapPtr = &H;
+  H.addPostGcHook([this](Heap &, const GcStats &St) {
+    Rep.Gc.PauseNanos.push_back(St.DurationNanos);
+  });
+  {
+    TransportWatch Watch(H);
+    ExitWatch = &Watch;
+    // Locking M inside the hook closes the missed-wakeup window: a
+    // sender cannot notify between the loop's predicate check and its
+    // actual wait.
+    Inbox.setWakeHook([this] {
+      { std::lock_guard<std::mutex> Lock(M); }
+      WorkSignal.notify_one();
+    });
+    if (Init)
+      Local = Init(*this);
+
+    loopUntilStopped();
+
+    // Shutdown on the owning thread: user drains (collections, guardian
+    // sweeps, ticket submission), then state unwinds before the heap.
+    if (Local)
+      Local->onShutdown(*this);
+    Rep.ExportsMoved += ExitWatch->drainMoved();
+    Local.reset();
+    Inbox.setWakeHook(nullptr);
+    ExitWatch = nullptr;
+  }
+  Rep.Gc.Totals = H.totals();
+  Rep.Gc.BytesAllocated = H.totalBytesAllocated();
+  HeapPtr = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// ShardRuntime
+//===----------------------------------------------------------------------===//
+
+ShardRuntime::ShardRuntime(Config Cfg, InitFn Init) : Exec(Cfg.ExecutorCfg) {
+  GENGC_ASSERT(Cfg.ShardCount >= 1, "runtime needs at least one shard");
+  Shards.reserve(Cfg.ShardCount);
+  for (size_t I = 0; I != Cfg.ShardCount; ++I) {
+    Shards.emplace_back(std::unique_ptr<Shard>(new Shard(
+        static_cast<uint32_t>(I), Cfg.HeapCfg, Cfg.MailboxCapacity, Exec)));
+    Shards.back()->Owner = this;
+  }
+  for (auto &S : Shards) {
+    Shard *P = S.get();
+    P->Thread = std::thread([P, Init] { P->threadMain(Init); });
+  }
+}
+
+ShardRuntime::~ShardRuntime() { shutdown(); }
+
+void ShardRuntime::shutdown() {
+  if (Shutdown)
+    return;
+  Shutdown = true;
+  // 1. No new cross-shard traffic; queued messages stay receivable.
+  for (auto &S : Shards)
+    S->inbox().close();
+  // 2. Shards drain remaining inboxes/tasks, run onShutdown, tear down
+  //    their ShardLocal and Heap on their own threads, and exit.
+  for (auto &S : Shards)
+    S->requestStop();
+  for (auto &S : Shards)
+    if (S->Thread.joinable())
+      S->Thread.join();
+  // 3. With every shard's tickets submitted, drain the executor; after
+  //    this nothing in the process references any (now-dead) heap.
+  Exec.drainAndStop();
+  // Reports were written by the shard threads; joined, so safe to copy.
+  Reports.clear();
+  for (auto &S : Shards)
+    Reports.push_back(S->Rep);
+}
+
+FleetGcStats ShardRuntime::fleetGcStats() const {
+  std::vector<ShardGcSample> Samples;
+  for (const Shard::Report &R : reports())
+    Samples.push_back(R.Gc);
+  return aggregateShards(Samples);
+}
+
+} // namespace runtime
+} // namespace gengc

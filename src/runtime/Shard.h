@@ -1,0 +1,217 @@
+//===- runtime/Shard.h - Shard-per-thread runtime -------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-heap runtime: N shards, each a worker thread owning a
+/// private Heap, wired together by pinned-message mailboxes and sharing
+/// one background FinalizationExecutor. The collector stays exactly the
+/// single-threaded collector the fuzzer and oracle verify — concurrency
+/// lives entirely in this layer, above the heaps.
+///
+/// Ownership rules (enforced by HeapConfig::CheckThreadAffinity):
+///  - a shard's Heap is constructed, mutated, collected, and destroyed
+///    on the shard thread, never elsewhere;
+///  - Values never cross shards; only PinnedMessages do (sendValue
+///    deep-copies on the sending thread, the receiver decodes into its
+///    own heap);
+///  - the FinalizationExecutor touches no heap: shards convert
+///    resurrected guardian objects to plain-word tickets before
+///    submitting.
+///
+/// Per-shard user state derives from ShardLocal; it is created by the
+/// init callback on the shard thread (after the Heap exists) and
+/// destroyed there before the Heap, so its Roots and Guardians unwind
+/// while the heap is still alive. Values exported through sendValue are
+/// watched by a per-shard TransportGuardian — the transport machinery
+/// is the shard-exit policy: exports that later move (or die) inside
+/// the sender surface there, and the count is reported per shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_RUNTIME_SHARD_H
+#define GENGC_RUNTIME_SHARD_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gc/HeapConfig.h"
+#include "gc/telemetry/Aggregate.h"
+#include "support/Assert.h"
+#include "runtime/FinalizationExecutor.h"
+#include "runtime/Mailbox.h"
+#include "runtime/PinnedMessage.h"
+
+namespace gengc {
+
+class Heap;
+
+namespace runtime {
+
+class Shard;
+class ShardRuntime;
+
+/// Base class for per-shard user state. Constructed on the shard thread
+/// by the runtime's init callback, destroyed on the shard thread before
+/// the Heap — so members like Root, Guardian, PortTable unwind in order.
+class ShardLocal {
+public:
+  virtual ~ShardLocal() = default;
+
+  /// Called on the shard thread for every inbox message, with the value
+  /// already decoded into this shard's heap.
+  virtual void onMessage(Shard &S, Value V) { (void)S, (void)V; }
+
+  /// Called on the shard thread during shutdown, after the inbox is
+  /// drained and before this object and the Heap are destroyed. The
+  /// place for final collections, guardian drains, and last ticket
+  /// submissions.
+  virtual void onShutdown(Shard &S) { (void)S; }
+};
+
+/// One worker: a thread, its private Heap, its inbox, and its exit
+/// watch. Created and owned by ShardRuntime.
+class Shard {
+public:
+  using Task = std::function<void(Shard &)>;
+
+  /// Per-shard end-of-life report, written by the shard thread just
+  /// before it exits and readable (via ShardRuntime) after join.
+  struct Report {
+    uint32_t ShardId = 0;
+    ShardGcSample Gc;
+    uint64_t MessagesReceived = 0;
+    uint64_t MessagesDecodedNodes = 0;
+    uint64_t ExportsWatched = 0;
+    uint64_t ExportsMoved = 0; ///< Transport-guardian deliveries observed.
+    uint64_t TasksRun = 0;
+  };
+
+  uint32_t id() const { return Id; }
+
+  /// The shard's private heap. Only meaningful on the shard thread.
+  Heap &heap() {
+    GENGC_ASSERT(HeapPtr, "shard heap accessed outside its lifetime");
+    return *HeapPtr;
+  }
+
+  ShardLocal *local() { return Local.get(); }
+  Mailbox &inbox() { return Inbox; }
+  FinalizationExecutor &executor() { return Exec; }
+
+  /// A sibling shard in the same runtime, by id — the sendValue target
+  /// for shard code that only holds its own Shard.
+  Shard &peer(size_t I);
+
+  /// Enqueues a task to run on the shard thread. Thread-safe.
+  void post(Task T);
+
+  /// Runs a task on the shard thread and waits for it to finish.
+  /// Must NOT be called from the shard thread itself.
+  void run(Task T);
+
+  /// Deep-copies \p V (which lives in this shard's heap; owner thread
+  /// only), watches it for shard exit, and enqueues it to \p To without
+  /// blocking. Returns false if the destination inbox is full or
+  /// closed, or the value is not transferable. Use on the shard thread.
+  bool sendValue(Shard &To, Value V,
+                 TransferPolicy Policy = TransferPolicy::Reject);
+
+  /// Drains inbox messages and posted tasks now (shard thread only);
+  /// lets long-running shard code service cross-shard traffic mid-task.
+  void pumpInbox();
+
+private:
+  friend class ShardRuntime;
+
+  Shard(uint32_t Id, HeapConfig HeapCfg, size_t MailboxCapacity,
+        FinalizationExecutor &Exec);
+
+  void threadMain(const std::function<std::unique_ptr<ShardLocal>(Shard &)>
+                      &Init);
+  void loopUntilStopped();
+  size_t drainWorkLocked(std::unique_lock<std::mutex> &Lock);
+  void requestStop();
+
+  const uint32_t Id;
+  const HeapConfig HeapCfg;
+  FinalizationExecutor &Exec;
+  ShardRuntime *Owner = nullptr; ///< Set by ShardRuntime before start.
+  Mailbox Inbox;
+
+  // Shard-thread-only state (no lock needed; nothing else touches it
+  // between thread start and join).
+  Heap *HeapPtr = nullptr;
+  std::unique_ptr<ShardLocal> Local;
+  class TransportWatch *ExitWatch = nullptr; ///< Stack of threadMain.
+  Report Rep;
+
+  std::mutex M;
+  std::condition_variable WorkSignal;
+  std::deque<Task> Tasks;
+  bool StopRequested = false;
+
+  std::thread Thread;
+};
+
+/// Owns the shards and the executor; orchestrates startup and the
+/// drain-everything-then-tear-down shutdown sequence.
+class ShardRuntime {
+public:
+  struct Config {
+    size_t ShardCount = 1;
+    HeapConfig HeapCfg;
+    size_t MailboxCapacity = 64;
+    FinalizationExecutor::Config ExecutorCfg;
+  };
+
+  using InitFn = std::function<std::unique_ptr<ShardLocal>(Shard &)>;
+
+  /// Starts every shard thread; each constructs its Heap, then runs
+  /// \p Init (may be null) to build its ShardLocal.
+  explicit ShardRuntime(Config Cfg, InitFn Init = nullptr);
+  ~ShardRuntime();
+
+  ShardRuntime(const ShardRuntime &) = delete;
+  ShardRuntime &operator=(const ShardRuntime &) = delete;
+
+  size_t shardCount() const { return Shards.size(); }
+  Shard &shard(size_t I) { return *Shards[I]; }
+  FinalizationExecutor &executor() { return Exec; }
+
+  /// The full shutdown protocol: close inboxes, let every shard drain
+  /// its remaining messages and run ShardLocal::onShutdown (final
+  /// collections + guardian drains + ticket submission), destroy shard
+  /// state and heaps on their own threads, join, then drain the
+  /// executor. Idempotent. After shutdown(), reports() is valid.
+  void shutdown();
+
+  /// Per-shard end-of-life reports; valid after shutdown().
+  const std::vector<Shard::Report> &reports() const {
+    GENGC_ASSERT(Shutdown, "reports() before shutdown()");
+    return Reports;
+  }
+
+  /// Fleet-wide GC aggregation of the reports; valid after shutdown().
+  FleetGcStats fleetGcStats() const;
+
+private:
+  FinalizationExecutor Exec;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::vector<Shard::Report> Reports;
+  bool Shutdown = false;
+};
+
+} // namespace runtime
+} // namespace gengc
+
+#endif // GENGC_RUNTIME_SHARD_H

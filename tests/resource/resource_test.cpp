@@ -99,9 +99,11 @@ TEST(ResourcePoolTest, FirstAcquireInitializes) {
   EXPECT_EQ(objectLength(B.get()), 1024u);
   EXPECT_EQ(Pool.initializations(), 1u);
   EXPECT_EQ(Pool.reuses(), 0u);
-  // The expensive initialization left its pattern.
-  EXPECT_EQ(bytevectorData(B.get())[0],
-            static_cast<uint8_t>((0 * 31 + 7 * 17 + 7) & 0xFF));
+  // The expensive initialization left its pattern in the payload (the
+  // first ResourcePool::HeaderBytes hold the lease stamp).
+  const size_t I = ResourcePool::HeaderBytes;
+  EXPECT_EQ(bytevectorData(B.get())[I],
+            static_cast<uint8_t>((I * 31 + 7 * 17 + 7) & 0xFF));
 }
 
 TEST(ResourcePoolTest, DroppedObjectIsReused) {
@@ -129,6 +131,126 @@ TEST(ResourcePoolTest, LiveObjectsAreNotRecycled) {
   EXPECT_EQ(Pool.freeListSize(), 0u) << "both objects are still in use";
   Root C(H, Pool.acquire());
   EXPECT_EQ(Pool.initializations(), 3u);
+}
+
+TEST(ExternalMemoryTest, ExhaustionReturnsMinusOne) {
+  ExternalMemoryManager M(256); // 256-byte capacity.
+  intptr_t A = M.allocate(200);
+  EXPECT_GE(A, 0);
+  intptr_t B = M.allocate(100); // Would exceed the cap.
+  EXPECT_EQ(B, -1);
+  EXPECT_EQ(M.exhaustions(), 1u);
+  M.free(A);
+  EXPECT_GE(M.allocate(100), 0) << "capacity freed by free() is reusable";
+}
+
+TEST(ExternalMemoryTest, DoubleFreeIsCountedNotFatal) {
+  ExternalMemoryManager M;
+  intptr_t A = M.allocate(32);
+  EXPECT_TRUE(M.free(A));
+  EXPECT_FALSE(M.free(A));
+  EXPECT_EQ(M.doubleFrees(), 1u);
+  EXPECT_EQ(M.totalFrees(), 1u) << "accounting unchanged by double free";
+}
+
+TEST(ExternalMemoryTest, ShutdownMakesLateOpsDefined) {
+  ExternalMemoryManager M;
+  intptr_t A = M.allocate(32);
+  M.allocate(16);
+  EXPECT_TRUE(M.free(A));
+  EXPECT_EQ(M.shutdown(), 1u) << "one block leaked at shutdown";
+  EXPECT_EQ(M.allocate(8), -1);
+  EXPECT_EQ(M.lateAllocations(), 1u);
+  EXPECT_FALSE(M.free(A));
+  EXPECT_EQ(M.lateFrees(), 1u);
+  EXPECT_TRUE(M.isShutdown());
+}
+
+TEST(ExternalMemoryTest, GuardedAllocateAfterExhaustionReturnsFalse) {
+  Heap H(testConfig());
+  ExternalMemoryManager M(64);
+  GuardedExternalMemory GM(H, M);
+  Root Ok(H, GM.allocate(64));
+  EXPECT_TRUE(isRecord(Ok.get()));
+  Value Refused = GM.allocate(1);
+  EXPECT_TRUE(Refused.isFalse()) << "exhausted manager yields #f header";
+  EXPECT_EQ(M.exhaustions(), 1u);
+}
+
+TEST(ResourcePoolTest, ExplicitReleaseIsReused) {
+  Heap H(testConfig());
+  ResourcePool Pool(H, 128);
+  {
+    Root A(H, Pool.acquire());
+    EXPECT_TRUE(Pool.release(A.get()));
+  }
+  EXPECT_EQ(Pool.freeListSize(), 1u);
+  Root B(H, Pool.acquire());
+  EXPECT_EQ(Pool.initializations(), 1u) << "released bitmap reused";
+  EXPECT_EQ(Pool.reuses(), 1u);
+  EXPECT_EQ(Pool.outstanding(), 1u);
+}
+
+TEST(ResourcePoolTest, DoubleReleaseDetected) {
+  Heap H(testConfig());
+  ResourcePool Pool(H, 128);
+  Root A(H, Pool.acquire());
+  EXPECT_TRUE(Pool.release(A.get()));
+  EXPECT_FALSE(Pool.release(A.get()));
+  EXPECT_EQ(Pool.doubleReleases(), 1u);
+  EXPECT_EQ(Pool.freeListSize(), 1u) << "no aliased free-list entry";
+}
+
+TEST(ResourcePoolTest, ReleaseThenReacquireThenDropDeliversOnce) {
+  // The registration-count hazard: an explicitly released bitmap is
+  // still guardian-registered; re-acquiring it must not register it a
+  // second time, or a later drop would surface it twice.
+  Heap H(testConfig());
+  ResourcePool Pool(H, 128);
+  {
+    Root A(H, Pool.acquire());
+    Pool.release(A.get());
+  }
+  {
+    Root B(H, Pool.acquire());
+    EXPECT_EQ(Pool.reuses(), 1u);
+  }
+  // B dropped without release; let the guardian find it.
+  H.collectFull();
+  H.collectFull();
+  EXPECT_EQ(Pool.refillFreeList(), 1u) << "delivered exactly once";
+  EXPECT_EQ(Pool.freeListSize(), 1u);
+  H.collectFull();
+  H.collectFull();
+  EXPECT_EQ(Pool.refillFreeList(), 0u) << "no ghost second delivery";
+  EXPECT_EQ(Pool.outstanding(), 0u);
+  H.verifyHeap();
+}
+
+TEST(ResourcePoolTest, ExhaustionReturnsFalse) {
+  Heap H(testConfig());
+  ResourcePool Pool(H, 64, 1, /*MaxOutstanding=*/2);
+  Root A(H, Pool.acquire());
+  Root B(H, Pool.acquire());
+  Value C = Pool.acquire();
+  EXPECT_TRUE(C.isFalse());
+  EXPECT_EQ(Pool.exhaustionFailures(), 1u);
+  // Releasing frees a lease slot.
+  EXPECT_TRUE(Pool.release(A.get()));
+  Root D(H, Pool.acquire());
+  EXPECT_TRUE(isBytevector(D.get()));
+}
+
+TEST(ResourcePoolTest, ShutdownMakesLateOpsDefined) {
+  Heap H(testConfig());
+  ResourcePool Pool(H, 64);
+  Root A(H, Pool.acquire());
+  EXPECT_EQ(Pool.shutdown(), 1u) << "one bitmap still leased";
+  EXPECT_TRUE(Pool.acquire().isFalse());
+  EXPECT_EQ(Pool.lateAcquires(), 1u);
+  EXPECT_FALSE(Pool.release(A.get()));
+  EXPECT_EQ(Pool.lateReleases(), 1u);
+  EXPECT_TRUE(Pool.isShutdown());
 }
 
 TEST(ResourcePoolTest, ChurnReusesSteadyState) {
