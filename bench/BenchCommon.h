@@ -66,6 +66,11 @@ public:
     State.counters["gc_objects_promoted"] = C(T.ObjectsPromoted);
     State.counters["gc_segments_freed"] = C(T.SegmentsFreed);
     State.counters["gc_total_pause_ns"] = C(T.DurationNanos);
+    // Barrier-elision effectiveness: read from the heap's monotonic
+    // counters, not GcTotals — stores after the last collection would
+    // otherwise be invisible (manual-collect benches may never GC).
+    State.counters["gc_barriers_executed"] = C(H.barriersExecuted());
+    State.counters["gc_barriers_elided"] = C(H.barriersElided());
     if (PauseNanos.empty())
       return;
     std::vector<uint64_t> Sorted = PauseNanos;

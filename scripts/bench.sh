@@ -26,9 +26,9 @@
 # GC-heavy benchmarks attach a GcPauseRecorder (bench/BenchCommon.h)
 # and publish collector counters into each entry's "counters" object:
 # gc_collections, gc_full_collections, gc_bytes_copied,
-# gc_objects_promoted, gc_segments_freed, gc_total_pause_ns, and the
-# per-run pause percentiles gc_pause_p50_ns / gc_pause_p99_ns /
-# gc_pause_max_ns. They land in the same JSON files automatically;
+# gc_objects_promoted, gc_segments_freed, gc_total_pause_ns,
+# gc_barriers_executed, gc_barriers_elided, and the per-run pause
+# percentiles gc_pause_p50_ns / gc_pause_p99_ns / gc_pause_max_ns. They land in the same JSON files automatically;
 # e.g.:  jq '.benchmarks[] | {name, gc_pause_p99_ns: .gc_pause_p99_ns}'
 
 set -euo pipefail
@@ -45,7 +45,8 @@ out_dir = sys.argv[1]
 rows, totals, pauses = [], {}, {"p50": [], "p99": [], "max": []}
 files_read, files_bad = 0, 0
 GC_KEYS = ("gc_collections", "gc_full_collections", "gc_bytes_copied",
-           "gc_objects_promoted", "gc_segments_freed", "gc_total_pause_ns")
+           "gc_objects_promoted", "gc_segments_freed", "gc_total_pause_ns",
+           "gc_barriers_executed", "gc_barriers_elided")
 
 for path in sorted(glob.glob(os.path.join(out_dir, "*.json"))):
     try:

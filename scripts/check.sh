@@ -54,6 +54,24 @@ run_suite() {
   # shrunk reproducer trace prominently at the end of the gate).
   echo "==> [$name] gcfuzz smoke"
   "$dir/tools/gcfuzz/gcfuzz" --seed-corpus --out "$dir"
+  # Elision differential: the same corpus with the compile-time
+  # write-barrier elision forced off (the default corpus runs with it
+  # on), then random whole Scheme programs executed under both settings
+  # of the toggle and compared output-for-output.
+  echo "==> [$name] elision differential"
+  "$dir/tools/gcfuzz/gcfuzz" --seed-corpus --elide off --out "$dir"
+  "$dir/tools/gcfuzz/gcfuzz" --vm-diff 30 --out "$dir"
+  # Canary: with a deliberately unsound elision injected, the gate must
+  # FAIL — either the store-time verifier aborts or the reachability
+  # oracle reports a divergence. A zero exit means the elision safety
+  # net has lost its teeth.
+  echo "==> [$name] unsound-elision canary"
+  if "$dir/tools/gcfuzz/gcfuzz" --traces 40 --config paper \
+       --fault unsound-elision --no-shrink --out "$dir" \
+       >/dev/null 2>&1; then
+    echo "[$name] unsound-elision canary was NOT caught" >&2
+    exit 1
+  fi
   # Shard-runtime accounting smoke: eight private heaps, cross-shard
   # messages, background finalization with injected transient
   # failures; a nonzero exit means a resource went unaccounted (and

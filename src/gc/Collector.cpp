@@ -119,6 +119,13 @@ void Collector::run(unsigned G) {
   S.FinalizerThunksRun = ThunkQueue.size();
   S.DurationNanos = Tel.now() - StartNanos;
 
+  // Mutator barrier traffic in the window since the previous
+  // collection: deltas of the heap's monotonic counters.
+  S.BarriersExecuted = H.BarriersExecutedTotal - H.BarriersExecutedAtGc;
+  S.BarriersElided = H.BarriersElidedTotal - H.BarriersElidedAtGc;
+  H.BarriersExecutedAtGc = H.BarriersExecutedTotal;
+  H.BarriersElidedAtGc = H.BarriersElidedTotal;
+
   if (Tel.TraceEnabled) {
     if (S.ObjectsPromoted != 0) {
       GcEvent E;

@@ -130,6 +130,14 @@ struct GcStats {
   uint64_t SegmentsFreed = 0;
   uint64_t DurationNanos = 0;
 
+  /// Mutator write-barrier traffic since the previous collection (the
+  /// window that ends with this pause): stores that took the full
+  /// writeBarrier path vs stores the compile-time elision pass (or a
+  /// heap-internal fast path) proved barrier-free. Elided / (Executed +
+  /// Elided) is the store-tax reduction the static analysis bought.
+  uint64_t BarriersExecuted = 0;
+  uint64_t BarriersElided = 0;
+
   /// Where the pause went, phase by phase.
   GcPhaseBreakdown Phases;
 };
@@ -158,6 +166,8 @@ struct GcTotals {
   uint64_t SymbolsDropped = 0;
   uint64_t SegmentsFreed = 0;
   uint64_t DurationNanos = 0;
+  uint64_t BarriersExecuted = 0;
+  uint64_t BarriersElided = 0;
   GcPhaseBreakdown Phases;
 
   void accumulate(const GcStats &S, unsigned OldestGeneration) {
@@ -181,6 +191,8 @@ struct GcTotals {
     SymbolsDropped += S.SymbolsDropped;
     SegmentsFreed += S.SegmentsFreed;
     DurationNanos += S.DurationNanos;
+    BarriersExecuted += S.BarriersExecuted;
+    BarriersElided += S.BarriersElided;
     Phases.accumulate(S.Phases);
   }
 
@@ -207,6 +219,8 @@ struct GcTotals {
     SymbolsDropped += O.SymbolsDropped;
     SegmentsFreed += O.SegmentsFreed;
     DurationNanos += O.DurationNanos;
+    BarriersExecuted += O.BarriersExecuted;
+    BarriersElided += O.BarriersElided;
     Phases.accumulate(O.Phases);
   }
 };

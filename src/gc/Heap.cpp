@@ -344,6 +344,7 @@ Value Heap::makeList(const std::vector<Value> &Elements) {
 
 void Heap::writeBarrier(Value Container, Value V, bool WeakField) {
   checkOwner("barriered store");
+  ++BarriersExecutedTotal;
   if (!V.isHeapPointer())
     return;
   const SegmentInfo &CInfo = Segments.infoFor(Container.heapAddress());
@@ -374,6 +375,21 @@ void Heap::setCdr(Value Pair, Value V) {
 void Heap::vectorSet(Value Vector, size_t Index, Value V) {
   GENGC_ASSERT(isVector(Vector), "vectorSet on non-vector");
   GENGC_ASSERT(Index < objectLength(Vector), "vectorSet index out of range");
+  if (Cfg.InjectedFault == GcFaultInjection::UnsoundElision &&
+      !UnsoundElisionFired && V.isHeapPointer()) {
+    // Deliberately mis-classify the first store that genuinely needs a
+    // remembered-set entry as "initializing" and skip its barrier. The
+    // dynamic verifier (VerifyElision) must abort here; without it, the
+    // missing old-to-young entry must be caught by verifyHeap / the
+    // fuzz oracle at the next collection.
+    const SegmentInfo &CInfo = Segments.infoFor(Vector.heapAddress());
+    if (CInfo.Generation != 0 &&
+        Segments.infoFor(V.heapAddress()).Generation < CInfo.Generation) {
+      UnsoundElisionFired = true;
+      vectorSetElided(Vector, Index, V, StoreElision::Initializing);
+      return;
+    }
+  }
   writeBarrier(Vector, V, /*WeakField=*/false);
   objectFieldSetRaw(Vector, Index, V);
 }
@@ -396,6 +412,63 @@ void Heap::objectFieldSet(Value Object, size_t Index, Value V) {
                "objectFieldSet on pointerless object");
   writeBarrier(Object, V, /*WeakField=*/false);
   objectFieldSetRaw(Object, Index, V);
+}
+
+//===----------------------------------------------------------------------===//
+// Elided (unbarriered) mutation.
+//===----------------------------------------------------------------------===//
+
+void Heap::elidedStore(Value Container, Value V, StoreElision Claim) {
+  checkOwner("elided store");
+  ++BarriersElidedTotal;
+  if (!Cfg.VerifyElision)
+    return;
+  // The soundness verifier: re-establish the claim dynamically. These
+  // are exactly the preconditions under which writeBarrier could never
+  // have inserted a remembered-set entry.
+  switch (Claim) {
+  case StoreElision::Initializing:
+    if (Segments.infoFor(Container.heapAddress()).Generation != 0)
+      fatalError(__FILE__, __LINE__,
+                 "unsound barrier elision: store classified 'initializing' "
+                 "but the target is no longer in generation 0 (a safepoint "
+                 "intervened between allocation and store)");
+    return;
+  case StoreElision::Immediate:
+    if (V.isHeapPointer())
+      fatalError(__FILE__, __LINE__,
+                 "unsound barrier elision: store classified 'immediate' but "
+                 "the stored value is a heap pointer");
+    return;
+  }
+}
+
+void Heap::setCarElided(Value Pair, Value V, StoreElision Claim) {
+  GENGC_ASSERT(Pair.isPair(), "setCarElided on non-pair");
+  elidedStore(Pair, V, Claim);
+  pairSetCarRaw(Pair, V);
+}
+
+void Heap::setCdrElided(Value Pair, Value V, StoreElision Claim) {
+  GENGC_ASSERT(Pair.isPair(), "setCdrElided on non-pair");
+  elidedStore(Pair, V, Claim);
+  pairSetCdrRaw(Pair, V);
+}
+
+void Heap::vectorSetElided(Value Vector, size_t Index, Value V,
+                           StoreElision Claim) {
+  GENGC_ASSERT(isVector(Vector), "vectorSetElided on non-vector");
+  GENGC_ASSERT(Index < objectLength(Vector),
+               "vectorSetElided index out of range");
+  elidedStore(Vector, V, Claim);
+  objectFieldSetRaw(Vector, Index, V);
+}
+
+void Heap::recordSetElided(Value Record, size_t Index, Value V,
+                           StoreElision Claim) {
+  GENGC_ASSERT(isRecord(Record), "recordSetElided on non-record");
+  elidedStore(Record, V, Claim);
+  objectFieldSetRaw(Record, Index, V);
 }
 
 //===----------------------------------------------------------------------===//
@@ -478,9 +551,15 @@ Value Heap::guardianRetrieve(Value Tconc) {
   setCar(Tconc, pairCdr(X));
   // Clear the vacated cell: it is sometimes in an older generation than
   // the objects it points to, and retaining the pointers "may result in
-  // unnecessary storage retention".
-  setCar(X, Value::falseV());
-  setCdr(X, Value::falseV());
+  // unnecessary storage retention". #f is an immediate, so these two
+  // stores can never create an old-to-young edge — elide their barriers.
+  if (Cfg.ElideBarriers) {
+    setCarElided(X, Value::falseV(), StoreElision::Immediate);
+    setCdrElided(X, Value::falseV(), StoreElision::Immediate);
+  } else {
+    setCar(X, Value::falseV());
+    setCdr(X, Value::falseV());
+  }
   return Y;
 }
 

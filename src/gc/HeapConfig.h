@@ -54,6 +54,13 @@ enum class GcFaultInjection : uint8_t {
   /// fixWeakCar breaks weak cars whose target was copied (i.e. is
   /// live), inverting the paper's update-vs-break rule.
   BreakLiveWeakCar,
+  /// The first vectorSet that genuinely needs a remembered-set entry
+  /// (old container, younger pointer value) is deliberately
+  /// mis-classified as an initializing store and skips the write
+  /// barrier. With HeapConfig::VerifyElision the dynamic soundness
+  /// verifier aborts at the store; without it, the missing old-to-young
+  /// remembered entry is caught by Heap::verifyHeap / the fuzz oracle.
+  UnsoundElision,
 };
 
 struct HeapConfig {
@@ -130,6 +137,22 @@ struct HeapConfig {
   /// Deliberate collector bug for fuzzer validation (see GcFaultInjection
   /// above). Always None outside tools/gcfuzz and the fuzz tests.
   GcFaultInjection InjectedFault = GcFaultInjection::None;
+
+  /// Master switch for compile-time write-barrier elision. When on, the
+  /// bytecode compiler runs BarrierAnalysis and rewrites provably
+  /// initializing / provably immediate stores to unbarriered forms, and
+  /// the VM and heap internals use the Heap::*Initializing fast paths
+  /// for frame construction. When off, every store takes the full
+  /// writeBarrier path (the elision-differential baseline).
+  bool ElideBarriers = true;
+
+  /// Dynamic soundness verifier for elided stores: every unbarriered
+  /// store re-checks its claimed precondition (Initializing: the target
+  /// is still in generation 0; Immediate: the value is a non-pointer)
+  /// and aborts with a diagnostic on violation. Defaults on in
+  /// GENGC_STRESS builds; a runtime flag (rather than a compile-time
+  /// one) so Release-build tests can exercise the verifier too.
+  bool VerifyElision = GENGC_STRESS_DEFAULT != 0;
 
   /// Fill evacuated from-space segments with FromSpacePoisonPattern at
   /// the end of every collection. Any surviving stale pointer then reads

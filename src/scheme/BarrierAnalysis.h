@@ -1,0 +1,71 @@
+//===- scheme/BarrierAnalysis.h - Write-barrier elision pass --*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time write-barrier elision: a forward abstract interpretation
+/// over one code unit's bytecode that classifies each heap store
+/// (LocalSet, GlobalDef, GlobalSet) and rewrites its elide operand to an
+/// unbarriered form when the store is provably safe.
+///
+/// The generational invariant only needs a barrier on stores that can
+/// create an old-to-young edge, which gives two provable elisions:
+///
+///  - **initializing** (StoreFlagInit): the target environment frame was
+///    allocated on every path to the store with no intervening safepoint
+///    (allocation or call), so it is still in generation 0 and the
+///    writeBarrier generation-0 early-exit always takes. Any safepoint
+///    kills the claim — under GENGC_STRESS every allocation collects,
+///    promoting the frame immediately.
+///  - **immediate** (StoreFlagImm): the stored value is provably a
+///    non-pointer immediate (fixnum/boolean/char/nil/void), so no edge
+///    is created regardless of the target's generation.
+///
+/// The abstract domain is deliberately small: a per-slot operand-stack
+/// lattice {Imm < Unknown} plus one frame-freshness bit. Freshness is a
+/// single bit (not a per-depth vector) because it can only ever hold for
+/// the innermost frame: creating a frame *above* some frame F is itself
+/// an allocation, so F is stale the moment it stops being innermost.
+/// Join at control-flow merges is element-wise meet (Imm ∧ Unknown =
+/// Unknown) and freshness AND; the pass iterates a worklist to fixpoint,
+/// then rewrites flags from the fixed-point states, so a store is only
+/// upgraded if its claim holds on every path reaching it.
+///
+/// Soundness is enforced, not assumed: with HeapConfig::VerifyElision
+/// the Heap re-checks every elided store's claim dynamically and aborts
+/// on violation (see Heap::elidedStore), and the elision-differential
+/// fuzz gates run the corpus with elision on and off in lockstep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SCHEME_BARRIERANALYSIS_H
+#define GENGC_SCHEME_BARRIERANALYSIS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gengc {
+
+class RootVector;
+
+/// Static per-unit classification counts (test/telemetry introspection;
+/// the dynamic counts live in Heap::barriersElided()).
+struct BarrierElisionStats {
+  unsigned InitStores = 0;    ///< Stores rewritten to StoreFlagInit.
+  unsigned ImmStores = 0;     ///< Stores rewritten to StoreFlagImm.
+  unsigned BarrierStores = 0; ///< Stores left fully barriered.
+};
+
+/// Runs the elision pass over one unit's code stream in place.
+/// \p Constants is the unit's (not yet frozen) constant table, used to
+/// classify Const pushes as immediate or heap. Performs no gengc-heap
+/// allocation, so it is safe inside the compiler's NoGcScope walk.
+BarrierElisionStats runBarrierElision(std::vector<uint32_t> &Code,
+                                      const RootVector &Constants);
+
+} // namespace gengc
+
+#endif // GENGC_SCHEME_BARRIERANALYSIS_H

@@ -44,15 +44,18 @@ enum class Op : uint32_t {
   /// current environment. Operands: depth, index.
   LocalRef,
   /// Pop and store into the local at (depth, index); pushes void.
-  /// Operands: depth, index.
+  /// Operands: depth, index, elide (a StoreFlag: how the store's write
+  /// barrier may be skipped; written by BarrierAnalysis, StoreFlagBarrier
+  /// as emitted).
   LocalSet,
   /// Push the global bound to the symbol constants[k]; error if
   /// unbound. Operands: k.
   GlobalRef,
-  /// Pop and define the global constants[k]; pushes void. Operands: k.
+  /// Pop and define the global constants[k]; pushes void. Operands: k,
+  /// elide (StoreFlag).
   GlobalDef,
   /// Pop and set! the global constants[k]; error if unbound; pushes
-  /// void. Operands: k.
+  /// void. Operands: k, elide (StoreFlag).
   GlobalSet,
   /// Push a VM closure over code unit u capturing the current
   /// environment. Operands: u.
@@ -92,6 +95,58 @@ enum class Op : uint32_t {
   /// Discard the current environment frame (back to its parent).
   ExitScope,
 };
+
+/// Values of the elide operand carried by the store opcodes (LocalSet,
+/// GlobalDef, GlobalSet). The compiler always emits StoreFlagBarrier;
+/// BarrierAnalysis (scheme/BarrierAnalysis.h) upgrades provable stores
+/// after codegen. The VM maps StoreFlagInit/StoreFlagImm to the Heap's
+/// unbarriered *Elided paths (StoreElision::Initializing/::Immediate).
+enum StoreFlag : uint32_t {
+  /// Unproven: take the full writeBarrier path.
+  StoreFlagBarrier = 0,
+  /// The target frame was allocated on every path to this store with no
+  /// intervening safepoint — it is still in generation 0.
+  StoreFlagInit = 1,
+  /// The stored value is provably a non-pointer immediate.
+  StoreFlagImm = 2,
+};
+
+/// Operand words following each opcode word (shared by the
+/// disassembler and BarrierAnalysis so the stream is decoded in exactly
+/// one place).
+constexpr unsigned opOperandCount(Op O) {
+  switch (O) {
+  case Op::Const:
+  case Op::GlobalRef:
+  case Op::MakeClosure:
+  case Op::Call:
+  case Op::TailCall:
+  case Op::Jump:
+  case Op::JumpIfFalse:
+  case Op::EnterScope:
+  case Op::EnterScopeUndef:
+    return 1;
+  case Op::LocalRef:
+  case Op::GlobalDef:
+  case Op::GlobalSet:
+  case Op::Bind:
+    return 2;
+  case Op::LocalSet:
+  case Op::ArityJump:
+    return 3;
+  case Op::PushNil:
+  case Op::PushTrue:
+  case Op::PushFalse:
+  case Op::PushVoid:
+  case Op::Return:
+  case Op::Pop:
+  case Op::Dup:
+  case Op::ArityFail:
+  case Op::ExitScope:
+    return 0;
+  }
+  return 0;
+}
 
 /// One compiled lambda clause or top-level form.
 struct CodeUnit {

@@ -9,6 +9,7 @@
 
 #include "core/ListOps.h"
 #include "gc/NoGcScope.h"
+#include "scheme/BarrierAnalysis.h"
 #include "scheme/Printer.h"
 
 using namespace gengc;
@@ -252,7 +253,7 @@ void Compiler::compileDefine(UnitBuilder &B, Value Rest) {
     popFrame();
     size_t Unit = finishUnit(UB);
     emit(B, Op::MakeClosure, static_cast<uint32_t>(Unit));
-    emit(B, Op::GlobalDef, addConstant(B, Name));
+    emit(B, Op::GlobalDef, addConstant(B, Name), StoreFlagBarrier);
     return;
   }
   if (!isSymbol(Target)) {
@@ -260,7 +261,7 @@ void Compiler::compileDefine(UnitBuilder &B, Value Rest) {
     return;
   }
   compileExpr(B, pairCar(pairCdr(Rest)), /*Tail=*/false);
-  emit(B, Op::GlobalDef, addConstant(B, Target));
+  emit(B, Op::GlobalDef, addConstant(B, Target), StoreFlagBarrier);
 }
 
 void Compiler::compileSet(UnitBuilder &B, Value Rest) {
@@ -272,9 +273,9 @@ void Compiler::compileSet(UnitBuilder &B, Value Rest) {
   compileExpr(B, pairCar(pairCdr(Rest)), /*Tail=*/false);
   uint32_t Depth, Index;
   if (resolveLexical(Name, Depth, Index))
-    emit(B, Op::LocalSet, Depth, Index);
+    emit(B, Op::LocalSet, Depth, Index, StoreFlagBarrier);
   else
-    emit(B, Op::GlobalSet, addConstant(B, Name));
+    emit(B, Op::GlobalSet, addConstant(B, Name), StoreFlagBarrier);
 }
 
 size_t Compiler::compileProcedureUnit(Value Clauses,
@@ -327,7 +328,7 @@ void Compiler::compileLet(UnitBuilder &B, Value Rest, bool Tail) {
     size_t Unit = finishUnit(UB);
 
     emit(B, Op::MakeClosure, static_cast<uint32_t>(Unit));
-    emit(B, Op::LocalSet, 0, 0);
+    emit(B, Op::LocalSet, 0, 0, StoreFlagBarrier);
     emit(B, Op::Pop); // LocalSet pushes void.
     // Initial application: (loop init...).
     emit(B, Op::LocalRef, 0, 0);
@@ -381,7 +382,7 @@ void Compiler::compileLetStarOrRec(UnitBuilder &B, Value Rest, bool Tail,
   uint32_t Index = 0;
   for (Value Bd = Bindings; Bd.isPair(); Bd = pairCdr(Bd)) {
     compileExpr(B, pairCar(pairCdr(pairCar(Bd))), /*Tail=*/false);
-    emit(B, Op::LocalSet, 0, Index++);
+    emit(B, Op::LocalSet, 0, Index++, StoreFlagBarrier);
     emit(B, Op::Pop);
   }
   (void)IsRec;
@@ -487,7 +488,10 @@ size_t Compiler::finishUnit(UnitBuilder &B) {
   // No allocation here: the unit's constants stay in their RootVector
   // until freezeConstantPools runs after the whole source walk, so
   // finishing a nested unit cannot move the bare Values the enclosing
-  // walk still holds.
+  // walk still holds. The elision pass is likewise pure C++, so it is
+  // safe inside the walk's NoGcScope.
+  if (H.config().ElideBarriers)
+    runBarrierElision(B.Code, *B.Constants);
   CodeUnit Unit;
   Unit.Code = std::move(B.Code);
   Unit.Name = std::move(B.Name);
@@ -500,8 +504,15 @@ void Compiler::freezeConstantPools() {
   for (auto &Pending : PendingPools) {
     RootVector &Constants = *Pending.second;
     Root Pool(H, H.makeVector(Constants.size(), Value::nil()));
-    for (size_t K = 0; K != Constants.size(); ++K)
-      H.vectorSet(Pool, K, Constants[K]);
+    for (size_t K = 0; K != Constants.size(); ++K) {
+      // The pool was allocated just above with no intervening
+      // safepoint (vectorSet never polls), so the fills are
+      // initializing stores.
+      if (H.config().ElideBarriers)
+        H.vectorSetInitializing(Pool, K, Constants[K]);
+      else
+        H.vectorSet(Pool, K, Constants[K]);
+    }
     Program.setUnitConstants(Pending.first, Program.addConstantPool(Pool));
   }
   PendingPools.clear();

@@ -95,6 +95,10 @@ private:
     emit(B, O, A);
     B.Code.push_back(Bb);
   }
+  void emit(UnitBuilder &B, Op O, uint32_t A, uint32_t Bb, uint32_t C) {
+    emit(B, O, A, Bb);
+    B.Code.push_back(C);
+  }
   /// Emits a jump-family opcode with a placeholder target; returns the
   /// operand position to patch.
   size_t emitJump(UnitBuilder &B, Op O);

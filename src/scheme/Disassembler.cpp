@@ -14,62 +14,64 @@ namespace {
 
 struct OpInfo {
   const char *Name;
-  unsigned Operands;
   bool FirstOperandIsConstant;
+  /// The trailing operand is a StoreFlag (the store opcodes): render it
+  /// as a barrier-elision annotation instead of a raw number.
+  bool LastOperandIsElideFlag;
 };
 
 OpInfo infoFor(Op O) {
   switch (O) {
   case Op::Const:
-    return {"const", 1, true};
+    return {"const", true, false};
   case Op::PushNil:
-    return {"push-nil", 0, false};
+    return {"push-nil", false, false};
   case Op::PushTrue:
-    return {"push-true", 0, false};
+    return {"push-true", false, false};
   case Op::PushFalse:
-    return {"push-false", 0, false};
+    return {"push-false", false, false};
   case Op::PushVoid:
-    return {"push-void", 0, false};
+    return {"push-void", false, false};
   case Op::LocalRef:
-    return {"local-ref", 2, false};
+    return {"local-ref", false, false};
   case Op::LocalSet:
-    return {"local-set", 2, false};
+    return {"local-set", false, true};
   case Op::GlobalRef:
-    return {"global-ref", 1, true};
+    return {"global-ref", true, false};
   case Op::GlobalDef:
-    return {"global-def", 1, true};
+    return {"global-def", true, true};
   case Op::GlobalSet:
-    return {"global-set", 1, true};
+    return {"global-set", true, true};
   case Op::MakeClosure:
-    return {"make-closure", 1, false};
+    return {"make-closure", false, false};
   case Op::Call:
-    return {"call", 1, false};
+    return {"call", false, false};
   case Op::TailCall:
-    return {"tail-call", 1, false};
+    return {"tail-call", false, false};
   case Op::Return:
-    return {"return", 0, false};
+    return {"return", false, false};
   case Op::Jump:
-    return {"jump", 1, false};
+    return {"jump", false, false};
   case Op::JumpIfFalse:
-    return {"jump-if-false", 1, false};
+    return {"jump-if-false", false, false};
   case Op::Pop:
-    return {"pop", 0, false};
+    return {"pop", false, false};
   case Op::Dup:
-    return {"dup", 0, false};
+    return {"dup", false, false};
   case Op::ArityJump:
-    return {"arity-jump", 3, false};
+    return {"arity-jump", false, false};
   case Op::Bind:
-    return {"bind", 2, false};
+    return {"bind", false, false};
   case Op::ArityFail:
-    return {"arity-fail", 0, false};
+    return {"arity-fail", false, false};
   case Op::EnterScope:
-    return {"enter-scope", 1, false};
+    return {"enter-scope", false, false};
   case Op::EnterScopeUndef:
-    return {"enter-scope-undef", 1, false};
+    return {"enter-scope-undef", false, false};
   case Op::ExitScope:
-    return {"exit-scope", 0, false};
+    return {"exit-scope", false, false};
   }
-  return {"??", 0, false};
+  return {"??", false, false};
 }
 
 } // namespace
@@ -81,9 +83,20 @@ std::string gengc::disassemble(const CompiledProgram &Program,
   while (PC < Unit.Code.size()) {
     Op O = static_cast<Op>(Unit.Code[PC]);
     OpInfo Info = infoFor(O);
+    const unsigned Operands = opOperandCount(O);
     Out += std::to_string(PC) + ": " + Info.Name;
     ++PC;
-    for (unsigned K = 0; K != Info.Operands; ++K) {
+    for (unsigned K = 0; K != Operands; ++K) {
+      if (Info.LastOperandIsElideFlag && K == Operands - 1) {
+        // BarrierAnalysis's verdict for this store; unannotated stores
+        // take the full write barrier.
+        if (Unit.Code[PC] == StoreFlagInit)
+          Out += " [init]";
+        else if (Unit.Code[PC] == StoreFlagImm)
+          Out += " [imm]";
+        ++PC;
+        continue;
+      }
       Out += " " + std::to_string(Unit.Code[PC]);
       if (K == 0 && Info.FirstOperandIsConstant) {
         Heap &H = const_cast<CompiledProgram &>(Program).heap();

@@ -174,6 +174,8 @@ void Interpreter::installPrimitives() {
     const uint64_t LiveBytes = H.liveBytes();
     const uint64_t TotalAllocated = H.totalBytesAllocated();
     const uint64_t SegmentsInUse = H.segmentsInUse();
+    const uint64_t BarriersExecuted = H.barriersExecuted();
+    const uint64_t BarriersElided = H.barriersElided();
     const unsigned Generations = H.config().Generations;
     Heap::GenerationUsage Usage[MaxGenerations];
     double Rates[MaxGenerations];
@@ -203,6 +205,11 @@ void Interpreter::installPrimitives() {
     Add("total-weak-pointers-broken", Fix(Tot.WeakPointersBroken));
     Add("total-finalizer-thunks-run", Fix(Tot.FinalizerThunksRun));
     Add("total-gc-nanos", Fix(Tot.DurationNanos));
+    // Process-lifetime barrier counts (not windowed to a collection):
+    // executed = stores that ran the write-barrier filter; elided =
+    // stores that skipped it on a compiler or runtime soundness proof.
+    Add("barriers-executed", Fix(BarriersExecuted));
+    Add("barriers-elided", Fix(BarriersElided));
     Add("last-generation", Fix(Last.CollectedGeneration));
     Add("last-target-generation", Fix(Last.TargetGeneration));
     Add("last-duration-nanos", Fix(Last.DurationNanos));

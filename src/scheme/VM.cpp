@@ -15,7 +15,7 @@ using namespace gengc;
 
 VirtualMachine::VirtualMachine(Interpreter &I)
     : I(I), H(I.heap()), Program(H), VmClosureTag(H, H.intern("vm-closure")),
-      ValueStack(H), EnvStack(H) {
+      ValueStack(H), EnvStack(H), ElideFrames(H.config().ElideBarriers) {
   // Let tree-walked code apply VM closures (e.g. the prelude's `map`
   // mapping a compiled procedure).
   I.setExternalApplyHook(
@@ -128,12 +128,20 @@ Value VirtualMachine::execute(size_t BaseFrame) {
     case Op::LocalSet: {
       uint32_t Depth = U.Code[F.PC++];
       uint32_t Index = U.Code[F.PC++];
+      uint32_t Elide = U.Code[F.PC++];
       Value V = ValueStack.back();
       ValueStack.pop_back();
       Value Env = currentEnv();
       for (uint32_t D = 0; D != Depth; ++D)
         Env = envParent(Env);
-      H.vectorSet(Env, 1 + Index, V);
+      // BarrierAnalysis proved the claim; the heap re-checks it under
+      // HeapConfig::VerifyElision.
+      if (Elide == StoreFlagInit)
+        H.vectorSetElided(Env, 1 + Index, V, StoreElision::Initializing);
+      else if (Elide == StoreFlagImm)
+        H.vectorSetElided(Env, 1 + Index, V, StoreElision::Immediate);
+      else
+        H.vectorSet(Env, 1 + Index, V);
       ValueStack.push_back(Value::voidV());
       break;
     }
@@ -147,19 +155,21 @@ Value VirtualMachine::execute(size_t BaseFrame) {
     }
     case Op::GlobalDef: {
       Value Sym = Program.constantOf(U, U.Code[F.PC++]);
+      uint32_t Elide = U.Code[F.PC++];
       Value V = ValueStack.back();
       ValueStack.pop_back();
       // Name anonymous VM closures for better diagnostics? The record
       // has no name slot; skip.
-      I.defineGlobalSymbol(Sym, V);
+      I.defineGlobalSymbol(Sym, V, Elide == StoreFlagImm);
       ValueStack.push_back(Value::voidV());
       break;
     }
     case Op::GlobalSet: {
       Value Sym = Program.constantOf(U, U.Code[F.PC++]);
+      uint32_t Elide = U.Code[F.PC++];
       Value V = ValueStack.back();
       ValueStack.pop_back();
-      if (!I.setGlobalSymbol(Sym, V))
+      if (!I.setGlobalSymbol(Sym, V, Elide == StoreFlagImm))
         return signalError("set!: unbound variable: " +
                            H.symbolName(Sym));
       ValueStack.push_back(Value::voidV());
@@ -170,8 +180,15 @@ Value VirtualMachine::execute(size_t BaseFrame) {
       uint32_t Unit = U.Code[F.PC++];
       Root Env(H, currentEnv());
       Root Closure(H, H.makeRecord(VmClosureTag, 3, Value::nil()));
-      H.recordSet(Closure, 1, Value::fixnum(Unit));
-      H.recordSet(Closure, 2, Env);
+      // The record was allocated just above with no intervening
+      // safepoint (recordSet never polls): initializing stores.
+      if (ElideFrames) {
+        H.recordSetInitializing(Closure, 1, Value::fixnum(Unit));
+        H.recordSetInitializing(Closure, 2, Env);
+      } else {
+        H.recordSet(Closure, 1, Value::fixnum(Unit));
+        H.recordSet(Closure, 2, Env);
+      }
       ValueStack.push_back(Closure.get());
       break;
     }
@@ -267,9 +284,20 @@ Value VirtualMachine::execute(size_t BaseFrame) {
       const size_t ArgBase = F.ProcBase + 1;
       const size_t Slots = NFixed + (HasRest ? 1 : 0);
       Root NewEnv(H, H.makeVector(1 + Slots, Value::unbound()));
-      H.vectorSet(NewEnv, 0, currentEnv());
-      for (uint32_t K = 0; K != NFixed; ++K)
-        H.vectorSet(NewEnv, 1 + K, ValueStack[ArgBase + K]);
+      // The frame vector is freshly allocated and the parent/fixed-arg
+      // fills cannot safepoint: initializing stores. The rest-arg store
+      // must stay barriered — the cons loop between the frame's
+      // allocation and that store is a safepoint that can promote the
+      // frame out of generation 0 (under GENGC_STRESS it always does).
+      if (ElideFrames) {
+        H.vectorSetInitializing(NewEnv, 0, currentEnv());
+        for (uint32_t K = 0; K != NFixed; ++K)
+          H.vectorSetInitializing(NewEnv, 1 + K, ValueStack[ArgBase + K]);
+      } else {
+        H.vectorSet(NewEnv, 0, currentEnv());
+        for (uint32_t K = 0; K != NFixed; ++K)
+          H.vectorSet(NewEnv, 1 + K, ValueStack[ArgBase + K]);
+      }
       if (HasRest) {
         Root Rest(H, Value::nil());
         for (uint32_t K = F.ArgCount; K != NFixed; --K)
@@ -286,10 +314,17 @@ Value VirtualMachine::execute(size_t BaseFrame) {
     case Op::EnterScope: {
       uint32_t N = U.Code[F.PC++];
       Root NewEnv(H, H.makeVector(1 + N, Value::unbound()));
-      H.vectorSet(NewEnv, 0, currentEnv());
       const size_t Base = ValueStack.size() - N;
-      for (uint32_t K = 0; K != N; ++K)
-        H.vectorSet(NewEnv, 1 + K, ValueStack[Base + K]);
+      // Fresh frame, no safepoint before the fills: initializing.
+      if (ElideFrames) {
+        H.vectorSetInitializing(NewEnv, 0, currentEnv());
+        for (uint32_t K = 0; K != N; ++K)
+          H.vectorSetInitializing(NewEnv, 1 + K, ValueStack[Base + K]);
+      } else {
+        H.vectorSet(NewEnv, 0, currentEnv());
+        for (uint32_t K = 0; K != N; ++K)
+          H.vectorSet(NewEnv, 1 + K, ValueStack[Base + K]);
+      }
       ValueStack.truncate(Base);
       setCurrentEnv(NewEnv.get());
       break;
@@ -297,7 +332,10 @@ Value VirtualMachine::execute(size_t BaseFrame) {
     case Op::EnterScopeUndef: {
       uint32_t N = U.Code[F.PC++];
       Root NewEnv(H, H.makeVector(1 + N, Value::unbound()));
-      H.vectorSet(NewEnv, 0, currentEnv());
+      if (ElideFrames)
+        H.vectorSetInitializing(NewEnv, 0, currentEnv());
+      else
+        H.vectorSet(NewEnv, 0, currentEnv());
       setCurrentEnv(NewEnv.get());
       break;
     }
@@ -318,8 +356,14 @@ Value VirtualMachine::evalForm(Value Form) {
   // Wrap the entry unit in a closure over the empty environment. The
   // unit's Bind(0,0) prologue gives it a root frame.
   Root Entry(H, H.makeRecord(VmClosureTag, 3, Value::nil()));
-  H.recordSet(Entry, 1, Value::fixnum(static_cast<intptr_t>(Unit)));
-  H.recordSet(Entry, 2, Value::nil());
+  if (ElideFrames) {
+    H.recordSetInitializing(Entry, 1,
+                            Value::fixnum(static_cast<intptr_t>(Unit)));
+    H.recordSetInitializing(Entry, 2, Value::nil());
+  } else {
+    H.recordSet(Entry, 1, Value::fixnum(static_cast<intptr_t>(Unit)));
+    H.recordSet(Entry, 2, Value::nil());
+  }
   RootVector NoArgs(H);
   return applyClosure(Entry, NoArgs);
 }

@@ -94,6 +94,11 @@ private:
   RootVector EnvStack; ///< One environment slot per frame.
   std::vector<VmFrame> Frames;
 
+  /// HeapConfig::ElideBarriers, cached: frame construction (Bind,
+  /// EnterScope, MakeClosure) uses the heap's initializing-store fast
+  /// paths when on.
+  bool ElideFrames;
+
   std::string ErrorMsg;
   bool ErrorFlag = false;
   uint64_t Instructions = 0;

@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+
 using namespace gengc;
 using namespace gengc::gcfuzz;
 
@@ -131,6 +133,47 @@ TEST(FuzzHarness, InjectedWeakBreakBugIsCaughtAndShrinks) {
   ASSERT_GT(ShrunkSize, 0u)
       << "no seed in range exposed the injected weak-break bug";
   EXPECT_LT(ShrunkSize, 25u) << "seed " << Seed << " shrunk poorly";
+}
+
+// The barrier-elision fault: the first vector store that actually needs
+// a remembered-set entry gets silently rerouted through the elided
+// (barrier-free) path, exactly what an unsound compiler classification
+// would do. With the store-time verifier off, the reachability oracle
+// must still catch the resulting mis-trace.
+TEST(FuzzHarness, UnsoundElisionCaughtByOracleAndShrinks) {
+  FuzzConfig Cfg;
+  ASSERT_TRUE(findConfig("paper", Cfg));
+  Cfg.Config.InjectedFault = GcFaultInjection::UnsoundElision;
+  Cfg.Config.VerifyElision = false; // The oracle, not the verifier.
+  // The fault is a missing remembered-set entry, which only minor
+  // collections can miss — full collections trace from roots and never
+  // consult the remembered sets. Pin the generational schedule so the
+  // GENGC_STRESS build (full collection at every safepoint) does not
+  // mask the bug this test requires the oracle to catch.
+  Cfg.Config.StressGC = false;
+  uint64_t Seed = 0;
+  const size_t ShrunkSize = catchAndShrink(Cfg.Config, Seed);
+  ASSERT_GT(ShrunkSize, 0u)
+      << "no seed in range exposed the unsound elision";
+  EXPECT_LT(ShrunkSize, 25u) << "seed " << Seed << " shrunk poorly";
+}
+
+// Same fault with the dynamic verifier on: the abort must happen at the
+// mis-classified store itself, before any collection can mis-trace.
+TEST(FuzzHarnessDeathTest, UnsoundElisionCaughtByVerifierAtTheStore) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        FuzzConfig Cfg;
+        if (!findConfig("paper", Cfg))
+          std::exit(0);
+        Cfg.Config.InjectedFault = GcFaultInjection::UnsoundElision;
+        Cfg.Config.VerifyElision = true;
+        for (uint64_t Seed = 1; Seed != 60; ++Seed)
+          runTrace(generateTrace(Seed, 140), Cfg.Config);
+        std::exit(0); // No seed tripped the fault: the matcher fails.
+      },
+      ::testing::KilledBySignal(SIGABRT), "unsound barrier elision");
 }
 
 // The faults must also be caught under the stress schedule (collections

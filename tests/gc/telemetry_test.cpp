@@ -535,6 +535,8 @@ TEST(GcTotalsTest, AccumulateCoversEveryField) {
   S.SymbolsDropped = 67;
   S.SegmentsFreed = 71;
   S.DurationNanos = 73;
+  S.BarriersExecuted = 79;
+  S.BarriersElided = 83;
   for (unsigned I = 0; I != NumGcPhases; ++I)
     S.Phases.Nanos[I] = 100 + I;
 
@@ -561,6 +563,8 @@ TEST(GcTotalsTest, AccumulateCoversEveryField) {
   EXPECT_EQ(T.SymbolsDropped, 2 * S.SymbolsDropped);
   EXPECT_EQ(T.SegmentsFreed, 2 * S.SegmentsFreed);
   EXPECT_EQ(T.DurationNanos, 2 * S.DurationNanos);
+  EXPECT_EQ(T.BarriersExecuted, 2 * S.BarriersExecuted);
+  EXPECT_EQ(T.BarriersElided, 2 * S.BarriersElided);
   for (unsigned I = 0; I != NumGcPhases; ++I)
     EXPECT_EQ(T.Phases.Nanos[I], 2 * S.Phases.Nanos[I]);
 
@@ -570,6 +574,37 @@ TEST(GcTotalsTest, AccumulateCoversEveryField) {
   T.accumulate(Minor, /*OldestGeneration=*/3);
   EXPECT_EQ(T.Collections, 3u);
   EXPECT_EQ(T.FullCollections, 2u);
+}
+
+TEST(GcTotalsTest, BarrierCountersWindowPerCollection) {
+  Heap H(testConfig());
+  Root P(H, H.cons(Value::nil(), Value::nil()));
+  H.setCar(P.get(), Value::fixnum(1)); // Barriered.
+  H.setCarElided(P.get(), Value::falseV(), StoreElision::Immediate);
+  const uint64_t Exec = H.barriersExecuted();
+  const uint64_t Elided = H.barriersElided();
+  EXPECT_GE(Exec, 1u);
+  EXPECT_GE(Elided, 1u);
+
+  // First collection: its stats window covers everything so far.
+  H.collectMinor();
+  EXPECT_EQ(H.lastStats().BarriersExecuted, Exec);
+  EXPECT_EQ(H.lastStats().BarriersElided, Elided);
+
+  // Second window contains only the stores made in between.
+  H.setCar(P.get(), Value::fixnum(2));
+  H.setCar(P.get(), Value::fixnum(3));
+  H.setCarElided(P.get(), Value::falseV(), StoreElision::Immediate);
+  H.collectMinor();
+  EXPECT_EQ(H.lastStats().BarriersExecuted, 2u);
+  EXPECT_EQ(H.lastStats().BarriersElided, 1u);
+
+  // Totals carry the sum of the windows; the heap-level counters are
+  // monotonic and include post-collection stores too.
+  EXPECT_EQ(H.totals().BarriersExecuted, Exec + 2);
+  EXPECT_EQ(H.totals().BarriersElided, Elided + 1);
+  H.setCar(P.get(), Value::fixnum(4));
+  EXPECT_EQ(H.barriersExecuted(), Exec + 3);
 }
 
 TEST(GcTotalsTest, LiveHeapKeepsRunningTotals) {

@@ -52,6 +52,7 @@ TEST_F(VerifierDeathTest, DanglingPointerDetected) {
         }
         H.collectFull(); // Dead is reclaimed; its address is stale.
         // Plant the stale pointer with a raw (unchecked) store.
+        // rootcheck:allow(barrier-bypass) — deliberate corruption.
         Holder.get().pairCell()->Car = DeadBits;
         H.verifyHeap();
       },
@@ -66,6 +67,7 @@ TEST_F(VerifierDeathTest, MissingRememberedEntryDetected) {
         H.collect(1); // Old is now in generation 2.
         Root Young(H, H.cons(Value::fixnum(5), Value::nil()));
         // Bypass the write barrier: old-to-young pointer unrecorded.
+        // rootcheck:allow(barrier-bypass) — that bypass is the test.
         Old.get().pairCell()->Car = Young.get().bits();
         H.verifyHeap();
       },
@@ -77,10 +79,60 @@ TEST_F(VerifierDeathTest, ForwardMarkerLeakDetected) {
       {
         Heap H(testConfig());
         Root P(H, H.cons(Value::fixnum(1), Value::nil()));
+        // rootcheck:allow(barrier-bypass) — deliberate corruption.
         P.get().pairCell()->Car = Value::forwardMarker().bits();
         H.verifyHeap();
       },
       "forward marker");
+}
+
+//===----------------------------------------------------------------------===//
+// The dynamic elision verifier: every elided store carries a claim
+// (initializing / immediate) that VerifyElision re-checks at the store
+// itself. A false claim must abort immediately — not corrupt the
+// remembered set and fail some arbitrary collections later.
+//===----------------------------------------------------------------------===//
+
+HeapConfig verifyingConfig() {
+  HeapConfig C = testConfig();
+  C.VerifyElision = true;
+  return C;
+}
+
+TEST_F(VerifierDeathTest, SoundElidedStoresPass) {
+  Heap H(verifyingConfig());
+  // Initializing: the vector was just allocated, no safepoint since.
+  Root V(H, H.makeVector(4, Value::nil()));
+  Root Young(H, H.cons(Value::fixnum(1), Value::nil()));
+  H.vectorSetInitializing(V.get(), 0, Young.get());
+  // Immediate: #f is not a heap pointer, the container's age is moot.
+  H.collectFull();
+  H.setCarElided(Young.get(), Value::falseV(), StoreElision::Immediate);
+  H.verifyHeap();
+  EXPECT_GE(H.barriersElided(), 2u);
+}
+
+TEST_F(VerifierDeathTest, UnsoundInitializingClaimAborts) {
+  ASSERT_DEATH(
+      {
+        Heap H(verifyingConfig());
+        Root V(H, H.makeVector(4, Value::nil()));
+        H.collectMinor(); // A safepoint: V is no longer generation 0.
+        Root Young(H, H.cons(Value::fixnum(1), Value::nil()));
+        H.vectorSetInitializing(V.get(), 0, Young.get());
+      },
+      "no longer in generation 0");
+}
+
+TEST_F(VerifierDeathTest, UnsoundImmediateClaimAborts) {
+  ASSERT_DEATH(
+      {
+        Heap H(verifyingConfig());
+        Root P(H, H.cons(Value::nil(), Value::nil()));
+        Root Young(H, H.cons(Value::fixnum(1), Value::nil()));
+        H.setCarElided(P.get(), Young.get(), StoreElision::Immediate);
+      },
+      "value is a heap pointer");
 }
 
 TEST_F(VerifierDeathTest, CorruptHeaderDetected) {
@@ -107,6 +159,7 @@ TEST_F(VerifierDeathTest, WeakCarDanglingDetected) {
           DeadBits = Dead.get().bits();
         }
         H.collectFull();
+        // rootcheck:allow(barrier-bypass) — deliberate corruption.
         W.get().pairCell()->Car = DeadBits;
         H.verifyHeap();
       },

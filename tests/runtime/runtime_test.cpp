@@ -370,6 +370,8 @@ TEST(AggregateTest, MergeCoversEveryTotalsField) {
   S.SymbolsDropped = 16;
   S.SegmentsFreed = 17;
   S.DurationNanos = 18;
+  S.BarriersExecuted = 19;
+  S.BarriersElided = 20;
   for (unsigned I = 0; I != NumGcPhases; ++I)
     S.Phases.Nanos[I] = 100 + I;
 
@@ -398,6 +400,8 @@ TEST(AggregateTest, MergeCoversEveryTotalsField) {
   EXPECT_EQ(Two.SymbolsDropped, 2 * One.SymbolsDropped);
   EXPECT_EQ(Two.SegmentsFreed, 2 * One.SegmentsFreed);
   EXPECT_EQ(Two.DurationNanos, 2 * One.DurationNanos);
+  EXPECT_EQ(Two.BarriersExecuted, 2 * One.BarriersExecuted);
+  EXPECT_EQ(Two.BarriersElided, 2 * One.BarriersElided);
   for (unsigned I = 0; I != NumGcPhases; ++I)
     EXPECT_EQ(Two.Phases.Nanos[I], 2 * One.Phases.Nanos[I]) << "phase " << I;
 }

@@ -266,6 +266,31 @@ TEST_P(DifferentialTest, InterpreterAndVmAgree) {
   EXPECT_EQ(InterpResult, VmResult) << "engines disagree on: " << Src;
 }
 
+// The elision differential: the same corpus, VM vs VM, with the
+// barrier-elision pass on (and dynamically verified) vs off. Elision
+// only changes which stores pay the write-barrier tax, so results must
+// be bit-for-bit identical and both heaps must verify.
+TEST_P(DifferentialTest, ElisionOnAndOffAgree) {
+  const char *Src = GetParam();
+  std::string Results[2];
+  for (int Pass = 0; Pass != 2; ++Pass) {
+    HeapConfig Cfg = testConfig();
+    Cfg.ElideBarriers = Pass == 0;
+    Cfg.VerifyElision = true; // Abort at any unsound claim, not later.
+    Heap H(Cfg);
+    Interpreter I(H);
+    VirtualMachine VM(I);
+    Value V = VM.evalString(Src);
+    ASSERT_FALSE(VM.hadError())
+        << (Pass == 0 ? "elide-on: " : "elide-off: ") << VM.errorMessage();
+    Results[Pass] = writeToString(H, V);
+    H.collectFull();
+    H.verifyHeap();
+  }
+  EXPECT_EQ(Results[0], Results[1])
+      << "barrier elision changed behavior of: " << Src;
+}
+
 const char *Corpus[] = {
     "(+ 1 (* 2 3) (- 10 4))",
     "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 12)",

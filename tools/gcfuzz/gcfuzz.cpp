@@ -15,6 +15,11 @@
 //   gcfuzz --trace-replay FILE           replay a saved trace
 //   gcfuzz --fault drop-resurrection     inject a liveness bug (must be
 //                                        caught; exercises the oracle)
+//   gcfuzz --elide on|off                force barrier elision on/off for
+//                                        the trace heaps
+//   gcfuzz --vm-diff N                   N random Scheme programs, each
+//                                        run elide-on vs elide-off in
+//                                        lockstep; outputs must agree
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "scheme/Printer.h"
+#include "scheme/VM.h"
 #include "testing/TraceRunner.h"
 
 using namespace gengc;
@@ -44,6 +51,8 @@ struct Options {
   std::string ReplayFile;
   std::string OutDir = ".";
   bool NoShrink = false;
+  std::string Elide; ///< "", "on", or "off": override ElideBarriers.
+  uint64_t VmDiff = 0; ///< Number of vm-diff programs (0 = off).
 };
 
 void usage() {
@@ -51,7 +60,8 @@ void usage() {
       stderr,
       "usage: gcfuzz [--seed N] [--traces N] [--ops K]\n"
       "              [--config NAME|all] [--fault none|drop-resurrection|"
-      "break-weak]\n"
+      "break-weak|unsound-elision]\n"
+      "              [--elide on|off] [--vm-diff N]\n"
       "              [--seed-corpus] [--trace-replay FILE] [--out DIR]\n"
       "              [--no-shrink]\n");
 }
@@ -65,6 +75,10 @@ bool applyFault(const std::string &Name, HeapConfig &Cfg) {
   }
   if (Name == "break-weak") {
     Cfg.InjectedFault = GcFaultInjection::BreakLiveWeakCar;
+    return true;
+  }
+  if (Name == "unsound-elision") {
+    Cfg.InjectedFault = GcFaultInjection::UnsoundElision;
     return true;
   }
   return false;
@@ -138,6 +152,302 @@ int runSeeds(const std::vector<FuzzConfig> &Configs, uint64_t FirstSeed,
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// VM differential mode: random type-safe Scheme programs executed twice
+// — barrier elision on vs off — on otherwise identical fresh heaps. The
+// elision pass only changes which stores take the write-barrier path,
+// so any observable difference (printed results, errors, a verifier or
+// heap-verify abort) is an elision soundness bug. Programs lean on the
+// constructs the dataflow pass actually classifies: letrec inits,
+// set! of locals at several depths, named-let loops allocating frames
+// and pairs, global define/set!, and vector mutation.
+//===----------------------------------------------------------------------===//
+
+/// xorshift64* — deterministic across platforms, seeded per program.
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 0x9E3779B97F4A7C15ULL | 1) {}
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545F4914F6CDD1DULL;
+  }
+  unsigned below(unsigned N) { return next() % N; }
+};
+
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : R(Seed) {}
+
+  /// One program: a list of top-level forms evaluated in order.
+  std::vector<std::string> generate() {
+    std::vector<std::string> Forms;
+    const unsigned N = 6 + R.below(6);
+    for (unsigned I = 0; I != N; ++I) {
+      const unsigned Kind = R.below(5);
+      if (Kind == 0) {
+        std::string G = "g" + std::to_string(Globals.size());
+        Forms.push_back("(define " + G + " " + num(2) + ")");
+        Globals.push_back(G);
+      } else if (Kind == 1 && !Globals.empty()) {
+        Forms.push_back("(set! " + Globals[R.below(Globals.size())] +
+                        " " + num(2) + ")");
+      } else {
+        Forms.push_back(any(3));
+      }
+    }
+    // End every program by forcing full collections and re-reading the
+    // globals, so values that survived promotion are re-observed.
+    Forms.push_back("(collect)");
+    for (const std::string &G : Globals)
+      Forms.push_back(G);
+    return Forms;
+  }
+
+private:
+  Rng R;
+  std::vector<std::string> Globals;
+  std::vector<std::string> NumVars; ///< In-scope numeric locals.
+  std::vector<std::string> AnyVars; ///< In-scope locals of any type.
+  unsigned NextVar = 0;
+
+  std::string fresh() { return "v" + std::to_string(NextVar++); }
+  std::string lit() { return std::to_string(R.below(100)); }
+
+  /// An expression guaranteed to evaluate to a number.
+  std::string num(int Depth) {
+    if (Depth <= 0) {
+      const unsigned C = R.below(3 + (NumVars.empty() ? 0 : 2) +
+                                 (Globals.empty() ? 0 : 1));
+      if (C < 3)
+        return lit();
+      if (C < 5 && !NumVars.empty())
+        return NumVars[R.below(NumVars.size())];
+      return Globals[R.below(Globals.size())];
+    }
+    switch (R.below(9)) {
+    case 0:
+      return "(+ " + num(Depth - 1) + " " + num(Depth - 1) + ")";
+    case 1:
+      return "(- " + num(Depth - 1) + " " + num(Depth - 1) + ")";
+    case 2:
+      return "(* " + num(Depth - 1) + " " + std::to_string(R.below(7)) +
+             ")";
+    case 3:
+      return "(if (< " + num(Depth - 1) + " " + num(Depth - 1) + ") " +
+             num(Depth - 1) + " " + num(Depth - 1) + ")";
+    case 4: { // let over a numeric body.
+      std::string V = fresh();
+      std::string Init = num(Depth - 1);
+      NumVars.push_back(V);
+      std::string Body = num(Depth - 1);
+      NumVars.pop_back();
+      return "(let ([" + V + " " + Init + "]) " + Body + ")";
+    }
+    case 5: { // letrec + set!: LocalSet both elided and barriered.
+      std::string V = fresh();
+      std::string Init = num(Depth - 1);
+      NumVars.push_back(V);
+      std::string Update = num(Depth - 1);
+      std::string Body = num(Depth - 1);
+      NumVars.pop_back();
+      return "(letrec ([" + V + " " + Init + "]) (set! " + V + " " +
+             Update + ") (+ " + V + " " + Body + "))";
+    }
+    case 6: { // Named-let summation loop (fresh frame per iteration).
+      std::string Lp = "lp" + std::to_string(NextVar++);
+      std::string I = fresh(), Acc = fresh();
+      std::string Seed = num(Depth - 1); // Acc not in scope for its init.
+      return "(let " + Lp + " ([" + I + " " +
+             std::to_string(4 + R.below(24)) + "] [" + Acc + " " + Seed +
+             "]) (if (< " + I + " 1) " + Acc + " (" + Lp + " (- " + I +
+             " 1) (+ " + Acc + " " + I + "))))";
+    }
+    case 7: { // Lambda application with a depth-0 set! inside.
+      std::string A = fresh(), B = fresh();
+      NumVars.push_back(A);
+      NumVars.push_back(B);
+      std::string Update = num(Depth - 1);
+      NumVars.pop_back();
+      NumVars.pop_back();
+      return "((lambda (" + A + " " + B + ") (set! " + A + " " + Update +
+             ") (+ " + A + " " + B + ")) " + num(Depth - 1) + " " +
+             num(Depth - 1) + ")";
+    }
+    default: { // Vector round-trip: init fill + vector-set! + vector-ref.
+      std::string W = "w" + std::to_string(NextVar++);
+      return "(let ([" + W + " (make-vector 4 " + num(Depth - 1) +
+             ")]) (vector-set! " + W + " " + std::to_string(R.below(4)) +
+             " " + num(Depth - 1) + ") (vector-ref " + W + " " +
+             std::to_string(R.below(4)) + "))";
+    }
+    }
+  }
+
+  /// An expression of any printable type (numbers, pairs, vectors,
+  /// booleans, symbols).
+  std::string any(int Depth) {
+    if (Depth <= 0) {
+      switch (R.below(4 + (AnyVars.empty() ? 0 : 2))) {
+      case 0:
+        return "(quote s" + std::to_string(R.below(8)) + ")";
+      case 1:
+        return R.below(2) ? "#t" : "#f";
+      case 2:
+        return "(quote ())";
+      case 3:
+        return lit();
+      default:
+        return AnyVars[R.below(AnyVars.size())];
+      }
+    }
+    switch (R.below(8)) {
+    case 0:
+      return num(Depth - 1);
+    case 1:
+      return "(cons " + any(Depth - 1) + " " + any(Depth - 1) + ")";
+    case 2:
+      return "(list " + any(Depth - 1) + " " + any(Depth - 1) + " " +
+             any(Depth - 1) + ")";
+    case 3: { // Mutate a pair with a separately built value. The stored
+              // expression must never see the container's own variable:
+              // a self-referential structure would hang the printer.
+      std::string P = fresh();
+      std::string Stored = any(Depth - 1);
+      return "(let ([" + P + " (cons " + any(Depth - 1) + " " +
+             any(Depth - 1) + ")]) (set-car! " + P + " " + Stored +
+             ") " + P + ")";
+    }
+    case 4: { // Named-let cons loop: the elision showcase workload.
+      std::string Lp = "lp" + std::to_string(NextVar++);
+      std::string I = fresh(), Acc = fresh();
+      return "(let " + Lp + " ([" + I + " " +
+             std::to_string(4 + R.below(20)) + "] [" + Acc +
+             " (quote ())]) (if (< " + I + " 1) " + Acc + " (" + Lp +
+             " (- " + I + " 1) (cons " + I + " " + Acc + "))))";
+    }
+    case 5: { // Vector holding heap values, mutated after creation.
+      std::string V = fresh();
+      std::string Stored = any(Depth - 1); // V not in scope: no cycles.
+      return "(let ([" + V + " (make-vector 3 " + any(Depth - 1) +
+             ")]) (vector-set! " + V + " " + std::to_string(R.below(3)) +
+             " " + Stored + ") " + V + ")";
+    }
+    case 6: { // A reusable binding: later stores may reference it, but
+              // only into containers created after it — acyclic.
+      std::string X = fresh();
+      std::string Init = any(Depth - 1);
+      AnyVars.push_back(X);
+      std::string Rest = any(Depth - 1);
+      AnyVars.pop_back();
+      return "(let ([" + X + " " + Init + "]) (list " + X + " " + Rest +
+             "))";
+    }
+    default:
+      return "(reverse (list " + any(Depth - 1) + " " + any(Depth - 1) +
+             "))";
+    }
+  }
+};
+
+struct VmRun {
+  bool Ok = true;
+  std::string Output; ///< One printed result (or error) per form.
+  uint64_t BarriersExecuted = 0;
+  uint64_t BarriersElided = 0;
+};
+
+VmRun runVmProgram(const std::vector<std::string> &Forms, bool Elide) {
+  HeapConfig Cfg;
+  Cfg.ArenaBytes = 64u * 1024 * 1024;
+  Cfg.ElideBarriers = Elide;
+  // Always verify: an unsound claim must abort here, in the fuzzer,
+  // not survive into a divergence report that is hard to attribute.
+  Cfg.VerifyElision = true;
+  Heap H(Cfg);
+  Interpreter I(H);
+  VirtualMachine VM(I);
+  VmRun R;
+  for (const std::string &F : Forms) {
+    Value V = VM.evalString(F);
+    if (VM.hadError()) {
+      R.Output += "error: " + VM.errorMessage() + "\n";
+      VM.clearError();
+    } else {
+      R.Output += writeToString(H, V) + "\n";
+    }
+  }
+  H.collectFull();
+  H.verifyHeap();
+  R.BarriersExecuted = H.barriersExecuted();
+  R.BarriersElided = H.barriersElided();
+  return R;
+}
+
+int runVmDiff(const Options &Opt) {
+  uint64_t ElidedTotal = 0, ExecutedTotal = 0;
+  const uint64_t First = Opt.SeedGiven ? Opt.Seed : 1;
+  for (uint64_t Seed = First; Seed != First + Opt.VmDiff; ++Seed) {
+    ProgramGen Gen(Seed);
+    const std::vector<std::string> Forms = Gen.generate();
+    if (std::getenv("GCFUZZ_VM_DUMP"))
+      for (const std::string &F : Forms)
+        std::fprintf(stderr, "%s\n", F.c_str());
+    VmRun On = runVmProgram(Forms, /*Elide=*/true);
+    VmRun Off = runVmProgram(Forms, /*Elide=*/false);
+    if (On.Output != Off.Output) {
+      std::fprintf(stderr,
+                   "gcfuzz: VM DIVERGENCE (seed %llu): elision changed "
+                   "program behavior\n",
+                   static_cast<unsigned long long>(Seed));
+      const std::string Path = Opt.OutDir + "/gcfuzz-vmdiff-seed" +
+                               std::to_string(Seed) + ".scm";
+      std::ofstream OS(Path);
+      for (const std::string &F : Forms)
+        OS << F << "\n";
+      OS << ";; elide-on:\n";
+      std::istringstream OnS(On.Output), OffS(Off.Output);
+      std::string Line;
+      while (std::getline(OnS, Line))
+        OS << ";;   " << Line << "\n";
+      OS << ";; elide-off:\n";
+      while (std::getline(OffS, Line))
+        OS << ";;   " << Line << "\n";
+      std::fprintf(stderr, "gcfuzz: wrote %s\n", Path.c_str());
+      return 1;
+    }
+    if (Off.BarriersElided > On.BarriersElided) {
+      // ElideBarriers=off must not elide more than the on-run does; if
+      // it does, some elision site ignores the config toggle.
+      std::fprintf(stderr,
+                   "gcfuzz: seed %llu: elide-off run elided more stores "
+                   "(%llu) than elide-on (%llu)\n",
+                   static_cast<unsigned long long>(Seed),
+                   static_cast<unsigned long long>(Off.BarriersElided),
+                   static_cast<unsigned long long>(On.BarriersElided));
+      return 1;
+    }
+    ElidedTotal += On.BarriersElided;
+    ExecutedTotal += On.BarriersExecuted;
+  }
+  if (ElidedTotal == 0) {
+    std::fprintf(stderr,
+                 "gcfuzz: vm-diff ran but elided zero barriers — the "
+                 "elision pass is not reaching the generated programs\n");
+    return 1;
+  }
+  std::printf("gcfuzz: vm-diff OK — %llu programs, identical output; "
+              "elide-on runs: %llu barriers executed, %llu elided "
+              "(%.1f%% of dynamic stores)\n",
+              static_cast<unsigned long long>(Opt.VmDiff),
+              static_cast<unsigned long long>(ExecutedTotal),
+              static_cast<unsigned long long>(ElidedTotal),
+              100.0 * static_cast<double>(ElidedTotal) /
+                  static_cast<double>(ElidedTotal + ExecutedTotal));
+  return 0;
+}
+
 int replay(const Options &Opt, const std::vector<FuzzConfig> &Configs) {
   std::ifstream IS(Opt.ReplayFile);
   if (!IS) {
@@ -202,6 +512,14 @@ int main(int Argc, char **Argv) {
       Opt.OutDir = next();
     } else if (A == "--no-shrink") {
       Opt.NoShrink = true;
+    } else if (A == "--elide") {
+      Opt.Elide = next();
+      if (Opt.Elide != "on" && Opt.Elide != "off") {
+        std::fprintf(stderr, "gcfuzz: --elide takes on|off\n");
+        return 2;
+      }
+    } else if (A == "--vm-diff") {
+      Opt.VmDiff = std::strtoull(next(), nullptr, 0);
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -212,13 +530,19 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Opt.VmDiff != 0)
+    return runVmDiff(Opt);
+
   std::vector<FuzzConfig> Configs = selectConfigs(Opt);
-  for (FuzzConfig &C : Configs)
+  for (FuzzConfig &C : Configs) {
     if (!applyFault(Opt.Fault, C.Config)) {
       std::fprintf(stderr, "gcfuzz: unknown fault '%s'\n",
                    Opt.Fault.c_str());
       return 2;
     }
+    if (!Opt.Elide.empty())
+      C.Config.ElideBarriers = Opt.Elide == "on";
+  }
 
   if (!Opt.ReplayFile.empty())
     return replay(Opt, Configs);

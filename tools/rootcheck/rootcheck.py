@@ -23,6 +23,17 @@ Rules
     substrate may touch raw segment memory; everything else goes
     through typed accessors.
 
+``barrier-bypass``
+    A raw slot write (``pairSetCarRaw``/``pairSetCdrRaw``/
+    ``objectFieldSetRaw``, or a direct ``->Car``/``->Cdr`` bit store)
+    outside the GC/heap/object internals. Raw writes skip the
+    generational write barrier, so an old-to-young pointer stored this
+    way is invisible to minor collections and the target is freed while
+    still reachable. Mutator code must go through the ``Heap`` mutation
+    API (``setCar``/``vectorSet``/...) or its verified elided variants
+    (``vectorSetInitializing``/``setCarElided``/...), which route the
+    soundness claim through ``HeapConfig::VerifyElision``.
+
 ``unique-unreachable``
     Two ``GENGC_UNREACHABLE`` sites share a message string. Messages
     are the only thing a crash report shows, so each must identify its
@@ -317,6 +328,47 @@ def check_segment_base(path: str, rel: str, lines: list[str]) -> list[Diagnostic
 
 
 # ---------------------------------------------------------------------------
+# Rule: barrier-bypass.
+# ---------------------------------------------------------------------------
+
+# The raw slot-write idioms: the Layout.h unbarriered setters and direct
+# bit stores into pair cells. Matching the *call/store site* catches
+# both `pairSetCarRaw(P, V)` and `gengc::pairSetCarRaw(P, V)`.
+BARRIER_BYPASS_RE = re.compile(
+    r"\b(?:pairSetCarRaw|pairSetCdrRaw|objectFieldSetRaw)\s*\("
+    r"|->\s*(?:Car|Cdr)\s*=[^=]"
+)
+
+# Directories whose job is to implement the barrier and the object
+# layout: the collector writes forward markers and copies cells, the
+# heap implements the barriered/elided mutators on top of the raw ones,
+# and the arena substrate owns segment memory outright.
+BARRIER_INTERNAL_PREFIXES = ("src/gc/", "src/heap/", "src/object/")
+
+
+def check_barrier_bypass(path: str, rel: str,
+                         lines: list[str]) -> list[Diagnostic]:
+    if rel.replace(os.sep, "/").startswith(BARRIER_INTERNAL_PREFIXES):
+        return []
+    diags = []
+    for index, raw in enumerate(lines):
+        if not BARRIER_BYPASS_RE.search(strip_code(raw)):
+            continue
+        if "barrier-bypass" in allowed_rules(lines, index):
+            continue
+        diags.append(Diagnostic(
+            path, index + 1, "barrier-bypass",
+            "raw slot write skips the generational write barrier; an "
+            "old-to-young pointer stored here never reaches the "
+            "remembered set. Use the Heap mutation API (setCar, "
+            "vectorSet, ...) or, when the store is provably initializing "
+            "or immediate, its elided variants — or annotate a "
+            "collector-internal use with rootcheck:allow(barrier-bypass)",
+        ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
 # Rule: unique-unreachable.
 # ---------------------------------------------------------------------------
 
@@ -459,6 +511,7 @@ def run(project_root: str, paths: list[str]) -> list[Diagnostic]:
         if rel.replace(os.sep, "/").startswith("src/"):
             diags.extend(check_unrooted_values(path, lines))
         diags.extend(check_segment_base(path, rel, lines))
+        diags.extend(check_barrier_bypass(path, rel, lines))
         if path.endswith(".h") and rel.replace(os.sep, "/").startswith("src/"):
             diags.extend(check_iwyu_lite(path, lines, project_root,
                                          closure_cache))
@@ -485,6 +538,7 @@ def run_self_test(fixture_dir: str) -> int:
         rel = os.path.relpath(path, fixture_dir)
         for diag in (check_unrooted_values(path, lines)
                      + check_segment_base(path, rel, lines)
+                     + check_barrier_bypass(path, rel, lines)
                      + check_unique_unreachable(files)):
             got.add((diag.line, diag.rule))
 
