@@ -27,7 +27,10 @@
 # and publish collector counters into each entry's "counters" object:
 # gc_collections, gc_full_collections, gc_bytes_copied,
 # gc_objects_promoted, gc_segments_freed, gc_total_pause_ns,
-# gc_barriers_executed, gc_barriers_elided, and the per-run pause
+# gc_barriers_executed, gc_barriers_elided, the parallel-scavenge
+# counters gc_parallel_workers / gc_parallel_steal_attempts /
+# gc_parallel_steal_hits / gc_parallel_max_worker_bytes /
+# gc_parallel_imbalance, and the per-run pause
 # percentiles gc_pause_p50_ns / gc_pause_p99_ns / gc_pause_max_ns. They land in the same JSON files automatically;
 # e.g.:  jq '.benchmarks[] | {name, gc_pause_p99_ns: .gc_pause_p99_ns}'
 
@@ -46,7 +49,8 @@ rows, totals, pauses = [], {}, {"p50": [], "p99": [], "max": []}
 files_read, files_bad = 0, 0
 GC_KEYS = ("gc_collections", "gc_full_collections", "gc_bytes_copied",
            "gc_objects_promoted", "gc_segments_freed", "gc_total_pause_ns",
-           "gc_barriers_executed", "gc_barriers_elided")
+           "gc_barriers_executed", "gc_barriers_elided",
+           "gc_parallel_steal_attempts", "gc_parallel_steal_hits")
 
 for path in sorted(glob.glob(os.path.join(out_dir, "*.json"))):
     try:

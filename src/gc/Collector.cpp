@@ -9,6 +9,7 @@
 
 #include <cstring>
 
+#include "gc/ParallelScavenge.h"
 #include "gc/Roots.h"
 #include "gc/Tconc.h"
 #include "gc/telemetry/Telemetry.h"
@@ -75,17 +76,29 @@ void Collector::run(unsigned G) {
     }
   }
 
-  {
-    PhaseTimer PT(Tel, S, GcPhase::Roots, PhaseCursor);
-    forwardRoots();
-  }
-  {
-    PhaseTimer PT(Tel, S, GcPhase::RememberedSets, PhaseCursor);
-    processRememberedSets(G);
-  }
-  {
-    PhaseTimer PT(Tel, S, GcPhase::Copy, PhaseCursor);
-    kleeneSweep();
+  const unsigned Workers = H.gcThreads();
+  if (Workers >= 2) {
+    // Multi-worker scavenge: roots, remembered sets, and the Cheney
+    // sweep run as a work-stealing fixpoint over per-worker to-space
+    // lanes. Everything after it (guardians, finalizers, weak pairs,
+    // symbol table) stays serial on this thread, over merged state, so
+    // resurrection order and tconc contents are schedule-independent.
+    ParallelScavenge PS(*this, G, Workers);
+    PS.run(PhaseCursor);
+  } else {
+    S.GcWorkersUsed = 1;
+    {
+      PhaseTimer PT(Tel, S, GcPhase::Roots, PhaseCursor);
+      forwardRoots();
+    }
+    {
+      PhaseTimer PT(Tel, S, GcPhase::RememberedSets, PhaseCursor);
+      processRememberedSets(G);
+    }
+    {
+      PhaseTimer PT(Tel, S, GcPhase::Copy, PhaseCursor);
+      kleeneSweep();
+    }
   }
   {
     PhaseTimer PT(Tel, S, GcPhase::Guardians, PhaseCursor);
@@ -118,6 +131,12 @@ void Collector::run(unsigned G) {
   // run after the statistics are published.
   S.FinalizerThunksRun = ThunkQueue.size();
   S.DurationNanos = Tel.now() - StartNanos;
+
+  // A serial scavenge is one worker copying everything: report it as
+  // perfectly balanced so workerImbalanceRatio() reads 1.0, matching
+  // what the parallel accounting would say about a one-lane run.
+  if (S.GcWorkersUsed <= 1)
+    S.MaxWorkerBytesCopied = S.BytesCopied;
 
   // Mutator barrier traffic in the window since the previous
   // collection: deltas of the heap's monotonic counters.
@@ -233,6 +252,12 @@ void Collector::targetFor(unsigned Gen, unsigned Age, unsigned &NewGen,
 }
 
 Value Collector::forward(Value V) {
+  // During a parallel scavenge's worker fixpoint, forwarding must claim
+  // the object with a CAS and copy into the calling worker's lane; the
+  // serial path below would race. Redirecting here (rather than at the
+  // call sites) lets every sweep/scan helper run on workers unchanged.
+  if (Par)
+    return Par->forwardShared(V);
   if (!V.isHeapPointer())
     return V;
   const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
@@ -460,8 +485,14 @@ void Collector::maybeReRemember(uintptr_t ContainerBits,
   Value Field = Value::fromBits(FieldBits);
   if (!Field.isHeapPointer())
     return;
-  if (H.Segments.infoFor(Field.heapAddress()).Generation < ContainerGen)
-    H.Remembered[ContainerGen].insert(ContainerBits);
+  if (H.Segments.infoFor(Field.heapAddress()).Generation < ContainerGen) {
+    // PtrHashSet is not thread-safe; workers buffer the insert and the
+    // coordinator replays the buffers in worker order after the join.
+    if (Par)
+      Par->bufferReRemember(ContainerGen, ContainerBits);
+    else
+      H.Remembered[ContainerGen].insert(ContainerBits);
+  }
 }
 
 void Collector::sweepPairAt(uintptr_t *Cell, bool Weak,

@@ -47,6 +47,8 @@
 
 namespace gengc {
 
+class ParallelScavenge;
+
 class Collector {
 public:
   explicit Collector(Heap &H) : H(H) {}
@@ -55,6 +57,12 @@ public:
   void run(unsigned G);
 
 private:
+  /// The parallel scavenge reuses the serial scan/sweep helpers on
+  /// worker threads by redirecting forward() and maybeReRemember()
+  /// through Par while the worker fixpoint runs (see
+  /// gc/ParallelScavenge.h).
+  friend class ParallelScavenge;
+
   /// Position within a SpaceContext's run list, in allocation order.
   struct SweepCursor {
     size_t RunIndex = 0;
@@ -130,6 +138,10 @@ private:
   Heap &H;
   GcStats S;
   unsigned T = 0; ///< Target generation (the paper's min(g+1, n)).
+  /// Non-null only while a parallel scavenge's worker fixpoint runs;
+  /// forward() and maybeReRemember() redirect through it so the serial
+  /// sweep helpers above work unchanged on GC worker threads.
+  ParallelScavenge *Par = nullptr;
 
   std::vector<SegmentRun> FromRuns[NumSpaces];
   SweepCursor Cursors[NumSpaces][MaxGenerations][MaxTenureCopies];

@@ -1,0 +1,75 @@
+//===- gc/GcWorkerPool.cpp - Persistent GC worker threads -----*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GcWorkerPool.h"
+
+#include "support/Assert.h"
+
+using namespace gengc;
+
+GcWorkerPool::~GcWorkerPool() {
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    ShuttingDown = true;
+  }
+  JobCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void GcWorkerPool::runJob(unsigned Workers,
+                          const std::function<void(unsigned)> &Fn) {
+  if (Workers <= 1) {
+    Fn(0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    GENGC_ASSERT(Job == nullptr, "nested GC worker job");
+    // Grow the pool to Workers - 1 threads. A thread spawned now must
+    // not mistake the job we are about to post for one it already ran,
+    // so its start generation is the *current* (pre-bump) generation.
+    while (Threads.size() < Workers - 1) {
+      const unsigned Index = static_cast<unsigned>(Threads.size());
+      Threads.emplace_back(
+          [this, Index, Gen = JobGeneration] { threadMain(Index, Gen); });
+    }
+    Job = &Fn;
+    JobWorkers = Workers;
+    Remaining = Workers - 1;
+    ++JobGeneration;
+  }
+  JobCv.notify_all();
+  Fn(0);
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    DoneCv.wait(Lock, [this] { return Remaining == 0; });
+    Job = nullptr;
+  }
+}
+
+void GcWorkerPool::threadMain(unsigned Index, uint64_t StartGeneration) {
+  uint64_t LastRun = StartGeneration;
+  std::unique_lock<std::mutex> Lock(M);
+  for (;;) {
+    JobCv.wait(Lock,
+               [&] { return ShuttingDown || JobGeneration != LastRun; });
+    if (ShuttingDown)
+      return;
+    LastRun = JobGeneration;
+    // Threads beyond the current job's width sit this one out (they do
+    // not count toward Remaining).
+    if (Index + 1 >= JobWorkers)
+      continue;
+    const std::function<void(unsigned)> *Fn = Job;
+    Lock.unlock();
+    (*Fn)(Index + 1);
+    Lock.lock();
+    if (--Remaining == 0)
+      DoneCv.notify_all();
+  }
+}

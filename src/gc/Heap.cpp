@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "gc/Collector.h"
+#include "gc/GcWorkerPool.h"
 #include "gc/Roots.h"
 #include "gc/Tconc.h"
 #include "gc/telemetry/TraceExport.h"
@@ -36,6 +37,24 @@ void applyStressEnvironment(HeapConfig &Cfg) {
   }
 }
 
+/// Resolves HeapConfig::GcThreads to the width collections actually run
+/// at. An explicit config value always wins; GcThreads == 0 (auto)
+/// consults GENGC_GC_THREADS, then the hardware. Clamped to
+/// [1, MaxGcThreads] either way.
+unsigned resolveGcThreads(const HeapConfig &Cfg) {
+  unsigned N = Cfg.GcThreads;
+  if (N == 0) {
+    if (const char *Env = std::getenv("GENGC_GC_THREADS"))
+      N = static_cast<unsigned>(std::atoi(Env));
+    if (N == 0) {
+      N = std::thread::hardware_concurrency();
+      if (N == 0)
+        N = 1;
+    }
+  }
+  return std::min(std::max(N, 1u), HeapConfig::MaxGcThreads);
+}
+
 } // namespace
 
 Heap::Heap(HeapConfig Config)
@@ -48,6 +67,7 @@ Heap::Heap(HeapConfig Config)
                "tenure copy count out of range");
   GENGC_ASSERT(Cfg.StressInterval >= 1, "stress interval must be >= 1");
   applyStressEnvironment(Cfg);
+  GcThreadsResolved = resolveGcThreads(Cfg);
   initTelemetry(Telemetry, Cfg);
   if (Telemetry.TraceEnabled) {
     // Segment traffic flows straight from the arena into the event
@@ -78,6 +98,19 @@ Heap::Heap(HeapConfig Config)
 Heap::~Heap() {
   if (Telemetry.TraceEnabled && !Telemetry.TraceDumpPath.empty())
     dumpChromeTraceToFile(Telemetry, Telemetry.TraceDumpPath);
+}
+
+GcWorkerPool &Heap::gcWorkerPool() {
+  if (!GcWorkers)
+    GcWorkers = std::make_unique<GcWorkerPool>();
+  return *GcWorkers;
+}
+
+void Heap::runOnGcWorker(const std::function<void()> &Fn) {
+  gcWorkerPool().runJob(2, [&Fn](unsigned Index) {
+    if (Index == 1)
+      Fn();
+  });
 }
 
 //===----------------------------------------------------------------------===//

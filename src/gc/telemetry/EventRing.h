@@ -44,8 +44,14 @@ enum class GcEventType : uint8_t {
                        ///< space kind. Fires from the arena, including
                        ///< for mutator allocation between collections.
   SegmentFree,         ///< A = first segment, B = run length.
+  GcWorkerSpan,        ///< One parallel-scavenge worker's active span.
+                       ///< Detail = worker index, A = bytes copied by
+                       ///< the worker, B = steal hits, DurNanos = time
+                       ///< from job start to the worker going idle for
+                       ///< good. Emitted by the coordinator after the
+                       ///< workers join (the ring is single-writer).
 };
-constexpr unsigned NumGcEventTypes = 7;
+constexpr unsigned NumGcEventTypes = 8;
 
 /// Display name of an event type (stable identifiers used by both
 /// exporters).
@@ -65,6 +71,8 @@ constexpr const char *gcEventTypeName(GcEventType T) {
     return "segment-alloc";
   case GcEventType::SegmentFree:
     return "segment-free";
+  case GcEventType::GcWorkerSpan:
+    return "gc-worker";
   }
   return "unknown";
 }

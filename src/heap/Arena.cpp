@@ -38,6 +38,7 @@ Arena::~Arena() {
 uint32_t Arena::allocateRun(uint32_t NumSegments, SpaceKind Space,
                             uint8_t Generation, uint8_t Age) {
   GENGC_ASSERT(NumSegments > 0, "empty run requested");
+  std::lock_guard<std::mutex> Guard(RunLock);
   // First fit over the sorted free list.
   for (size_t I = 0, E = FreeRuns.size(); I != E; ++I) {
     FreeRun &R = FreeRuns[I];
@@ -71,6 +72,7 @@ uint32_t Arena::allocateRun(uint32_t NumSegments, SpaceKind Space,
 void Arena::freeRun(uint32_t FirstSegment, uint32_t NumSegments) {
   GENGC_ASSERT(FirstSegment + NumSegments <= TotalSegments,
                "freeing segments outside the arena");
+  std::lock_guard<std::mutex> Guard(RunLock);
   if (Observer) {
     // Report before the entries are cleared so the observer still sees
     // the run's space and generation tags.

@@ -25,6 +25,7 @@
 #define GENGC_HEAP_ARENA_H
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "support/Assert.h"
@@ -93,11 +94,16 @@ public:
   /// Allocates a run of \p NumSegments contiguous segments, tagging each
   /// with \p Space and \p Generation. Returns the index of the first
   /// segment. Aborts if the arena is exhausted (the reservation is the
-  /// heap-size limit).
+  /// heap-size limit). Thread-safe: GC workers of a parallel scavenge
+  /// grab fresh to-space runs concurrently, so the free list, the
+  /// affected SegmentInfo entries, and the observer callback are all
+  /// updated under one internal lock (runs, not objects — the
+  /// allocation fast path never comes here).
   uint32_t allocateRun(uint32_t NumSegments, SpaceKind Space,
                        uint8_t Generation, uint8_t Age = 0);
 
   /// Returns a run to the free list and clears its segment entries.
+  /// Thread-safe, like allocateRun.
   void freeRun(uint32_t FirstSegment, uint32_t NumSegments);
 
   /// True if \p Address lies inside the arena reservation.
@@ -144,6 +150,9 @@ private:
     uint32_t Count;
   };
 
+  /// Serializes allocateRun/freeRun (free list + SegmentInfo tagging +
+  /// observer). Never contended outside a parallel scavenge.
+  std::mutex RunLock;
   uintptr_t Base = 0;
   size_t TotalSegments = 0;
   size_t InUseCount = 0;

@@ -1,0 +1,196 @@
+//===- tests/gc/parallel_scavenge_test.cpp - Multi-worker copy loop ------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel Cheney scavenge (src/gc/ParallelScavenge.*) carries a
+/// determinism contract: any worker count must produce the same heap
+/// contents, the same guardian resurrection order, and the same
+/// schedule-independent collector counters as the serial collector.
+/// These tests pin that contract, the worker-pool thread-affinity
+/// boundary, and the telemetry the parallel path reports. All widths
+/// are set explicitly through HeapConfig::GcThreads, so the tests mean
+/// the same thing with or without a GENGC_GC_THREADS override in the
+/// environment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Guardian.h"
+#include "gc/Heap.h"
+#include "gc/Roots.h"
+#include "object/Layout.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig parallelConfig(unsigned Workers) {
+  HeapConfig C;
+  C.ArenaBytes = 64u * 1024 * 1024;
+  C.AutoCollect = false;
+  C.GcThreads = Workers;
+  return C;
+}
+
+TEST(ParallelScavenge, ExplicitWidthWinsAndClamps) {
+  // An explicit config width is used as-is (clamped), regardless of
+  // GENGC_GC_THREADS or the host's core count.
+  Heap Four(parallelConfig(4));
+  EXPECT_EQ(Four.gcThreads(), 4u);
+  Heap Huge(parallelConfig(99));
+  EXPECT_EQ(Huge.gcThreads(), HeapConfig::MaxGcThreads);
+  Heap One(parallelConfig(1));
+  EXPECT_EQ(One.gcThreads(), 1u);
+}
+
+TEST(ParallelScavenge, SerialWidthReportsOneWorker) {
+  Heap H(parallelConfig(1));
+  Root L(H, Value::nil());
+  for (int I = 0; I != 1000; ++I)
+    L = H.cons(Value::fixnum(I), L.get());
+  H.collectMinor();
+  EXPECT_EQ(H.lastStats().GcWorkersUsed, 1u);
+  EXPECT_EQ(H.lastStats().StealAttempts, 0u);
+  EXPECT_EQ(H.lastStats().StealHits, 0u);
+  EXPECT_DOUBLE_EQ(H.lastStats().workerImbalanceRatio(), 1.0);
+}
+
+TEST(ParallelScavenge, FourWorkersCopyEverythingIntact) {
+  Heap H(parallelConfig(4));
+  Root L(H, Value::nil());
+  for (int I = 0; I != 20000; ++I)
+    L = H.cons(Value::fixnum(I), L.get());
+  Root S(H, H.makeString("survives the multi-worker sweep"));
+  Root V(H, H.makeVector(64, Value::fixnum(7)));
+  H.collectFull();
+  H.verifyHeap();
+  // Contents survived and forwarded pointers resolve.
+  Value P = L.get();
+  for (int I = 19999; I >= 0; --I) {
+    ASSERT_TRUE(P.isPair());
+    EXPECT_EQ(pairCar(P).asFixnum(), I);
+    P = pairCdr(P);
+  }
+  EXPECT_TRUE(P.isNil());
+  EXPECT_TRUE(isString(S.get()));
+  EXPECT_EQ(objectLength(V.get()), 64u);
+  // The parallel path actually ran and its telemetry is coherent.
+  const GcStats &Stats = H.lastStats();
+  EXPECT_EQ(Stats.GcWorkersUsed, 4u);
+  EXPECT_GT(Stats.StealAttempts, 0u);
+  EXPECT_GE(Stats.StealAttempts, Stats.StealHits);
+  EXPECT_LE(Stats.MaxWorkerBytesCopied, Stats.BytesCopied);
+  EXPECT_GE(Stats.workerImbalanceRatio(), 1.0);
+  EXPECT_LE(Stats.workerImbalanceRatio(),
+            static_cast<double>(Stats.GcWorkersUsed));
+}
+
+/// One scenario, any width: guardians over dropped pairs, a weak pair
+/// whose target dies, live data across several collections. Returns
+/// everything the determinism contract promises is width-independent.
+struct ScenarioResult {
+  std::vector<intptr_t> ResurrectionOrder;
+  uint64_t ObjectsCopied = 0;
+  uint64_t BytesCopied = 0;
+  uint64_t ObjectsPromoted = 0;
+  uint64_t GuardianObjectsSaved = 0;
+  uint64_t WeakPointersBroken = 0;
+  bool WeakBroken = false;
+  bool operator==(const ScenarioResult &O) const {
+    return ResurrectionOrder == O.ResurrectionOrder &&
+           ObjectsCopied == O.ObjectsCopied && BytesCopied == O.BytesCopied &&
+           ObjectsPromoted == O.ObjectsPromoted &&
+           GuardianObjectsSaved == O.GuardianObjectsSaved &&
+           WeakPointersBroken == O.WeakPointersBroken &&
+           WeakBroken == O.WeakBroken;
+  }
+};
+
+ScenarioResult runScenario(unsigned Workers) {
+  Heap H(parallelConfig(Workers));
+  Guardian G(H);
+  // Register 64 doomed pairs in a known order; the tconc must deliver
+  // them back in exactly this order at any worker count.
+  for (int I = 0; I != 64; ++I) {
+    Root Doomed(H, H.cons(Value::fixnum(I), Value::fixnum(-I)));
+    G.protect(Doomed.get());
+  }
+  Root Weak(H, H.weakCons(H.cons(Value::fixnum(1), Value::nil()),
+                          Value::fixnum(2)));
+  Root Live(H, Value::nil());
+  for (int I = 0; I != 5000; ++I)
+    Live = H.cons(Value::fixnum(I), Live.get());
+  H.collectFull();
+  H.collectFull();
+  H.verifyHeap();
+
+  ScenarioResult R;
+  for (Value P = G.retrieve(); !P.isFalse(); P = G.retrieve())
+    R.ResurrectionOrder.push_back(pairCar(P).asFixnum());
+  const GcTotals &T = H.totals();
+  R.ObjectsCopied = T.ObjectsCopied;
+  R.BytesCopied = T.BytesCopied;
+  R.ObjectsPromoted = T.ObjectsPromoted;
+  R.GuardianObjectsSaved = T.GuardianObjectsSaved;
+  R.WeakPointersBroken = T.WeakPointersBroken;
+  R.WeakBroken = pairCar(Weak.get()).isFalse();
+  return R;
+}
+
+TEST(ParallelScavenge, DeterministicAcrossWorkerCounts) {
+  const ScenarioResult Serial = runScenario(1);
+  const ScenarioResult Parallel = runScenario(4);
+  // The full resurrection order, not just the set: guardians promise
+  // queue order, and the parallel fixpoint runs on the coordinator
+  // after the worker join exactly to preserve it.
+  ASSERT_EQ(Serial.ResurrectionOrder.size(), 64u);
+  EXPECT_EQ(Serial.ResurrectionOrder, Parallel.ResurrectionOrder);
+  EXPECT_TRUE(Serial == Parallel)
+      << "schedule-independent counters diverged between 1 and 4 workers";
+}
+
+TEST(ParallelScavenge, StressPoisonedFromSpaceStaysVerifiable) {
+  // Fromspace poisoning makes any read-after-copy of stale memory blow
+  // up immediately; several rounds of mutation + full collection at 4
+  // workers must keep the heap verifier happy throughout.
+  HeapConfig C = parallelConfig(4);
+  C.PoisonFromSpace = true;
+  Heap H(C);
+  Guardian G(H);
+  Root Keep(H, Value::nil());
+  for (int Round = 0; Round != 6; ++Round) {
+    Keep = Value::nil();
+    for (int I = 0; I != 4000; ++I)
+      Keep = H.cons(Value::fixnum(Round * 10000 + I), Keep.get());
+    {
+      Root Doomed(H, H.cons(Value::fixnum(Round), Value::nil()));
+      G.protect(Doomed.get());
+    }
+    H.collectFull();
+    H.verifyHeap();
+  }
+  int Resurrected = 0;
+  for (Value P = G.retrieve(); !P.isFalse(); P = G.retrieve())
+    ++Resurrected;
+  EXPECT_EQ(Resurrected, 6);
+}
+
+TEST(ParallelScavengeDeathTest, GcWorkerThreadsDoNotOwnTheHeap) {
+  // The worker pool exists for collector internals only: mutator
+  // operations from a pool thread must trip the same owner-thread
+  // abort as any other foreign thread.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Heap H(parallelConfig(2));
+  EXPECT_DEATH(
+      H.runOnGcWorker([&H] { (void)H.cons(Value::fixnum(1), Value::nil()); }),
+      "does not own this heap");
+}
+
+} // namespace

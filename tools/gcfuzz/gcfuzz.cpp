@@ -17,6 +17,9 @@
 //                                        caught; exercises the oracle)
 //   gcfuzz --elide on|off                force barrier elision on/off for
 //                                        the trace heaps
+//   gcfuzz --gc-threads N                force the scavenge worker width
+//                                        (the model is schedule-blind, so
+//                                        any width must match it exactly)
 //   gcfuzz --vm-diff N                   N random Scheme programs, each
 //                                        run elide-on vs elide-off in
 //                                        lockstep; outputs must agree
@@ -53,6 +56,7 @@ struct Options {
   bool NoShrink = false;
   std::string Elide; ///< "", "on", or "off": override ElideBarriers.
   uint64_t VmDiff = 0; ///< Number of vm-diff programs (0 = off).
+  int GcThreads = -1; ///< -1 = leave configs alone; else force this width.
 };
 
 void usage() {
@@ -61,9 +65,15 @@ void usage() {
       "usage: gcfuzz [--seed N] [--traces N] [--ops K]\n"
       "              [--config NAME|all] [--fault none|drop-resurrection|"
       "break-weak|unsound-elision]\n"
-      "              [--elide on|off] [--vm-diff N]\n"
+      "              [--elide on|off] [--gc-threads N] [--vm-diff N]\n"
       "              [--seed-corpus] [--trace-replay FILE] [--out DIR]\n"
-      "              [--no-shrink]\n");
+      "              [--no-shrink]\n"
+      "configs (--config):");
+  // Enumerate the live config list so this help text cannot drift from
+  // standardConfigs() again.
+  for (const FuzzConfig &K : standardConfigs())
+    std::fprintf(stderr, " %s", K.Name.c_str());
+  std::fprintf(stderr, " all\n");
 }
 
 bool applyFault(const std::string &Name, HeapConfig &Cfg) {
@@ -358,10 +368,13 @@ struct VmRun {
   uint64_t BarriersElided = 0;
 };
 
-VmRun runVmProgram(const std::vector<std::string> &Forms, bool Elide) {
+VmRun runVmProgram(const std::vector<std::string> &Forms, bool Elide,
+                   int GcThreads) {
   HeapConfig Cfg;
   Cfg.ArenaBytes = 64u * 1024 * 1024;
   Cfg.ElideBarriers = Elide;
+  if (GcThreads > 0)
+    Cfg.GcThreads = static_cast<unsigned>(GcThreads);
   // Always verify: an unsound claim must abort here, in the fuzzer,
   // not survive into a divergence report that is hard to attribute.
   Cfg.VerifyElision = true;
@@ -394,8 +407,8 @@ int runVmDiff(const Options &Opt) {
     if (std::getenv("GCFUZZ_VM_DUMP"))
       for (const std::string &F : Forms)
         std::fprintf(stderr, "%s\n", F.c_str());
-    VmRun On = runVmProgram(Forms, /*Elide=*/true);
-    VmRun Off = runVmProgram(Forms, /*Elide=*/false);
+    VmRun On = runVmProgram(Forms, /*Elide=*/true, Opt.GcThreads);
+    VmRun Off = runVmProgram(Forms, /*Elide=*/false, Opt.GcThreads);
     if (On.Output != Off.Output) {
       std::fprintf(stderr,
                    "gcfuzz: VM DIVERGENCE (seed %llu): elision changed "
@@ -518,6 +531,14 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "gcfuzz: --elide takes on|off\n");
         return 2;
       }
+    } else if (A == "--gc-threads") {
+      Opt.GcThreads = static_cast<int>(std::strtol(next(), nullptr, 0));
+      if (Opt.GcThreads < 1 ||
+          Opt.GcThreads > static_cast<int>(HeapConfig::MaxGcThreads)) {
+        std::fprintf(stderr, "gcfuzz: --gc-threads takes 1..%u\n",
+                     HeapConfig::MaxGcThreads);
+        return 2;
+      }
     } else if (A == "--vm-diff") {
       Opt.VmDiff = std::strtoull(next(), nullptr, 0);
     } else if (A == "--help" || A == "-h") {
@@ -542,6 +563,8 @@ int main(int Argc, char **Argv) {
     }
     if (!Opt.Elide.empty())
       C.Config.ElideBarriers = Opt.Elide == "on";
+    if (Opt.GcThreads > 0)
+      C.Config.GcThreads = static_cast<unsigned>(Opt.GcThreads);
   }
 
   if (!Opt.ReplayFile.empty())

@@ -70,13 +70,15 @@ struct Options {
   uint64_t Seed = 1;
   unsigned ThinkTimeUs = 0; ///< Sleep per session (open-loop clients).
   unsigned FailRatePct = 0; ///< Transient ticket-failure injection.
+  unsigned GcThreads = 0;   ///< Scavenge workers per shard heap (0=auto).
   std::string JsonPath;     ///< Google-Benchmark-format output file.
 };
 
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--shards N] [--sessions N] [--ops N] [--seed N]\n"
-               "          [--think-time-us N] [--fail-rate PCT] [--json PATH]\n",
+               "          [--think-time-us N] [--fail-rate PCT]\n"
+               "          [--gc-threads N] [--json PATH]\n",
                Argv0);
 }
 
@@ -102,6 +104,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       Opt.ThinkTimeUs = static_cast<unsigned>(V);
     else if (Arg == "--fail-rate" && NextInt(V))
       Opt.FailRatePct = static_cast<unsigned>(V);
+    else if (Arg == "--gc-threads" && NextInt(V))
+      Opt.GcThreads = static_cast<unsigned>(V);
     else if (Arg == "--json" && I + 1 < Argc)
       Opt.JsonPath = Argv[++I];
     else {
@@ -349,6 +353,9 @@ int main(int Argc, char **Argv) {
   // generational machinery (and its pauses) actually exercise under
   // load instead of deferring everything to the shutdown collections.
   Cfg.HeapCfg.Gen0CollectBytes = 64u * 1024;
+  // Per-shard scavenge worker width; each shard heap gets its own pool,
+  // so total GC threads is Shards * GcThreads when forced above 1.
+  Cfg.HeapCfg.GcThreads = Opt.GcThreads;
   Cfg.MailboxCapacity = 128;
   Cfg.ExecutorCfg.BaseBackoff = std::chrono::microseconds(200);
   ShardRuntime RT(Cfg, [&](Shard &S) {
