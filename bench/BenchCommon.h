@@ -15,15 +15,14 @@
 #ifndef GENGC_BENCH_BENCHCOMMON_H
 #define GENGC_BENCH_BENCHCOMMON_H
 
-#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "gc/Heap.h"
 #include "gc/Roots.h"
+#include "telemetry/LatencyRecorder.h"
 
 namespace gengc {
 
@@ -42,16 +41,17 @@ inline void ageHeapFully(Heap &H) {
     H.collect(G);
 }
 
-/// Records every collection's pause through a post-GC hook and publishes
-/// GC totals plus pause percentiles as Google Benchmark custom counters,
-/// so scripts/bench.sh captures them in bench-results/*.json. Construct
-/// it right after the Heap; call addGcCounters() once, after the timing
-/// loop.
+/// Records every collection's pause through a post-GC hook (into an HDR
+/// LatencyRecorder — fixed memory however many collections run) and
+/// publishes GC totals plus pause percentiles as Google Benchmark custom
+/// counters, so scripts/bench.sh captures them in bench-results/*.json.
+/// Construct it right after the Heap; call addGcCounters() once, after
+/// the timing loop.
 class GcPauseRecorder {
 public:
   explicit GcPauseRecorder(Heap &H) : H(H) {
     H.addPostGcHook([this](Heap &, const GcStats &S) {
-      PauseNanos.push_back(S.DurationNanos);
+      Pauses.record(S.DurationNanos);
     });
   }
 
@@ -80,26 +80,20 @@ public:
     State.counters["gc_parallel_max_worker_bytes"] = C(T.MaxWorkerBytesCopied);
     State.counters["gc_parallel_imbalance"] =
         benchmark::Counter(H.lastStats().workerImbalanceRatio());
-    if (PauseNanos.empty())
+    if (Pauses.count() == 0)
       return;
-    std::vector<uint64_t> Sorted = PauseNanos;
-    std::sort(Sorted.begin(), Sorted.end());
-    State.counters["gc_pause_p50_ns"] = C(percentile(Sorted, 50));
-    State.counters["gc_pause_p99_ns"] = C(percentile(Sorted, 99));
-    State.counters["gc_pause_max_ns"] = C(Sorted.back());
+    for (const auto &KV : latencyCounters("gc_pause", Pauses))
+      State.counters[KV.first] = C(KV.second);
   }
 
-  size_t pausesRecorded() const { return PauseNanos.size(); }
+  size_t pausesRecorded() const {
+    return static_cast<size_t>(Pauses.count());
+  }
+  const LatencyRecorder &pauses() const { return Pauses; }
 
 private:
-  static uint64_t percentile(const std::vector<uint64_t> &Sorted,
-                             unsigned P) {
-    const size_t Rank = (Sorted.size() - 1) * P / 100;
-    return Sorted[Rank];
-  }
-
   Heap &H;
-  std::vector<uint64_t> PauseNanos;
+  LatencyRecorder Pauses;
 };
 
 } // namespace gengc

@@ -109,6 +109,31 @@ void BM_StoreInitializing(benchmark::State &State) {
 }
 BENCHMARK(BM_StoreInitializing)->Arg(0)->Arg(1);
 
+//===--- Allocation-profiler overhead ---------------------------------------===//
+
+// The allocation fast path with the sampled site profiler off (Arg 0)
+// and on at the default rate (Arg 1). The enabled cost is the countdown
+// subtract-and-test per allocation plus one recordSample per 64 KiB;
+// CI holds the on/off delta to <= 2% (scripts/check.sh).
+void BM_AllocYoung(benchmark::State &State) {
+  const bool Profile = State.range(0) != 0;
+  HeapConfig C = benchConfig();
+  C.AutoCollect = true; // Pure young garbage; let minor GCs reclaim.
+  if (Profile)
+    C.ProfileSampleBytes = HeapConfig::DefaultProfileSampleBytes;
+  Heap H(C);
+  for (auto _ : State) {
+    Value P = H.cons(Value::fixnum(1), Value::nil());
+    benchmark::DoNotOptimize(P);
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.counters["profile_enabled"] =
+      benchmark::Counter(Profile ? 1.0 : 0.0);
+  State.counters["profile_samples"] = benchmark::Counter(
+      static_cast<double>(H.allocProfiler().totalSamples()));
+}
+BENCHMARK(BM_AllocYoung)->Arg(0)->Arg(1);
+
 // An environment-frame-heavy VM workload: every loop iteration enters a
 // letrec scope (enter-scope-undef + initializing local-sets) and closes
 // over it, so frame-slot stores dominate the mutator's store mix. Arg 0

@@ -25,14 +25,12 @@
 #
 # GC-heavy benchmarks attach a GcPauseRecorder (bench/BenchCommon.h)
 # and publish collector counters into each entry's "counters" object:
-# gc_collections, gc_full_collections, gc_bytes_copied,
-# gc_objects_promoted, gc_segments_freed, gc_total_pause_ns,
-# gc_barriers_executed, gc_barriers_elided, the parallel-scavenge
-# counters gc_parallel_workers / gc_parallel_steal_attempts /
-# gc_parallel_steal_hits / gc_parallel_max_worker_bytes /
-# gc_parallel_imbalance, and the per-run pause
-# percentiles gc_pause_p50_ns / gc_pause_p99_ns / gc_pause_max_ns. They land in the same JSON files automatically;
-# e.g.:  jq '.benchmarks[] | {name, gc_pause_p99_ns: .gc_pause_p99_ns}'
+# gc_* totals, gc_pause_{p50,p99,p999,max}_ns HDR percentiles, and —
+# from loadgen — latency_op_*, mmu_*, slo_*, alloc_sampled_sites and
+# executor_* keys. The summarizer (scripts/bench_summarize.py) derives
+# every key from the JSON itself, so new counters appear in
+# BENCH_<date>.json without editing any script; e.g.:
+#   jq '.benchmarks[] | {name, gc_pause_p99_ns: .gc_pause_p99_ns}'
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,74 +39,7 @@ OUT="${BENCH_OUT:-bench-results}"
 DIR="${BENCH_BUILD:-build-bench}"
 
 summarize() {
-  python3 - "$OUT" <<'PYEOF'
-import glob, json, os, sys, datetime
-
-out_dir = sys.argv[1]
-rows, totals, pauses = [], {}, {"p50": [], "p99": [], "max": []}
-files_read, files_bad = 0, 0
-GC_KEYS = ("gc_collections", "gc_full_collections", "gc_bytes_copied",
-           "gc_objects_promoted", "gc_segments_freed", "gc_total_pause_ns",
-           "gc_barriers_executed", "gc_barriers_elided",
-           "gc_parallel_steal_attempts", "gc_parallel_steal_hits")
-
-for path in sorted(glob.glob(os.path.join(out_dir, "*.json"))):
-    try:
-        with open(path) as f:
-            data = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"bench.sh: skipping malformed {path}: {e}", file=sys.stderr)
-        files_bad += 1
-        continue
-    files_read += 1
-    for b in data.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue  # mean/median/stddev rows duplicate the raw runs
-        row = {
-            "file": os.path.splitext(os.path.basename(path))[0],
-            "name": b.get("name"),
-            "real_time": b.get("real_time"),
-            "cpu_time": b.get("cpu_time"),
-            "time_unit": b.get("time_unit"),
-            "iterations": b.get("iterations"),
-        }
-        for key, val in b.items():
-            if key.startswith("gc_"):
-                row[key] = val
-                if key in GC_KEYS:
-                    totals[key] = totals.get(key, 0) + val
-        for pct in pauses:
-            key = f"gc_pause_{pct}_ns"
-            if key in b:
-                pauses[pct].append(b[key])
-        rows.append(row)
-
-summary = {
-    "date": datetime.date.today().isoformat(),
-    "source": out_dir,
-    "files": files_read,
-    "files_skipped": files_bad,
-    "gc_totals": totals,
-    # Fleet-wide view over every benchmark that attached a
-    # GcPauseRecorder: worst and median of the per-benchmark
-    # percentiles.
-    "pause_percentiles_ns": {
-        pct: {
-            "max": max(vals),
-            "median": sorted(vals)[len(vals) // 2],
-            "benchmarks": len(vals),
-        } if vals else None
-        for pct, vals in pauses.items()
-    },
-    "benchmarks": rows,
-}
-name = f"BENCH_{summary['date']}.json"
-with open(name, "w") as f:
-    json.dump(summary, f, indent=2)
-    f.write("\n")
-print(f"==> {name}: {len(rows)} benchmarks from {files_read} files"
-      + (f" ({files_bad} skipped)" if files_bad else ""))
-PYEOF
+  python3 scripts/bench_summarize.py "$OUT"
 }
 
 if [ "${1:-}" = "--summarize" ]; then

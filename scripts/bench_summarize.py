@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Aggregates Google Benchmark JSON files into one BENCH_<date>.json.
+
+Called by scripts/bench.sh after every run (and by --summarize); also
+usable standalone:
+
+    python3 scripts/bench_summarize.py bench-results/
+    python3 scripts/bench_summarize.py bench-results/ --output /tmp/s.json
+
+Every counter key is derived from the JSON itself — there is no
+hand-maintained list of collector counters, so a benchmark that starts
+publishing a new gc_*/latency_* key shows up in the summary without
+touching this script. Keys are classified by shape:
+
+  - distribution keys (``..._p50_ns``, ``..._p99_ns``, ``..._max_ns``,
+    high-water marks like ``executor_max_pending``): percentiles of
+    independent runs can't be summed, so the summary reports the max
+    and median across benchmarks instead, under
+    ``distributions``;
+  - ratio keys (``mmu_*``, ``*_imbalance``, ``slo_pass``,
+    ``*_workers``): dimensionless per-run values, listed per row only;
+  - everything else numeric (counts of events: collections, bytes,
+    tickets, violations, sampled ops): summed into ``totals``.
+"""
+
+import argparse
+import datetime
+import glob
+import json
+import os
+import re
+import sys
+
+# Counter prefixes folded into the summary. Anything else in a
+# benchmark entry is benchmark-specific and stays per-row only.
+PREFIXES = ("gc_", "latency_", "mmu_", "slo_", "alloc_", "executor_")
+
+# Percentile/extremum shape: aggregate as a distribution, never sum.
+DISTRIBUTION_RE = re.compile(r"_(p\d+|max)_ns$|_max_pending$|_max_worker_bytes$")
+
+# Dimensionless ratios/flags: meaningless to sum or take medians of
+# across heterogeneous benchmarks; kept per-row only.
+RATIO_RE = re.compile(r"^mmu_|_imbalance$|^slo_pass$|_workers$")
+
+
+def classify(key):
+    if DISTRIBUTION_RE.search(key):
+        return "distribution"
+    if RATIO_RE.search(key):
+        return "ratio"
+    return "total"
+
+
+def summarize(out_dir):
+    rows, totals, dists = [], {}, {}
+    files_read, files_bad = 0, 0
+
+    for path in sorted(glob.glob(os.path.join(out_dir, "*.json"))):
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_summarize: skipping malformed {path}: {e}",
+                  file=sys.stderr)
+            files_bad += 1
+            continue
+        files_read += 1
+        for b in data.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue  # mean/median/stddev rows duplicate the raw runs
+            row = {
+                "file": os.path.splitext(os.path.basename(path))[0],
+                "name": b.get("name"),
+                "real_time": b.get("real_time"),
+                "cpu_time": b.get("cpu_time"),
+                "time_unit": b.get("time_unit"),
+                "iterations": b.get("iterations"),
+            }
+            for key, val in b.items():
+                if not key.startswith(PREFIXES):
+                    continue
+                if not isinstance(val, (int, float)):
+                    continue
+                row[key] = val
+                kind = classify(key)
+                if kind == "total":
+                    totals[key] = totals.get(key, 0) + val
+                elif kind == "distribution":
+                    dists.setdefault(key, []).append(val)
+            rows.append(row)
+
+    return {
+        "date": datetime.date.today().isoformat(),
+        "source": out_dir,
+        "files": files_read,
+        "files_skipped": files_bad,
+        "gc_totals": totals,
+        # Fleet-wide view over every benchmark that published this
+        # percentile/high-water counter: worst and median of the
+        # per-benchmark values.
+        "distributions": {
+            key: {
+                "max": max(vals),
+                "median": sorted(vals)[len(vals) // 2],
+                "benchmarks": len(vals),
+            }
+            for key, vals in sorted(dists.items())
+        },
+        "benchmarks": rows,
+    }, files_read, files_bad
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("out_dir", help="directory of per-binary benchmark JSON")
+    ap.add_argument("--output", default=None,
+                    help="summary path (default BENCH_<date>.json in cwd)")
+    args = ap.parse_args()
+
+    summary, files_read, files_bad = summarize(args.out_dir)
+    name = args.output or f"BENCH_{summary['date']}.json"
+    with open(name, "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+    print(f"==> {name}: {len(summary['benchmarks'])} benchmarks from "
+          f"{files_read} files"
+          + (f" ({files_bad} skipped)" if files_bad else ""))
+
+
+if __name__ == "__main__":
+    main()

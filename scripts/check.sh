@@ -79,6 +79,53 @@ run_suite() {
   echo "==> [$name] loadgen smoke"
   "$dir/tools/loadgen/loadgen" --shards 8 --sessions 8 --ops 200 \
     --seed 11 --fail-rate 5 >/dev/null
+  # Observability smoke: a 2-shard run with causal tracing, heap
+  # profiling, and an SLO target. The merged fleet trace must be strict
+  # JSON containing flow events (the cross-shard causal arrows), the
+  # collapsed-stack profile must have sampled at least one site, and
+  # the bench JSON must carry a nonzero sampled-site count.
+  echo "==> [$name] observability smoke"
+  "$dir/tools/loadgen/loadgen" --shards 2 --sessions 8 --ops 300 \
+    --seed 7 --trace "$dir/fleet-trace.json" \
+    --profile "$dir/heap.folded" --slo-max-pause-us 500000 \
+    --json "$dir/loadgen-obs.json" >/dev/null
+  python3 -m json.tool "$dir/fleet-trace.json" >/dev/null
+  python3 -m json.tool "$dir/loadgen-obs.json" >/dev/null
+  grep -q '"ph":"s"' "$dir/fleet-trace.json"
+  grep -q '^gengc;' "$dir/heap.folded"
+  grep -q '"alloc_sampled_sites": [1-9]' "$dir/loadgen-obs.json"
+  rm -f "$dir/fleet-trace.json" "$dir/heap.folded" "$dir/loadgen-obs.json"
+  # Profiler overhead gate: allocation-site sampling at the default
+  # 64 KiB interval must cost <= 2% on the young-allocation microbench.
+  # Release only — sanitizer and stress builds distort the ratio. Many
+  # short interleaved repetitions + min-of-reps in the checker keep the
+  # comparison robust to machine noise, and up to three attempts absorb
+  # transient load spikes (a real regression persists at the floor and
+  # fails every attempt).
+  if [ "$name" = release ]; then
+    echo "==> [$name] profiler overhead gate"
+    local overhead_ok=0 attempt
+    for attempt in 1 2 3; do
+      "$dir/bench/bench_ablation" --benchmark_filter='BM_AllocYoung' \
+        --benchmark_repetitions=12 --benchmark_min_time=0.15 \
+        --benchmark_enable_random_interleaving=true \
+        --benchmark_format=json \
+        > "$dir/alloc-young.json" 2>/dev/null
+      if python3 scripts/check_profiler_overhead.py \
+           "$dir/alloc-young.json" 2.0; then
+        overhead_ok=1
+        break
+      fi
+      echo "[$name] overhead gate attempt $attempt over budget, retrying"
+    done
+    rm -f "$dir/alloc-young.json"
+    if [ "$overhead_ok" != 1 ]; then
+      echo "[$name] profiler overhead gate failed on all attempts" >&2
+      exit 1
+    fi
+  fi
+  # Summarizer key-derivation fixture (also runs inside CTest).
+  python3 tests/scripts/bench_summarize_test.py .
   # Parallel-scavenge determinism canary: the same guardian-heavy
   # program at 1 and 4 scavenge workers must print byte-identical
   # output — resurrection order and every schedule-independent

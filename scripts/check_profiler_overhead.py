@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Gates the allocation profiler's fast-path cost on BM_AllocYoung.
+
+bench_ablation runs BM_AllocYoung twice — Arg(0) with sampling off,
+Arg(1) with sampling on at the default 64 KiB interval. This script
+compares the two in a Google Benchmark JSON file and fails when the
+enabled run costs more than the given percentage (the repo's
+observability budget: <= 2%).
+
+    bench_ablation --benchmark_filter='BM_AllocYoung' \
+        --benchmark_repetitions=5 --benchmark_format=json > out.json
+    python3 scripts/check_profiler_overhead.py out.json 2.0
+
+Uses the minimum cpu_time over repetitions of each variant: the min is
+the least noise-sensitive location statistic for a microbenchmark (any
+scheduler interference only ever inflates a repetition).
+"""
+
+import json
+import sys
+
+
+def best_time(benchmarks, name):
+    times = [b["cpu_time"] for b in benchmarks
+             if b.get("name", "").startswith(name)
+             and b.get("run_type", "iteration") == "iteration"]
+    if not times:
+        raise SystemExit(f"check_profiler_overhead: no '{name}' rows")
+    return min(times)
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+    limit_pct = float(sys.argv[2])
+    benchmarks = data.get("benchmarks", [])
+    off = best_time(benchmarks, "BM_AllocYoung/0")
+    on = best_time(benchmarks, "BM_AllocYoung/1")
+    overhead_pct = (on - off) / off * 100.0
+    print(f"profiler overhead on BM_AllocYoung: {overhead_pct:+.2f}% "
+          f"(off {off:.2f}ns, on {on:.2f}ns, limit {limit_pct:.1f}%)")
+    if overhead_pct > limit_pct:
+        raise SystemExit("check_profiler_overhead: over budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -120,6 +120,10 @@ void Collector::run(unsigned G) {
   }
   {
     PhaseTimer PT(Tel, S, GcPhase::Reclaim, PhaseCursor);
+    // The profiler sweep must read forwarding markers, so it runs
+    // while from-space is still intact.
+    if (H.Profiler.enabled())
+      sweepAllocProfiler();
     freeFromSpace();
   }
 
@@ -131,6 +135,7 @@ void Collector::run(unsigned G) {
   // run after the statistics are published.
   S.FinalizerThunksRun = ThunkQueue.size();
   S.DurationNanos = Tel.now() - StartNanos;
+  Tel.recordPause({StartNanos, S.DurationNanos});
 
   // A serial scavenge is one worker copying everything: report it as
   // perfectly balanced so workerImbalanceRatio() reads 1.0, matching
@@ -306,6 +311,29 @@ Value Collector::forward(Value V) {
   if (H.ForwardWitness)
     H.ForwardWitness(H.ForwardWitnessCtx, V.bits(), NewV.bits());
   return NewV;
+}
+
+void Collector::sweepAllocProfiler() {
+  AllocProfiler &P = H.Profiler;
+  std::vector<AllocProfiler::SampledObject> &Table = P.trackedObjects();
+  size_t Keep = 0;
+  for (AllocProfiler::SampledObject &O : Table) {
+    const Value V = Value::fromBits(O.Bits);
+    const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
+    if (!Info.isFromSpace()) {
+      // Lives in a generation older than those collected: untouched.
+      Table[Keep++] = O;
+      continue;
+    }
+    if (isForwarded(V)) {
+      O.Bits = forwardedAddress(V).bits();
+      P.creditSurvival(O);
+      Table[Keep++] = O;
+    } else {
+      P.creditDeath(O);
+    }
+  }
+  Table.resize(Keep);
 }
 
 bool Collector::isForwarded(Value V) const {
@@ -597,6 +625,9 @@ void Collector::processGuardians(unsigned G) {
       Ev.Type = GcEventType::GuardianResurrection;
       Ev.TimeNanos = H.Telemetry.now();
       Ev.A = FinalList.size();
+      // The (generation, target) coordinate pair the census reports
+      // under: resurrected entries are re-parked in protected[target].
+      Ev.B = T;
       Ev.Collection = static_cast<uint32_t>(S.CollectionIndex);
       Ev.Generation = static_cast<uint8_t>(S.CollectedGeneration);
       Ev.Detail = static_cast<uint16_t>(S.GuardianLoopIterations);

@@ -92,6 +92,13 @@ private:
   /// object itself when it was not subject to collection.
   Value forwardedAddress(Value V) const;
 
+  /// Survival sweep of the allocation-site profiler's sampled-object
+  /// table: forwarded samples have their bits updated and credit
+  /// SurvivedBytes, dead ones credit DeadBytes and leave the table.
+  /// Runs while from-space is still intact (the table is not a root —
+  /// sampling never keeps an object alive).
+  void sweepAllocProfiler();
+
   void forwardSlot(Value *Slot) { *Slot = forward(*Slot); }
   void forwardWord(uintptr_t *Word) {
     *Word = forward(Value::fromBits(*Word)).bits();

@@ -233,7 +233,7 @@ struct GcTotals {
   }
 
   /// Folds another heap's totals into this one (cross-shard
-  /// aggregation; see gc/telemetry/Aggregate.h). Like accumulate(),
+  /// aggregation; see telemetry/Aggregate.h). Like accumulate(),
   /// must cover every field.
   void merge(const GcTotals &O) {
     Collections += O.Collections;

@@ -69,6 +69,7 @@ Heap::Heap(HeapConfig Config)
   applyStressEnvironment(Cfg);
   GcThreadsResolved = resolveGcThreads(Cfg);
   initTelemetry(Telemetry, Cfg);
+  Profiler.init(Cfg);
   if (Telemetry.TraceEnabled) {
     // Segment traffic flows straight from the arena into the event
     // ring; with tracing off the arena's observer slot stays null.
@@ -98,6 +99,8 @@ Heap::Heap(HeapConfig Config)
 Heap::~Heap() {
   if (Telemetry.TraceEnabled && !Telemetry.TraceDumpPath.empty())
     dumpChromeTraceToFile(Telemetry, Telemetry.TraceDumpPath);
+  if (Profiler.enabled() && !Profiler.dumpPath().empty())
+    Profiler.dumpToFile(Profiler.dumpPath());
 }
 
 GcWorkerPool &Heap::gcWorkerPool() {
@@ -139,12 +142,25 @@ uintptr_t *Heap::allocateRaw(SpaceKind Space, size_t Words) {
                "allocation inside a NoGcScope: the scope promises the "
                "collector cannot run, so allocating (a safepoint) here "
                "is a rooting-discipline violation");
-  BytesSinceGc += Words * sizeof(uintptr_t);
-  TotalBytesAllocated += Words * sizeof(uintptr_t);
+  const size_t Bytes = Words * sizeof(uintptr_t);
+  BytesSinceGc += Bytes;
+  TotalBytesAllocated += Bytes;
   if (BytesSinceGc >= Cfg.Gen0CollectBytes)
     GcPending = true;
-  return Contexts[static_cast<unsigned>(Space)][0][0].allocate(
+  uintptr_t *W = Contexts[static_cast<unsigned>(Space)][0][0].allocate(
       Segments, Space, 0, Words, /*Age=*/0);
+  // Allocation-site sampling: tick() is a single compare of the
+  // just-updated allocation counter against the profiler's threshold
+  // (UINT64_MAX when disarmed). The tagged bits recorded for survival
+  // tracking follow the space's representation (pair spaces hold bare
+  // cells, typed/data spaces header-tagged objects).
+  if (Profiler.tick(TotalBytesAllocated))
+    Profiler.recordSample(
+        (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair)
+            ? Value::pair(reinterpret_cast<PairCell *>(W)).bits()
+            : Value::object(W).bits(),
+        TotalBytesAllocated);
+  return W;
 }
 
 uintptr_t *Heap::allocateInGeneration(SpaceKind Space, unsigned Generation,

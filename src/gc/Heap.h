@@ -38,6 +38,7 @@
 
 #include "gc/GcStats.h"
 #include "gc/HeapConfig.h"
+#include "gc/telemetry/AllocProfiler.h"
 #include "gc/telemetry/Telemetry.h"
 #include "heap/Arena.h"
 #include "heap/SpaceContext.h"
@@ -281,6 +282,11 @@ public:
   GcTelemetry &telemetry() { return Telemetry; }
   const GcTelemetry &telemetry() const { return Telemetry; }
 
+  /// The sampled allocation-site profiler (disabled unless
+  /// HeapConfig::ProfileSampleBytes or GENGC_GC_PROFILE armed it).
+  AllocProfiler &allocProfiler() { return Profiler; }
+  const AllocProfiler &allocProfiler() const { return Profiler; }
+
   /// Toggles the one-line post-GC reporter at runtime (the Scheme
   /// primitive (collect-notify bool)).
   void setCollectNotify(bool On) { Telemetry.LogEnabled = On; }
@@ -500,6 +506,7 @@ private:
   GcStats LastStats;
   GcTotals Totals;
   GcTelemetry Telemetry;
+  AllocProfiler Profiler;
 
   /// Monotonic barrier-traffic counters (barriersExecuted()/
   /// barriersElided()) plus the values at the end of the last

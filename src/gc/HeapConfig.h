@@ -205,6 +205,35 @@ struct HeapConfig {
   /// Per-collection statistics retained in the rolling history window
   /// that feeds the per-generation survival-rate gauges.
   size_t TelemetryHistoryDepth = 64;
+
+  /// Pause intervals retained for minimum-mutator-utilization curves
+  /// (telemetry/Mmu.h). Always on — one 16-byte append per collection;
+  /// wrapping keeps the newest clips. 0 disables retention.
+  size_t PauseClipCapacity = 8192;
+
+  /// Pause SLO target: collections longer than this many nanoseconds
+  /// increment GcTelemetry::SloPauseViolations (surfaced in (gc-stats)
+  /// and fleet-merged). 0 disables the ledger.
+  uint64_t SloMaxPauseNanos = 0;
+
+  /// Allocation-site profiler sampling interval: one sample is taken
+  /// every ~this many allocated bytes (byte-countdown in the
+  /// allocation fast path; see gc/telemetry/AllocProfiler.h). 0 — the
+  /// default — disables sampling entirely; the fast-path cost is then
+  /// one counter subtract and an untaken branch. The GENGC_GC_PROFILE
+  /// environment variable ("1" or a dump path) enables profiling at
+  /// DefaultProfileSampleBytes at Heap construction;
+  /// GENGC_GC_PROFILE_BYTES overrides the interval.
+  size_t ProfileSampleBytes = 0;
+
+  /// Interval used when profiling is enabled through the environment
+  /// or a tool flag without an explicit rate.
+  static constexpr size_t DefaultProfileSampleBytes = 64 * 1024;
+
+  /// Sampled-object table capacity: live sampled objects tracked for
+  /// survival attribution. When full, new samples still count bytes to
+  /// their site but skip survival tracking.
+  size_t ProfileTableCapacity = 64 * 1024;
 };
 
 } // namespace gengc

@@ -35,20 +35,6 @@ using namespace gengc;
 
 namespace {
 
-const char *spaceKindName(SpaceKind Space) {
-  switch (Space) {
-  case SpaceKind::Pair:
-    return "pair";
-  case SpaceKind::WeakPair:
-    return "weak-pair";
-  case SpaceKind::Typed:
-    return "typed";
-  case SpaceKind::Data:
-    return "data";
-  }
-  return "unknown";
-}
-
 struct Verifier {
   using ContextsArray =
       const SpaceContext (*)[MaxGenerations][MaxTenureCopies];

@@ -37,7 +37,11 @@ enum class GcEventType : uint8_t {
                        ///< DurNanos = pause. Detail = target generation.
   PhaseSpan,           ///< Detail = GcPhase, DurNanos = phase time.
   GuardianResurrection,///< One pend-final fixpoint round. Detail = loop
-                       ///< iteration, A = entries delivered this round.
+                       ///< iteration, A = entries delivered this round,
+                       ///< B = the generation the saved entries were
+                       ///< parked in (the census generation axis;
+                       ///< Generation stays the collected generation,
+                       ///< matching every other event).
   TenurePromotion,     ///< A = objects promoted, B = bytes copied
                        ///< (aggregate for the collection).
   SegmentAlloc,        ///< A = first segment, B = run length. Detail =
@@ -50,8 +54,18 @@ enum class GcEventType : uint8_t {
                        ///< from job start to the worker going idle for
                        ///< good. Emitted by the coordinator after the
                        ///< workers join (the ring is single-writer).
+  MessageSend,         ///< Cross-shard send (runtime tier). A = trace
+                       ///< id, B = span id, Detail = destination shard.
+                       ///< Emitted on the sending shard's own ring —
+                       ///< every runtime event keeps the ring's
+                       ///< single-writer contract by writing only to
+                       ///< the heap owned by the emitting thread.
+  MessageReceive,      ///< Cross-shard receive. A = trace id, B = span
+                       ///< id, Detail = source shard.
+  TicketSubmit,        ///< Finalization ticket handed to the executor.
+                       ///< A = trace id, B = span id, Detail = queue.
 };
-constexpr unsigned NumGcEventTypes = 8;
+constexpr unsigned NumGcEventTypes = 11;
 
 /// Display name of an event type (stable identifiers used by both
 /// exporters).
@@ -73,6 +87,12 @@ constexpr const char *gcEventTypeName(GcEventType T) {
     return "segment-free";
   case GcEventType::GcWorkerSpan:
     return "gc-worker";
+  case GcEventType::MessageSend:
+    return "msg-send";
+  case GcEventType::MessageReceive:
+    return "msg-recv";
+  case GcEventType::TicketSubmit:
+    return "ticket-submit";
   }
   return "unknown";
 }

@@ -41,6 +41,8 @@ void gengc::initTelemetry(GcTelemetry &T, const HeapConfig &Cfg) {
   T.LogEnabled = Cfg.GcLog;
   T.TraceEnabled = Cfg.GcTrace;
   T.HistoryDepth = Cfg.TelemetryHistoryDepth;
+  T.PauseClipCapacity = Cfg.PauseClipCapacity;
+  T.SloMaxPauseNanos = Cfg.SloMaxPauseNanos;
 
   std::string Path;
   switch (classifyEnv("GENGC_GC_LOG", Path)) {
@@ -87,6 +89,32 @@ void GcTelemetry::recordHistory(const GcStats &S) {
     History[static_cast<size_t>(HistoryRecorded % HistoryDepth)] = S;
   }
   ++HistoryRecorded;
+}
+
+void GcTelemetry::recordPause(PauseClip C) {
+  if (SloMaxPauseNanos != 0 && C.DurNanos > SloMaxPauseNanos)
+    ++SloPauseViolations;
+  if (PauseClipCapacity == 0)
+    return;
+  if (Pauses.size() < PauseClipCapacity) {
+    Pauses.push_back(C);
+  } else {
+    Pauses[static_cast<size_t>(PausesRecorded % PauseClipCapacity)] = C;
+  }
+  ++PausesRecorded;
+}
+
+std::vector<PauseClip> GcTelemetry::pauseClips() const {
+  if (Pauses.size() < PauseClipCapacity || Pauses.empty())
+    return Pauses;
+  // The ring has wrapped; rotate so the oldest retained clip comes
+  // first (clips are consumed as a time-ordered sequence).
+  std::vector<PauseClip> Out;
+  Out.reserve(Pauses.size());
+  const size_t First = static_cast<size_t>(PausesRecorded % Pauses.size());
+  for (size_t I = 0; I != Pauses.size(); ++I)
+    Out.push_back(Pauses[(First + I) % Pauses.size()]);
+  return Out;
 }
 
 double GcTelemetry::survivalRate(unsigned Generation) const {

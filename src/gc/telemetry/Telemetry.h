@@ -41,6 +41,16 @@ namespace gengc {
 
 struct HeapConfig;
 
+/// One stop-the-world pause as an interval on the heap's telemetry
+/// clock. The bounded ring of these (GcTelemetry::pauseClips) is the
+/// raw material for minimum-mutator-utilization curves
+/// (telemetry/Mmu.h): MMU needs *where* pauses fell, not just how long
+/// they were, which is why this exists alongside the GcStats history.
+struct PauseClip {
+  uint64_t StartNanos = 0; ///< Pause start, nanos since the heap epoch.
+  uint64_t DurNanos = 0;   ///< Pause duration.
+};
+
 /// Observability state owned by a Heap.
 struct GcTelemetry {
   /// One-line report to stderr after every collection (Chez's
@@ -60,6 +70,19 @@ struct GcTelemetry {
   std::vector<GcStats> History;
   size_t HistoryDepth = 64;
   uint64_t HistoryRecorded = 0;
+
+  /// Bounded ring of recent pause intervals (always on: one 16-byte
+  /// append per collection). Wrapping keeps the newest clips, so MMU is
+  /// computed over the most recent mutator window.
+  std::vector<PauseClip> Pauses;
+  size_t PauseClipCapacity = 8192;
+  uint64_t PausesRecorded = 0;
+
+  /// Pause SLO: collections longer than this count as violations
+  /// (HeapConfig::SloMaxPauseNanos; 0 disables). Surfaced in
+  /// (gc-stats) and fleet-merged by telemetry/Aggregate.
+  uint64_t SloMaxPauseNanos = 0;
+  uint64_t SloPauseViolations = 0;
 
   std::chrono::steady_clock::time_point Epoch =
       std::chrono::steady_clock::now();
@@ -81,6 +104,14 @@ struct GcTelemetry {
 
   /// Appends a finished collection's statistics to the rolling window.
   void recordHistory(const GcStats &S);
+
+  /// Appends one pause interval to the bounded clip ring and charges
+  /// the pause-SLO ledger. Called by the collector at the end of every
+  /// collection.
+  void recordPause(PauseClip C);
+
+  /// The retained pause clips, oldest first.
+  std::vector<PauseClip> pauseClips() const;
 
   /// Survival rate (bytes copied / bytes in from-space) over the
   /// recorded window for collections of generation \p Generation.

@@ -23,40 +23,33 @@ namespace {
 /// short phases do not collapse to zero-width spans.
 double micros(uint64_t Nanos) { return static_cast<double>(Nanos) / 1e3; }
 
-const char *spaceName(uint16_t Space) {
-  switch (static_cast<SpaceKind>(Space)) {
-  case SpaceKind::Pair:
-    return "pair";
-  case SpaceKind::WeakPair:
-    return "weak-pair";
-  case SpaceKind::Typed:
-    return "typed";
-  case SpaceKind::Data:
-    return "data";
-  }
-  return "unknown";
-}
-
 /// Emits the common prefix of one trace_event record: name, category,
-/// phase kind, timestamp, and the single gc pid/tid track.
+/// phase kind, timestamp, and the track coordinates.
 void openRecord(std::ostream &OS, const char *Name, const char *Cat,
-                const char *Ph, double Ts) {
-  char Buf[160];
+                const char *Ph, double Ts, uint32_t Pid, uint32_t Tid) {
+  char Buf[192];
   std::snprintf(Buf, sizeof(Buf),
                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
-                "\"ts\":%.3f,\"pid\":1,\"tid\":1",
-                Name, Cat, Ph, Ts);
+                "\"ts\":%.3f,\"pid\":%" PRIu32 ",\"tid\":%" PRIu32,
+                Name, Cat, Ph, Ts, Pid, Tid);
   OS << Buf;
 }
 
-void emitChromeEvent(std::ostream &OS, const GcEvent &E) {
+} // namespace
+
+void gengc::emitChromeTraceEvent(std::ostream &OS, const GcEvent &E,
+                                 uint32_t Pid, uint32_t Tid,
+                                 int64_t OffsetNanos) {
+  const uint64_t Time =
+      static_cast<uint64_t>(static_cast<int64_t>(E.TimeNanos) +
+                            OffsetNanos);
   char Buf[256];
   switch (E.Type) {
   case GcEventType::CollectionBegin:
     // The matching CollectionEnd carries the span; the begin event is
     // kept as an instant so a wrapped ring (end without begin) still
     // renders every surviving span.
-    openRecord(OS, "collection-begin", "gc", "i", micros(E.TimeNanos));
+    openRecord(OS, "collection-begin", "gc", "i", micros(Time), Pid, Tid);
     std::snprintf(Buf, sizeof(Buf),
                   ",\"s\":\"t\",\"args\":{\"collection\":%" PRIu32
                   ",\"generation\":%u}}",
@@ -64,8 +57,8 @@ void emitChromeEvent(std::ostream &OS, const GcEvent &E) {
     OS << Buf;
     break;
   case GcEventType::CollectionEnd:
-    openRecord(OS, "collection", "gc", "X",
-               micros(E.TimeNanos - E.DurNanos));
+    openRecord(OS, "collection", "gc", "X", micros(Time - E.DurNanos),
+               Pid, Tid);
     std::snprintf(Buf, sizeof(Buf),
                   ",\"dur\":%.3f,\"args\":{\"collection\":%" PRIu32
                   ",\"generation\":%u,\"target\":%u,\"bytes_copied\":%" PRIu64
@@ -77,7 +70,7 @@ void emitChromeEvent(std::ostream &OS, const GcEvent &E) {
     break;
   case GcEventType::PhaseSpan:
     openRecord(OS, gcPhaseName(static_cast<GcPhase>(E.Detail)), "gc-phase",
-               "X", micros(E.TimeNanos));
+               "X", micros(Time), Pid, Tid);
     std::snprintf(Buf, sizeof(Buf),
                   ",\"dur\":%.3f,\"args\":{\"collection\":%" PRIu32
                   ",\"generation\":%u}}",
@@ -87,15 +80,20 @@ void emitChromeEvent(std::ostream &OS, const GcEvent &E) {
     break;
   case GcEventType::GuardianResurrection:
     openRecord(OS, "guardian-resurrection", "gc-guardian", "i",
-               micros(E.TimeNanos));
+               micros(Time), Pid, Tid);
+    // (generation, target) is the same coordinate pair the census
+    // reports occupancy under, so resurrection traffic can be read
+    // against census rows directly.
     std::snprintf(Buf, sizeof(Buf),
                   ",\"s\":\"t\",\"args\":{\"collection\":%" PRIu32
-                  ",\"round\":%u,\"delivered\":%" PRIu64 "}}",
-                  E.Collection, static_cast<unsigned>(E.Detail), E.A);
+                  ",\"round\":%u,\"delivered\":%" PRIu64
+                  ",\"generation\":%u,\"target\":%" PRIu64 "}}",
+                  E.Collection, static_cast<unsigned>(E.Detail), E.A,
+                  static_cast<unsigned>(E.Generation), E.B);
     OS << Buf;
     break;
   case GcEventType::TenurePromotion:
-    openRecord(OS, "tenure-promotion", "gc", "i", micros(E.TimeNanos));
+    openRecord(OS, "tenure-promotion", "gc", "i", micros(Time), Pid, Tid);
     std::snprintf(Buf, sizeof(Buf),
                   ",\"s\":\"t\",\"args\":{\"collection\":%" PRIu32
                   ",\"promoted\":%" PRIu64 ",\"bytes_copied\":%" PRIu64 "}}",
@@ -107,17 +105,19 @@ void emitChromeEvent(std::ostream &OS, const GcEvent &E) {
     openRecord(OS,
                E.Type == GcEventType::SegmentAlloc ? "segment-alloc"
                                                    : "segment-free",
-               "gc-heap", "i", micros(E.TimeNanos));
+               "gc-heap", "i", micros(Time), Pid, Tid);
     std::snprintf(Buf, sizeof(Buf),
                   ",\"s\":\"t\",\"args\":{\"first\":%" PRIu64
                   ",\"count\":%" PRIu64 ",\"space\":\"%s\","
                   "\"generation\":%u}}",
-                  E.A, E.B, spaceName(E.Detail),
+                  E.A, E.B,
+                  spaceKindName(static_cast<SpaceKind>(E.Detail)),
                   static_cast<unsigned>(E.Generation));
     OS << Buf;
     break;
   case GcEventType::GcWorkerSpan:
-    openRecord(OS, "gc-worker", "gc-parallel", "X", micros(E.TimeNanos));
+    openRecord(OS, "gc-worker", "gc-parallel", "X", micros(Time), Pid,
+               Tid);
     std::snprintf(Buf, sizeof(Buf),
                   ",\"dur\":%.3f,\"args\":{\"collection\":%" PRIu32
                   ",\"worker\":%u,\"bytes_copied\":%" PRIu64
@@ -126,10 +126,31 @@ void emitChromeEvent(std::ostream &OS, const GcEvent &E) {
                   static_cast<unsigned>(E.Detail), E.A, E.B);
     OS << Buf;
     break;
+  case GcEventType::MessageSend:
+  case GcEventType::MessageReceive:
+    openRecord(OS,
+               E.Type == GcEventType::MessageSend ? "msg-send"
+                                                  : "msg-recv",
+               "runtime", "i", micros(Time), Pid, Tid);
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"s\":\"t\",\"args\":{\"trace\":%" PRIu64
+                  ",\"span\":%" PRIu64 ",\"%s\":%u}}",
+                  E.A, E.B,
+                  E.Type == GcEventType::MessageSend ? "dest" : "src",
+                  static_cast<unsigned>(E.Detail));
+    OS << Buf;
+    break;
+  case GcEventType::TicketSubmit:
+    openRecord(OS, "ticket-submit", "runtime", "i", micros(Time), Pid,
+               Tid);
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"s\":\"t\",\"args\":{\"trace\":%" PRIu64
+                  ",\"span\":%" PRIu64 ",\"queue\":%u}}",
+                  E.A, E.B, static_cast<unsigned>(E.Detail));
+    OS << Buf;
+    break;
   }
 }
-
-} // namespace
 
 void gengc::writeChromeTrace(const GcTelemetry &T, std::ostream &OS) {
   const std::vector<GcEvent> Events = T.Ring.snapshot();
@@ -142,7 +163,7 @@ void gengc::writeChromeTrace(const GcTelemetry &T, std::ostream &OS) {
       OS << ",";
     First = false;
     OS << "\n";
-    emitChromeEvent(OS, E);
+    emitChromeTraceEvent(OS, E, /*Pid=*/1, /*Tid=*/1, /*OffsetNanos=*/0);
   }
   OS << "\n]}\n";
 }

@@ -34,6 +34,14 @@ namespace gengc {
 /// Writes the ring's events as Chrome trace_event JSON.
 void writeChromeTrace(const GcTelemetry &T, std::ostream &OS);
 
+/// Emits one event as a single trace_event record on the given
+/// pid/tid track, with \p OffsetNanos added to the event's heap-epoch
+/// timestamp. The per-heap exporter uses (1, 1, 0); the fleet exporter
+/// (telemetry/FleetTrace.h) places each shard's ring on its own tid
+/// and rebases onto the fleet clock.
+void emitChromeTraceEvent(std::ostream &OS, const GcEvent &E, uint32_t Pid,
+                          uint32_t Tid, int64_t OffsetNanos);
+
 /// Writes the ring's events as a compact text log, one line per event.
 void writeEventLog(const GcTelemetry &T, std::ostream &OS);
 

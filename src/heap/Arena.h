@@ -48,6 +48,24 @@ enum class SpaceKind : uint8_t {
 };
 constexpr unsigned NumSpaces = 4;
 
+/// Canonical display name of a space. Every consumer that labels a
+/// (generation, space) coordinate — the census, the trace exporters,
+/// tools — must use this one table so the labels line up across
+/// outputs.
+constexpr const char *spaceKindName(SpaceKind Space) {
+  switch (Space) {
+  case SpaceKind::Pair:
+    return "pair";
+  case SpaceKind::WeakPair:
+    return "weak-pair";
+  case SpaceKind::Typed:
+    return "typed";
+  case SpaceKind::Data:
+    return "data";
+  }
+  return "unknown";
+}
+
 /// Per-segment bookkeeping, one entry per segment in the arena.
 struct SegmentInfo {
   static constexpr uint8_t FlagInUse = 1 << 0;

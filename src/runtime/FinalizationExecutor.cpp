@@ -30,7 +30,8 @@ FinalizationExecutor::QueueId FinalizationExecutor::registerQueue(
 }
 
 bool FinalizationExecutor::submit(QueueId QId, intptr_t Payload,
-                                  intptr_t Aux) {
+                                  intptr_t Aux, uint64_t TraceId,
+                                  uint64_t SpanId) {
   std::unique_lock<std::mutex> Lock(M);
   GENGC_ASSERT(QId < Queues.size(), "submit to unregistered queue");
   if (Stopping)
@@ -45,9 +46,10 @@ bool FinalizationExecutor::submit(QueueId QId, intptr_t Payload,
   }
   Queue &Q = Queues[QId];
   PendingTicket P;
-  P.Ticket = FinalizationTicket{Q.NextSeq++, Payload, Aux};
+  P.Ticket = FinalizationTicket{Q.NextSeq++, Payload, Aux, TraceId, SpanId};
   P.Attempts = 0;
   P.NotBefore = std::chrono::steady_clock::time_point{}; // Ready now.
+  P.SubmitTime = std::chrono::steady_clock::now();
   Q.Pending.push_back(P);
   ++PendingCount;
   ++S.Submitted;
@@ -81,13 +83,40 @@ size_t FinalizationExecutor::runPassLocked(
       Action Act = Q.Act;
       bool Ok = false;
       Lock.unlock();
+      const auto Start = std::chrono::steady_clock::now();
       try {
         Ok = Act(P.Ticket);
       } catch (...) {
         Ok = false;
       }
+      const auto End = std::chrono::steady_clock::now();
       Lock.lock();
       ++Ran;
+
+      const auto ToNanos = [this](std::chrono::steady_clock::time_point T) {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(T - Epoch)
+                .count());
+      };
+      S.WaitNanos.record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Start - P.SubmitTime)
+              .count()));
+      S.RunNanos.record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+              .count()));
+      if (Cfg.Tracing) {
+        FinalizeSpan Sp;
+        Sp.TraceId = P.Ticket.TraceId;
+        Sp.SpanId = P.Ticket.SpanId;
+        Sp.Queue = static_cast<uint32_t>(QI);
+        Sp.Attempt = P.Attempts + 1;
+        Sp.SubmitNanos = ToNanos(P.SubmitTime);
+        Sp.StartNanos = ToNanos(Start);
+        Sp.EndNanos = ToNanos(End);
+        Sp.Ok = Ok;
+        Spans.push_back(Sp);
+      }
 
       if (Ok) {
         ++S.Executed;
@@ -173,6 +202,11 @@ size_t FinalizationExecutor::pending() const {
 FinalizationExecutor::Stats FinalizationExecutor::stats() const {
   std::lock_guard<std::mutex> Lock(M);
   return S;
+}
+
+std::vector<FinalizeSpan> FinalizationExecutor::finalizeSpans() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Spans;
 }
 
 std::vector<FinalizationExecutor::QuarantinedTicket>

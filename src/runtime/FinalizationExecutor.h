@@ -53,6 +53,9 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/FleetTrace.h"
+#include "telemetry/LatencyRecorder.h"
+
 namespace gengc {
 namespace runtime {
 
@@ -63,6 +66,11 @@ struct FinalizationTicket {
   uint64_t Seq = 0; ///< Per-queue submission sequence, assigned on submit.
   intptr_t Payload = 0;
   intptr_t Aux = 0;
+  /// Causal-tracing identifiers carried from the submitting shard's
+  /// ticket-submit event (see PinnedMessage for the id scheme). Zero
+  /// when the submitter is untraced.
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
 };
 
 class FinalizationExecutor {
@@ -77,6 +85,11 @@ public:
     unsigned MaxRetries = 3; ///< Failed attempts before quarantine.
     std::chrono::nanoseconds BaseBackoff = std::chrono::milliseconds(1);
     size_t HighWatermark = 1024; ///< submit() blocks at this many pending.
+    /// Record a FinalizeSpan (on the executor's clock, which the
+    /// runtime uses as the fleet epoch) for every executed action, for
+    /// the merged fleet trace. Off by default: the span log is
+    /// unbounded over the executor's lifetime.
+    bool Tracing = false;
   };
 
   struct Stats {
@@ -86,8 +99,15 @@ public:
     uint64_t Retried = 0;  ///< Re-scheduled attempts.
     uint64_t Quarantined = 0;
     uint64_t Batches = 0; ///< Worker turns that ran at least one ticket.
+    /// Queue-depth high watermark: the most tickets ever pending at
+    /// once, across all queues.
     uint64_t MaxPending = 0;
     uint64_t BackpressureWaits = 0;
+    /// Per-ticket submit-to-start wait and action run time (HDR;
+    /// always on — recording is wait-free and the worker already holds
+    /// a timestamp at both edges).
+    LatencyRecorder WaitNanos;
+    LatencyRecorder RunNanos;
   };
 
   struct QuarantinedTicket {
@@ -110,8 +130,10 @@ public:
   /// Submits a ticket (any thread). Blocks while the executor is at its
   /// high watermark. Returns false iff the executor is already
   /// stopping, in which case the ticket was NOT accepted — submit
-  /// before drainAndStop, not after.
-  bool submit(QueueId Queue, intptr_t Payload, intptr_t Aux = 0);
+  /// before drainAndStop, not after. TraceId/SpanId tie the ticket to
+  /// the submitting shard's ticket-submit event in the fleet trace.
+  bool submit(QueueId Queue, intptr_t Payload, intptr_t Aux = 0,
+              uint64_t TraceId = 0, uint64_t SpanId = 0);
 
   /// Blocks until every pending ticket has been executed or
   /// quarantined, then stops and joins the worker. Idempotent.
@@ -125,11 +147,22 @@ public:
   std::vector<QuarantinedTicket> quarantined() const;
   std::string queueName(QueueId Id) const;
 
+  /// The executor's construction instant. The shard runtime constructs
+  /// its executor before any shard thread starts and adopts this as
+  /// the fleet trace epoch, so every shard's heap-epoch offset is
+  /// non-negative.
+  std::chrono::steady_clock::time_point epoch() const { return Epoch; }
+
+  /// The recorded finalize spans (Config::Tracing), on the epoch()
+  /// clock. Safe any time; typically read after drainAndStop.
+  std::vector<FinalizeSpan> finalizeSpans() const;
+
 private:
   struct PendingTicket {
     FinalizationTicket Ticket;
     unsigned Attempts = 0;
     std::chrono::steady_clock::time_point NotBefore; ///< Backoff deadline.
+    std::chrono::steady_clock::time_point SubmitTime;
   };
   struct Queue {
     std::string Name;
@@ -145,12 +178,15 @@ private:
                        std::chrono::steady_clock::time_point Now);
 
   Config Cfg;
+  const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
   mutable std::mutex M;
   std::condition_variable WorkAvailable; ///< Worker waits here.
   std::condition_variable SpaceAvailable; ///< Blocked submitters wait here.
   std::condition_variable Idle;           ///< waitIdle/drain waiters.
   std::vector<Queue> Queues;
   std::vector<QuarantinedTicket> Quarantine;
+  std::vector<FinalizeSpan> Spans; ///< Config::Tracing only.
   Stats S;
   size_t PendingCount = 0;
   bool Stopping = false;

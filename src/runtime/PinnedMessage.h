@@ -91,6 +91,15 @@ struct PinnedMessage {
   PinnedField RootField;
   uint64_t SeveredEdges = 0; ///< Non-transferables replaced under Sever.
 
+  /// Causal-tracing identifiers, stamped by Shard::sendValue and
+  /// carried verbatim to the receiver. TraceId names the whole causal
+  /// chain (the first hop's span id); SpanId names this hop and is
+  /// globally unique: (sender shard + 1) << 32 | per-shard sequence,
+  /// so the source shard is recoverable from the id alone. Zero means
+  /// untraced.
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
+
   size_t nodeCount() const { return Nodes.size(); }
 };
 

@@ -86,7 +86,66 @@ bool Shard::sendValue(Shard &To, Value V, TransferPolicy Policy) {
     ExitWatch->watch(RV.get());
     ++Rep.ExportsWatched;
   }
+  // Causal stamping: this hop gets a fresh span; the trace is the one
+  // we are handling (message-triggered sends chain) or starts here.
+  Msg.SpanId = newSpanId();
+  Msg.TraceId = CurrentTraceId ? CurrentTraceId : Msg.SpanId;
+  {
+    GcTelemetry &Tel = HeapPtr->telemetry();
+    GcEvent E;
+    E.Type = GcEventType::MessageSend;
+    E.TimeNanos = Tel.now();
+    E.A = Msg.TraceId;
+    E.B = Msg.SpanId;
+    E.Detail = static_cast<uint16_t>(To.id());
+    Tel.emit(E);
+  }
   return To.Inbox.trySend(std::move(Msg));
+}
+
+void Shard::deliverMessage(const PinnedMessage &Msg) {
+  ++Rep.MessagesReceived;
+  Rep.MessagesDecodedNodes += Msg.nodeCount();
+  {
+    GcTelemetry &Tel = HeapPtr->telemetry();
+    GcEvent E;
+    E.Type = GcEventType::MessageReceive;
+    E.TimeNanos = Tel.now();
+    E.A = Msg.TraceId;
+    E.B = Msg.SpanId;
+    // The sending shard is recoverable from the span id's high word.
+    E.Detail = static_cast<uint16_t>((Msg.SpanId >> 32) - 1);
+    Tel.emit(E);
+  }
+  {
+    Root RV(*HeapPtr, decodeMessage(*HeapPtr, Msg));
+    // The handler runs inside the sender's trace: sends and ticket
+    // submissions it performs chain onto the same causal arrow.
+    CurrentTraceId = Msg.TraceId;
+    if (Local)
+      Local->onMessage(*this, RV.get());
+    CurrentTraceId = 0;
+  }
+  Rep.ExportsMoved += ExitWatch->drainMoved();
+}
+
+bool Shard::submitTicket(FinalizationExecutor::QueueId Queue,
+                         intptr_t Payload, intptr_t Aux) {
+  GENGC_ASSERT(HeapPtr && HeapPtr->onOwnerThread(),
+               "submitTicket must run on the shard thread");
+  const uint64_t SpanId = newSpanId();
+  const uint64_t TraceId = CurrentTraceId ? CurrentTraceId : SpanId;
+  {
+    GcTelemetry &Tel = HeapPtr->telemetry();
+    GcEvent E;
+    E.Type = GcEventType::TicketSubmit;
+    E.TimeNanos = Tel.now();
+    E.A = TraceId;
+    E.B = SpanId;
+    E.Detail = static_cast<uint16_t>(Queue);
+    Tel.emit(E);
+  }
+  return Exec.submit(Queue, Payload, Aux, TraceId, SpanId);
 }
 
 void Shard::pumpInbox() {
@@ -96,16 +155,8 @@ void Shard::pumpInbox() {
   // from inside running tasks, and re-entering the task queue there
   // would nest task executions arbitrarily deep.
   PinnedMessage Msg;
-  while (Inbox.tryReceive(Msg)) {
-    ++Rep.MessagesReceived;
-    Rep.MessagesDecodedNodes += Msg.nodeCount();
-    {
-      Root RV(*HeapPtr, decodeMessage(*HeapPtr, Msg));
-      if (Local)
-        Local->onMessage(*this, RV.get());
-    }
-    Rep.ExportsMoved += ExitWatch->drainMoved();
-  }
+  while (Inbox.tryReceive(Msg))
+    deliverMessage(Msg);
 }
 
 Shard &Shard::peer(size_t I) {
@@ -131,14 +182,7 @@ size_t Shard::drainWorkLocked(std::unique_lock<std::mutex> &Lock) {
     PinnedMessage Msg;
     const bool Got = Inbox.tryReceive(Msg);
     if (Got) {
-      ++Rep.MessagesReceived;
-      Rep.MessagesDecodedNodes += Msg.nodeCount();
-      {
-        Root RV(*HeapPtr, decodeMessage(*HeapPtr, Msg));
-        if (Local)
-          Local->onMessage(*this, RV.get());
-      }
-      Rep.ExportsMoved += ExitWatch->drainMoved();
+      deliverMessage(Msg);
       Lock.lock();
       ++Ran;
       continue;
@@ -178,7 +222,7 @@ void Shard::threadMain(
   Heap H(HeapCfg);
   HeapPtr = &H;
   H.addPostGcHook([this](Heap &, const GcStats &St) {
-    Rep.Gc.PauseNanos.push_back(St.DurationNanos);
+    Rep.Gc.Pauses.record(St.DurationNanos);
   });
   {
     TransportWatch Watch(H);
@@ -206,6 +250,18 @@ void Shard::threadMain(
   }
   Rep.Gc.Totals = H.totals();
   Rep.Gc.BytesAllocated = H.totalBytesAllocated();
+  {
+    const GcTelemetry &Tel = H.telemetry();
+    Rep.Gc.Clips = Tel.pauseClips();
+    Rep.Gc.MutatorNanos = Tel.now();
+    Rep.Gc.SloPauseViolations = Tel.SloPauseViolations;
+    Rep.Trace.ShardId = Id;
+    Rep.Trace.EpochOffsetNanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Tel.Epoch -
+                                                             FleetEpoch)
+            .count();
+    Rep.Trace.Events = Tel.Ring.snapshot();
+  }
   HeapPtr = nullptr;
 }
 
@@ -220,6 +276,9 @@ ShardRuntime::ShardRuntime(Config Cfg, InitFn Init) : Exec(Cfg.ExecutorCfg) {
     Shards.emplace_back(std::unique_ptr<Shard>(new Shard(
         static_cast<uint32_t>(I), Cfg.HeapCfg, Cfg.MailboxCapacity, Exec)));
     Shards.back()->Owner = this;
+    // The executor (constructed before any shard) anchors the fleet
+    // trace clock; every shard heap's epoch offset is measured from it.
+    Shards.back()->FleetEpoch = Exec.epoch();
   }
   for (auto &S : Shards) {
     Shard *P = S.get();
@@ -257,6 +316,13 @@ FleetGcStats ShardRuntime::fleetGcStats() const {
   for (const Shard::Report &R : reports())
     Samples.push_back(R.Gc);
   return aggregateShards(Samples);
+}
+
+bool ShardRuntime::exportFleetTrace(const std::string &Path) const {
+  std::vector<ShardTraceSample> Samples;
+  for (const Shard::Report &R : reports())
+    Samples.push_back(R.Trace);
+  return dumpFleetTraceToFile(Samples, Exec.finalizeSpans(), Path);
 }
 
 } // namespace runtime

@@ -35,6 +35,7 @@
 #ifndef GENGC_RUNTIME_SHARD_H
 #define GENGC_RUNTIME_SHARD_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -45,7 +46,8 @@
 #include <vector>
 
 #include "gc/HeapConfig.h"
-#include "gc/telemetry/Aggregate.h"
+#include "telemetry/Aggregate.h"
+#include "telemetry/FleetTrace.h"
 #include "support/Assert.h"
 #include "runtime/FinalizationExecutor.h"
 #include "runtime/Mailbox.h"
@@ -89,6 +91,10 @@ public:
   struct Report {
     uint32_t ShardId = 0;
     ShardGcSample Gc;
+    /// The heap's event-ring snapshot plus its epoch offset from the
+    /// fleet clock, for ShardRuntime::exportFleetTrace. Empty unless
+    /// the heap recorded events (HeapConfig::GcTrace).
+    ShardTraceSample Trace;
     uint64_t MessagesReceived = 0;
     uint64_t MessagesDecodedNodes = 0;
     uint64_t ExportsWatched = 0;
@@ -130,6 +136,19 @@ public:
   /// lets long-running shard code service cross-shard traffic mid-task.
   void pumpInbox();
 
+  /// Submits a finalization ticket with causal-trace stamping (shard
+  /// thread only): continues the trace of the message being handled,
+  /// or starts a fresh one, emits a ticket-submit event on this
+  /// shard's own ring, and forwards the ids to the executor so the
+  /// finalize span links back in the fleet trace. Prefer this over
+  /// executor().submit() from shard code.
+  bool submitTicket(FinalizationExecutor::QueueId Queue, intptr_t Payload,
+                    intptr_t Aux = 0);
+
+  /// The trace id of the message currently being handled (zero outside
+  /// onMessage or when the sender was untraced). Shard thread only.
+  uint64_t currentTraceId() const { return CurrentTraceId; }
+
 private:
   friend class ShardRuntime;
 
@@ -141,6 +160,15 @@ private:
   void loopUntilStopped();
   size_t drainWorkLocked(std::unique_lock<std::mutex> &Lock);
   void requestStop();
+
+  /// Fresh globally-unique span id: (shard + 1) << 32 | local sequence
+  /// (see PinnedMessage). Shard thread only.
+  uint64_t newSpanId() {
+    return (static_cast<uint64_t>(Id) + 1) << 32 | ++SpanSeq;
+  }
+  /// Decodes \p Msg, emits its receive event, and hands the value to
+  /// the ShardLocal with CurrentTraceId set for the duration.
+  void deliverMessage(const PinnedMessage &Msg);
 
   const uint32_t Id;
   const HeapConfig HeapCfg;
@@ -154,6 +182,11 @@ private:
   std::unique_ptr<ShardLocal> Local;
   class TransportWatch *ExitWatch = nullptr; ///< Stack of threadMain.
   Report Rep;
+  uint64_t SpanSeq = 0;         ///< Feeds newSpanId().
+  uint64_t CurrentTraceId = 0;  ///< Trace of the message being handled.
+  /// The fleet trace epoch (the executor's construction instant),
+  /// against which the heap's epoch offset is measured.
+  std::chrono::steady_clock::time_point FleetEpoch;
 
   std::mutex M;
   std::condition_variable WorkSignal;
@@ -203,6 +236,13 @@ public:
 
   /// Fleet-wide GC aggregation of the reports; valid after shutdown().
   FleetGcStats fleetGcStats() const;
+
+  /// Writes the merged Chrome trace of every shard's event ring plus
+  /// the executor's finalize spans, all on the fleet clock, to
+  /// \p Path. Valid after shutdown(); returns false if the file cannot
+  /// be opened. Shards record events only when HeapConfig::GcTrace (or
+  /// GENGC_GC_TRACE) is set.
+  bool exportFleetTrace(const std::string &Path) const;
 
 private:
   FinalizationExecutor Exec;

@@ -9,6 +9,7 @@
 #include "io/GuardedPorts.h"
 #include "scheme/Interpreter.h"
 #include "scheme/Printer.h"
+#include "telemetry/Mmu.h"
 
 using namespace gengc;
 
@@ -227,6 +228,22 @@ void Interpreter::installPrimitives() {
     Add("total-steal-attempts", Fix(Tot.StealAttempts));
     Add("total-steal-hits", Fix(Tot.StealHits));
 
+    // Mutator-utilization and pause-SLO ledger (telemetry/Mmu.h): MMU
+    // at the standard windows over the retained pause clips, and the
+    // configured pause ceiling with its violation count.
+    {
+      const GcTelemetry &Tel = H.telemetry();
+      const std::vector<PauseClip> Clips = Tel.pauseClips();
+      const uint64_t TotalNanos = Tel.now();
+      for (const MmuPoint &P : standardMmuCurve(Clips, TotalNanos)) {
+        std::string Key =
+            "mmu-" + std::to_string(P.WindowNanos / 1000000) + "ms";
+        Add(Key.c_str(), H.makeFlonum(P.Utilization));
+      }
+      Add("slo-max-pause-nanos", Fix(Tel.SloMaxPauseNanos));
+      Add("slo-pause-violations", Fix(Tel.SloPauseViolations));
+    }
+
     // ((setup . ns) (roots . ns) ...), in phase order.
     {
       Root Phases(H, Value::nil());
@@ -258,6 +275,41 @@ void Interpreter::installPrimitives() {
     Root Result(H, Value::nil());
     for (size_t J = Entries.size(); J != 0; --J)
       Result = H.cons(Entries[J - 1], Result);
+    return Result.get();
+  });
+
+  // Sampled allocation-site profile (gc/telemetry/AllocProfiler.h):
+  // #f when profiling is off, else one row per sampled site —
+  // (name samples sampled-bytes survived-bytes dead-bytes) — with the
+  // byte figures being whole-interval estimates. Survival figures
+  // update at each collection, so (collect) then (heap-profile) shows
+  // which procedures' allocations are tenuring.
+  Def("heap-profile", 0, 0, [](Interpreter &I, RootVector &) {
+    Heap &H = I.heap();
+    const AllocProfiler &P = H.allocProfiler();
+    if (!P.enabled())
+      return Value::falseV();
+    // Snapshot first: consing rows below allocates, which under stress
+    // can run a collection that rewrites the survival columns.
+    const std::vector<AllocSiteStats> Sites = P.sites();
+    auto Fix = [](uint64_t N) {
+      return Value::fixnum(static_cast<intptr_t>(N));
+    };
+    RootVector Rows(H);
+    for (const AllocSiteStats &S : Sites) {
+      if (S.Samples == 0)
+        continue;
+      Root Row(H, H.cons(Fix(S.DeadBytes), Value::nil()));
+      Row = H.cons(Fix(S.SurvivedBytes), Row);
+      Row = H.cons(Fix(S.SampledBytes), Row);
+      Row = H.cons(Fix(S.Samples), Row);
+      Root Name(H, H.makeString(S.Name));
+      Row = H.cons(Name, Row);
+      Rows.push_back(Row.get());
+    }
+    Root Result(H, Value::nil());
+    for (size_t J = Rows.size(); J != 0; --J)
+      Result = H.cons(Rows[J - 1], Result);
     return Result.get();
   });
 

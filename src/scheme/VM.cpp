@@ -15,7 +15,8 @@ using namespace gengc;
 
 VirtualMachine::VirtualMachine(Interpreter &I)
     : I(I), H(I.heap()), Program(H), VmClosureTag(H, H.intern("vm-closure")),
-      ValueStack(H), EnvStack(H), ElideFrames(H.config().ElideBarriers) {
+      ValueStack(H), EnvStack(H), ElideFrames(H.config().ElideBarriers),
+      Profiling(H.allocProfiler().enabled()) {
   // Let tree-walked code apply VM closures (e.g. the prelude's `map`
   // mapping a compiled procedure).
   I.setExternalApplyHook(
@@ -70,8 +71,31 @@ Value VirtualMachine::applyClosure(Value VmClosure, RootVector &Args) {
   return R;
 }
 
+uint32_t VirtualMachine::unitSite(uint32_t UnitIndex) {
+  if (UnitSites.size() <= UnitIndex)
+    UnitSites.resize(Program.unitCount(), UINT32_MAX);
+  uint32_t &Site = UnitSites[UnitIndex];
+  if (Site == UINT32_MAX)
+    Site = H.allocProfiler().internSite("vm;" +
+                                        Program.unit(UnitIndex).Name);
+  return Site;
+}
+
 Value VirtualMachine::execute(size_t BaseFrame) {
   Root Result(H, Value::voidV());
+
+  // Every exit path hands the "runtime" site back to the profiler; a
+  // nested activation's caller re-installs its own unit on its next
+  // dispatch (ProfiledUnit no longer matches).
+  struct ProfSiteReset {
+    VirtualMachine &VM;
+    ~ProfSiteReset() {
+      if (VM.Profiling) {
+        VM.H.allocProfiler().setCurrentSite(0);
+        VM.ProfiledUnit = UINT32_MAX;
+      }
+    }
+  } SiteReset{*this};
 
   // Shared return path: truncate to the frame's proc slot, publish the
   // result there, and pop the frame.
@@ -91,6 +115,13 @@ Value VirtualMachine::execute(size_t BaseFrame) {
 
   while (!ErrorFlag) {
     VmFrame &F = Frames.back();
+    // Site attribution: allocations the next instructions perform are
+    // charged to the executing procedure. Off-profile this whole block
+    // is one never-taken branch.
+    if (Profiling && F.UnitIndex != ProfiledUnit) {
+      H.allocProfiler().setCurrentSite(unitSite(F.UnitIndex));
+      ProfiledUnit = F.UnitIndex;
+    }
     const CodeUnit &U = Program.unit(F.UnitIndex);
     GENGC_ASSERT(F.PC < U.Code.size(), "bytecode pc overrun");
     const Op O = static_cast<Op>(U.Code[F.PC++]);

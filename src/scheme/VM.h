@@ -77,6 +77,9 @@ private:
   /// Runs frames from \p BaseFrame until it returns; its return value
   /// is left as the result.
   Value execute(size_t BaseFrame);
+  /// Allocation-profiler site id for a code unit ("vm;<name>"),
+  /// interned once per unit and cached. Profiling-enabled heaps only.
+  uint32_t unitSite(uint32_t UnitIndex);
   /// Sets up a frame for \p VmClosure whose arguments are already on
   /// the value stack starting at \p ProcBase + 1.
   void pushCallFrame(Value VmClosure, size_t ProcBase, uint32_t ArgCount);
@@ -98,6 +101,16 @@ private:
   /// EnterScope, MakeClosure) uses the heap's initializing-store fast
   /// paths when on.
   bool ElideFrames;
+
+  /// AllocProfiler::enabled(), cached at construction (it is fixed for
+  /// the heap's lifetime): the disabled cost of site attribution is
+  /// one predictable branch per dispatched instruction.
+  bool Profiling;
+  /// The unit whose site is currently installed in the profiler;
+  /// UINT32_MAX when the VM is not executing (site = "runtime").
+  uint32_t ProfiledUnit = UINT32_MAX;
+  /// Per-unit interned site ids, filled lazily (UINT32_MAX = not yet).
+  std::vector<uint32_t> UnitSites;
 
   std::string ErrorMsg;
   bool ErrorFlag = false;

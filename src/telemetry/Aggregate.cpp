@@ -1,77 +1,80 @@
-//===- gc/telemetry/Aggregate.cpp - Cross-shard GC aggregation -----------===//
+//===- telemetry/Aggregate.cpp - Cross-shard GC aggregation --------------===//
 //
 // Part of the gengc project: a reproduction of "Guardians in a
 // Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
 //
 //===----------------------------------------------------------------------===//
 
-#include "gc/telemetry/Aggregate.h"
+#include "telemetry/Aggregate.h"
 
-#include <algorithm>
 #include <cstdio>
 
 namespace gengc {
 
-namespace {
-
-uint64_t percentile(const std::vector<uint64_t> &Sorted, unsigned P) {
-  if (Sorted.empty())
-    return 0;
-  // Same nearest-rank formula as bench/BenchCommon.h, so loadgen output
-  // and bench counters are directly comparable.
-  const size_t Rank = (Sorted.size() - 1) * P / 100;
-  return Sorted[Rank];
-}
-
-} // namespace
-
 FleetGcStats aggregateShards(const std::vector<ShardGcSample> &Samples) {
   FleetGcStats Fleet;
   Fleet.Shards = Samples.size();
-  std::vector<uint64_t> AllPauses;
   for (const ShardGcSample &S : Samples) {
     Fleet.Combined.merge(S.Totals);
     Fleet.TotalBytesAllocated += S.BytesAllocated;
-    AllPauses.insert(AllPauses.end(), S.PauseNanos.begin(),
-                     S.PauseNanos.end());
+    Fleet.Pauses.merge(S.Pauses);
+    Fleet.SloPauseViolations += S.SloPauseViolations;
+    const std::vector<MmuPoint> Curve =
+        standardMmuCurve(S.Clips, S.MutatorNanos);
+    if (Fleet.Mmu.empty()) {
+      Fleet.Mmu = Curve;
+    } else {
+      for (size_t I = 0; I != Fleet.Mmu.size(); ++I)
+        if (Curve[I].Utilization < Fleet.Mmu[I].Utilization)
+          Fleet.Mmu[I].Utilization = Curve[I].Utilization;
+    }
   }
-  std::sort(AllPauses.begin(), AllPauses.end());
-  Fleet.PauseP50Nanos = percentile(AllPauses, 50);
-  Fleet.PauseP99Nanos = percentile(AllPauses, 99);
-  Fleet.PauseMaxNanos = AllPauses.empty() ? 0 : AllPauses.back();
+  Fleet.PauseP50Nanos = Fleet.Pauses.p50();
+  Fleet.PauseP99Nanos = Fleet.Pauses.p99();
+  Fleet.PauseP999Nanos = Fleet.Pauses.p999();
+  Fleet.PauseMaxNanos = Fleet.Pauses.maxNanos();
   return Fleet;
 }
 
 std::string formatFleetSummary(const std::vector<ShardGcSample> &Samples,
                                const FleetGcStats &Fleet) {
   std::string Out;
-  char Line[256];
+  char Line[320];
   for (const ShardGcSample &S : Samples) {
-    std::vector<uint64_t> Sorted = S.PauseNanos;
-    std::sort(Sorted.begin(), Sorted.end());
     std::snprintf(Line, sizeof(Line),
                   "shard %2u: %6llu gcs  %9llu KB alloc  pause p50 %8llu ns  "
-                  "p99 %8llu ns  max %8llu ns\n",
+                  "p99 %8llu ns  p999 %8llu ns  max %8llu ns\n",
                   S.ShardId,
                   static_cast<unsigned long long>(S.Totals.Collections),
                   static_cast<unsigned long long>(S.BytesAllocated / 1024),
-                  static_cast<unsigned long long>(percentile(Sorted, 50)),
-                  static_cast<unsigned long long>(percentile(Sorted, 99)),
-                  static_cast<unsigned long long>(
-                      Sorted.empty() ? 0 : Sorted.back()));
+                  static_cast<unsigned long long>(S.Pauses.p50()),
+                  static_cast<unsigned long long>(S.Pauses.p99()),
+                  static_cast<unsigned long long>(S.Pauses.p999()),
+                  static_cast<unsigned long long>(S.Pauses.maxNanos()));
     Out += Line;
   }
   std::snprintf(Line, sizeof(Line),
                 "fleet (%zu shards): %llu gcs  %llu KB alloc  pause p50 %llu "
-                "ns  p99 %llu ns  max %llu ns\n",
+                "ns  p99 %llu ns  p999 %llu ns  max %llu ns\n",
                 Fleet.Shards,
                 static_cast<unsigned long long>(Fleet.Combined.Collections),
                 static_cast<unsigned long long>(Fleet.TotalBytesAllocated /
                                                 1024),
                 static_cast<unsigned long long>(Fleet.PauseP50Nanos),
                 static_cast<unsigned long long>(Fleet.PauseP99Nanos),
+                static_cast<unsigned long long>(Fleet.PauseP999Nanos),
                 static_cast<unsigned long long>(Fleet.PauseMaxNanos));
   Out += Line;
+  if (!Fleet.Mmu.empty()) {
+    Out += "fleet MMU (worst shard):";
+    for (const MmuPoint &P : Fleet.Mmu) {
+      std::snprintf(Line, sizeof(Line), "  %.0fms %.3f",
+                    static_cast<double>(P.WindowNanos) / 1e6,
+                    P.Utilization);
+      Out += Line;
+    }
+    Out += "\n";
+  }
   return Out;
 }
 

@@ -1,0 +1,77 @@
+//===- telemetry/Aggregate.h - Cross-shard GC aggregation -----*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet view over per-heap telemetry — the fleet tier's roll-up.
+/// Every Heap keeps its own GcTotals, pause recorder, and pause clips;
+/// the shard runtime samples one ShardGcSample per shard (on the
+/// owning thread, so no heap is read concurrently) and
+/// aggregateShards() folds the fleet into combined totals, merged
+/// pause percentiles (the p99 a request would see landing on *any*
+/// shard), the fleet MMU curve (worst shard per window — utilization
+/// is only as good as the shard you landed on), and the summed pause
+/// SLO ledger.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_TELEMETRY_AGGREGATE_H
+#define GENGC_TELEMETRY_AGGREGATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gc/GcStats.h"
+#include "telemetry/LatencyRecorder.h"
+#include "telemetry/Mmu.h"
+
+namespace gengc {
+
+/// One shard's GC telemetry, sampled on the shard's own thread.
+struct ShardGcSample {
+  uint32_t ShardId = 0;
+  GcTotals Totals;
+  /// Per-collection pause latencies (HDR; mergeable across shards).
+  LatencyRecorder Pauses;
+  /// Time-ordered pause intervals on the shard's own clock, for MMU.
+  std::vector<PauseClip> Clips;
+  /// Wall-clock span of the shard's mutator (nanos since its heap
+  /// epoch at sample time); the MMU denominator.
+  uint64_t MutatorNanos = 0;
+  uint64_t BytesAllocated = 0;
+  /// Pauses over HeapConfig::SloMaxPauseNanos (0 when unset).
+  uint64_t SloPauseViolations = 0;
+};
+
+/// The fleet roll-up.
+struct FleetGcStats {
+  size_t Shards = 0;
+  GcTotals Combined; ///< Field-wise sum over shards.
+  uint64_t TotalBytesAllocated = 0;
+  /// Merged per-collection pause distribution of every shard.
+  LatencyRecorder Pauses;
+  uint64_t PauseP50Nanos = 0;
+  uint64_t PauseP99Nanos = 0;
+  uint64_t PauseP999Nanos = 0;
+  uint64_t PauseMaxNanos = 0;
+  /// Standard MMU curve; each point is the *worst* shard's utilization
+  /// at that window.
+  std::vector<MmuPoint> Mmu;
+  uint64_t SloPauseViolations = 0; ///< Summed over shards.
+};
+
+/// Folds per-shard samples into the fleet view.
+FleetGcStats aggregateShards(const std::vector<ShardGcSample> &Samples);
+
+/// Human-readable multi-line summary (one line per shard + fleet line),
+/// for load-driver and tool output.
+std::string formatFleetSummary(const std::vector<ShardGcSample> &Samples,
+                               const FleetGcStats &Fleet);
+
+} // namespace gengc
+
+#endif // GENGC_TELEMETRY_AGGREGATE_H

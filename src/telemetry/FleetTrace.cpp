@@ -1,0 +1,139 @@
+//===- telemetry/FleetTrace.cpp - Merged cross-shard trace ---------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/FleetTrace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "gc/telemetry/TraceExport.h"
+
+using namespace gengc;
+
+namespace {
+
+/// tid of a shard's row; tid ExecutorTid is the executor's row. Pid is
+/// always 1 — the fleet is one process.
+constexpr uint32_t FleetPid = 1;
+constexpr uint32_t ExecutorTid = 999;
+uint32_t shardTid(uint32_t ShardId) { return ShardId + 1; }
+
+double micros(uint64_t Nanos) { return static_cast<double>(Nanos) / 1e3; }
+
+void emitComma(std::ostream &OS, bool &First) {
+  if (!First)
+    OS << ",";
+  First = false;
+  OS << "\n";
+}
+
+/// Chrome metadata record naming a tid row.
+void emitThreadName(std::ostream &OS, bool &First, uint32_t Tid,
+                    const char *Name) {
+  emitComma(OS, First);
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%" PRIu32
+                ",\"tid\":%" PRIu32 ",\"args\":{\"name\":\"%s\"}}",
+                FleetPid, Tid, Name);
+  OS << Buf;
+}
+
+/// One flow record. Phase "s" starts a flow at (ts, tid); phase "f"
+/// with bp "e" binds its arrival to the enclosing slice/instant.
+void emitFlow(std::ostream &OS, bool &First, const char *Ph, uint64_t Id,
+              uint32_t Tid, uint64_t TimeNanos) {
+  emitComma(OS, First);
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"%s\"%s,"
+                "\"id\":\"0x%" PRIx64 "\",\"ts\":%.3f,\"pid\":%" PRIu32
+                ",\"tid\":%" PRIu32 "}",
+                Ph, Ph[0] == 'f' ? ",\"bp\":\"e\"" : "", Id,
+                micros(TimeNanos), FleetPid, Tid);
+  OS << Buf;
+}
+
+uint64_t rebased(const GcEvent &E, int64_t OffsetNanos) {
+  return static_cast<uint64_t>(static_cast<int64_t>(E.TimeNanos) +
+                               OffsetNanos);
+}
+
+} // namespace
+
+void gengc::writeFleetTrace(std::ostream &OS,
+                            const std::vector<ShardTraceSample> &Shards,
+                            const std::vector<FinalizeSpan> &Finalizes) {
+  size_t Retained = 0;
+  for (const ShardTraceSample &S : Shards)
+    Retained += S.Events.size();
+  OS << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":"
+     << "\"gengc-fleet\",\"shards\":" << Shards.size()
+     << ",\"events_retained\":" << Retained
+     << ",\"finalize_spans\":" << Finalizes.size() << "},\"traceEvents\":[";
+
+  bool First = true;
+  for (const ShardTraceSample &S : Shards) {
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "shard-%" PRIu32, S.ShardId);
+    emitThreadName(OS, First, shardTid(S.ShardId), Name);
+  }
+  if (!Finalizes.empty())
+    emitThreadName(OS, First, ExecutorTid, "finalization-executor");
+
+  for (const ShardTraceSample &S : Shards) {
+    const uint32_t Tid = shardTid(S.ShardId);
+    for (const GcEvent &E : S.Events) {
+      emitComma(OS, First);
+      emitChromeTraceEvent(OS, E, FleetPid, Tid, S.EpochOffsetNanos);
+      // Causal arrows: a send/submit instant starts a flow keyed by
+      // the span id; the matching receive (another shard's ring) or
+      // finalize span (the executor's record) finishes it.
+      if (E.Type == GcEventType::MessageSend ||
+          E.Type == GcEventType::TicketSubmit)
+        emitFlow(OS, First, "s", E.B, Tid, rebased(E, S.EpochOffsetNanos));
+      else if (E.Type == GcEventType::MessageReceive)
+        emitFlow(OS, First, "f", E.B, Tid, rebased(E, S.EpochOffsetNanos));
+    }
+  }
+
+  for (const FinalizeSpan &F : Finalizes) {
+    emitComma(OS, First);
+    char Buf[256];
+    const uint64_t Dur =
+        F.EndNanos > F.StartNanos ? F.EndNanos - F.StartNanos : 0;
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"finalize\",\"cat\":\"executor\","
+                  "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%" PRIu32
+                  ",\"tid\":%" PRIu32 ",\"args\":{\"queue\":%" PRIu32
+                  ",\"attempt\":%" PRIu32 ",\"trace\":%" PRIu64
+                  ",\"span\":%" PRIu64 ",\"wait_us\":%.3f,\"ok\":%s}}",
+                  micros(F.StartNanos), micros(Dur), FleetPid, ExecutorTid,
+                  F.Queue, F.Attempt, F.TraceId, F.SpanId,
+                  micros(F.StartNanos - F.SubmitNanos),
+                  F.Ok ? "true" : "false");
+    OS << Buf;
+    if (F.SpanId != 0)
+      emitFlow(OS, First, "f", F.SpanId, ExecutorTid, F.StartNanos);
+  }
+
+  OS << "\n]}\n";
+}
+
+bool gengc::dumpFleetTraceToFile(const std::vector<ShardTraceSample> &Shards,
+                                 const std::vector<FinalizeSpan> &Finalizes,
+                                 const std::string &Path) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "[fleet] cannot open trace output file: %s\n",
+                 Path.c_str());
+    return false;
+  }
+  writeFleetTrace(OS, Shards, Finalizes);
+  return OS.good();
+}

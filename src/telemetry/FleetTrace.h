@@ -1,0 +1,74 @@
+//===- telemetry/FleetTrace.h - Merged cross-shard trace ------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One Chrome trace for the whole fleet. Each shard's heap keeps its
+/// own single-writer event ring stamped on its own epoch; this
+/// exporter rebases every ring onto a common fleet clock (the
+/// per-shard epoch offset is measured once, on the shard thread, at
+/// heap construction), lays each shard out on its own tid row, adds an
+/// executor row for finalization spans, and draws flow events
+/// (ph "s"/"f") between the send/receive/submit instants that share a
+/// span id — so a cross-shard message or a guardian-drained ticket
+/// reads as one causal arrow in chrome://tracing.
+///
+/// Clock model: all timestamps become nanos since the fleet epoch
+/// (captured before any shard thread starts, so offsets are
+/// non-negative). steady_clock is shared by all threads of a process,
+/// which is what makes the single merged timeline honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_TELEMETRY_FLEETTRACE_H
+#define GENGC_TELEMETRY_FLEETTRACE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gc/telemetry/EventRing.h"
+
+namespace gengc {
+
+/// One shard's contribution: its ring snapshot plus the offset from
+/// the fleet epoch to the shard heap's epoch.
+struct ShardTraceSample {
+  uint32_t ShardId = 0;
+  int64_t EpochOffsetNanos = 0;
+  std::vector<GcEvent> Events;
+};
+
+/// One executed finalization action, on the fleet clock. Recorded by
+/// the FinalizationExecutor when tracing is enabled.
+struct FinalizeSpan {
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
+  uint32_t Queue = 0;
+  uint32_t Attempt = 1;
+  uint64_t SubmitNanos = 0; ///< When the ticket entered the executor.
+  uint64_t StartNanos = 0;  ///< When the action began running.
+  uint64_t EndNanos = 0;    ///< When the action returned.
+  bool Ok = true;
+};
+
+/// Writes the merged fleet trace: shard rows (tid = ShardId + 1),
+/// an executor row, and flow events linking msg-send -> msg-recv and
+/// ticket-submit -> finalize spans by span id.
+void writeFleetTrace(std::ostream &OS,
+                     const std::vector<ShardTraceSample> &Shards,
+                     const std::vector<FinalizeSpan> &Finalizes);
+
+/// Writes the fleet trace to \p Path; returns false (with a message on
+/// stderr) if the file cannot be opened.
+bool dumpFleetTraceToFile(const std::vector<ShardTraceSample> &Shards,
+                          const std::vector<FinalizeSpan> &Finalizes,
+                          const std::string &Path);
+
+} // namespace gengc
+
+#endif // GENGC_TELEMETRY_FLEETTRACE_H

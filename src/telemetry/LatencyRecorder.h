@@ -1,0 +1,220 @@
+//===- telemetry/LatencyRecorder.h - Log-linear HDR histogram -*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free, mergeable log-linear histogram of nanosecond latencies —
+/// the fleet tier's one latency currency. Every producer (loadgen ops,
+/// GC pauses in bench, finalization tickets in the executor) records
+/// into one of these; consumers merge recorders bucket-wise and read
+/// percentiles, so p999 over a million samples costs a fixed 15 KiB
+/// per recorder instead of an unbounded sorted vector.
+///
+/// Bucketing is HdrHistogram-style log-linear: values below 2^6 land in
+/// exact unit buckets; above that, each power-of-two range is split into
+/// 32 linear sub-buckets, so the relative quantization error is bounded
+/// by 1/32 (~3.1%) at any magnitude, and the absolute error of any
+/// reported percentile is at most one bucket width (tested).
+///
+/// Concurrency: record() is wait-free — one relaxed fetch_add on the
+/// bucket counter plus relaxed updates of count/sum and a CAS loop on
+/// max. Counters are plain commutative adds, so totals are deterministic
+/// under any thread interleaving (the TSan test relies on this). Reads
+/// (percentile/merge/copy) take relaxed snapshots; callers that need a
+/// consistent view read after the writers quiesce, which is how every
+/// use in-tree works (bench after the run, fleet stats after shutdown).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_TELEMETRY_LATENCYRECORDER_H
+#define GENGC_TELEMETRY_LATENCYRECORDER_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gengc {
+
+class LatencyRecorder {
+public:
+  /// Linear sub-buckets per power-of-two range (2^SubBucketBits).
+  static constexpr unsigned SubBucketBits = 5;
+  static constexpr unsigned SubBuckets = 1u << SubBucketBits;
+  /// Exponents 2^SubBucketBits .. 2^63 each contribute SubBuckets
+  /// buckets; the first two rows (values 0..2*SubBuckets-1) are exact.
+  static constexpr unsigned NumBuckets =
+      (64 - SubBucketBits + 1) * SubBuckets;
+
+  LatencyRecorder() = default;
+
+  LatencyRecorder(const LatencyRecorder &O) { copyFrom(O); }
+  LatencyRecorder &operator=(const LatencyRecorder &O) {
+    if (this != &O)
+      copyFrom(O);
+    return *this;
+  }
+
+  /// Maps a value to its bucket index. Exact (width-1 buckets) below
+  /// 2 * SubBuckets; log-linear above.
+  static constexpr unsigned bucketIndex(uint64_t Nanos) {
+    if (Nanos < 2 * SubBuckets)
+      return static_cast<unsigned>(Nanos);
+    const unsigned Exp = 63 - static_cast<unsigned>(__builtin_clzll(Nanos));
+    // (Nanos >> (Exp - SubBucketBits)) is in [SubBuckets, 2*SubBuckets).
+    const unsigned Sub = static_cast<unsigned>(
+        (Nanos >> (Exp - SubBucketBits)) - SubBuckets);
+    return (Exp - SubBucketBits + 1) * SubBuckets + Sub;
+  }
+
+  /// Smallest value mapping to bucket \p Index.
+  static constexpr uint64_t bucketLowerBound(unsigned Index) {
+    const unsigned Row = Index / SubBuckets;
+    const unsigned Sub = Index % SubBuckets;
+    if (Row <= 1)
+      return Index;
+    return static_cast<uint64_t>(SubBuckets + Sub) << (Row - 1);
+  }
+
+  /// Width of bucket \p Index (1 in the exact region).
+  static constexpr uint64_t bucketWidth(unsigned Index) {
+    const unsigned Row = Index / SubBuckets;
+    return Row <= 1 ? 1 : (1ull << (Row - 1));
+  }
+
+  /// Records one sample. Wait-free; safe from any number of threads.
+  void record(uint64_t Nanos) {
+    Counts[bucketIndex(Nanos)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Nanos, std::memory_order_relaxed);
+    uint64_t Seen = Max.load(std::memory_order_relaxed);
+    while (Nanos > Seen &&
+           !Max.compare_exchange_weak(Seen, Nanos,
+                                      std::memory_order_relaxed))
+      ;
+  }
+
+  /// Folds \p O into this recorder (bucket-wise add, max of maxima).
+  /// Merging is associative and commutative (tested), so per-shard
+  /// recorders can be folded in any order.
+  void merge(const LatencyRecorder &O) {
+    for (unsigned I = 0; I != NumBuckets; ++I) {
+      const uint64_t C = O.Counts[I].load(std::memory_order_relaxed);
+      if (C)
+        Counts[I].fetch_add(C, std::memory_order_relaxed);
+    }
+    Count.fetch_add(O.Count.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    Sum.fetch_add(O.Sum.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    uint64_t OMax = O.Max.load(std::memory_order_relaxed);
+    uint64_t Seen = Max.load(std::memory_order_relaxed);
+    while (OMax > Seen &&
+           !Max.compare_exchange_weak(Seen, OMax,
+                                      std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t totalNanos() const {
+    return Sum.load(std::memory_order_relaxed);
+  }
+  uint64_t maxNanos() const {
+    return Max.load(std::memory_order_relaxed);
+  }
+  uint64_t meanNanos() const {
+    const uint64_t N = count();
+    return N ? totalNanos() / N : 0;
+  }
+
+  /// Value at percentile \p P in [0, 100] (nearest-rank over buckets).
+  /// Reports the upper bound of the bucket holding the rank, clamped to
+  /// the exact recorded max — so the answer is never below the true
+  /// value and overshoots by at most one bucket width.
+  uint64_t percentileNanos(double P) const {
+    const uint64_t N = count();
+    if (N == 0)
+      return 0;
+    uint64_t Rank = static_cast<uint64_t>(P / 100.0 *
+                                          static_cast<double>(N) + 0.5);
+    if (Rank < 1)
+      Rank = 1;
+    if (Rank > N)
+      Rank = N;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I != NumBuckets; ++I) {
+      Seen += Counts[I].load(std::memory_order_relaxed);
+      if (Seen >= Rank) {
+        const uint64_t Upper = bucketLowerBound(I) + bucketWidth(I) - 1;
+        const uint64_t M = maxNanos();
+        return Upper < M ? Upper : M;
+      }
+    }
+    return maxNanos();
+  }
+
+  /// Samples recorded strictly above \p Nanos, to bucket resolution:
+  /// counts every bucket whose whole range lies above the threshold,
+  /// so the answer may undercount by at most one bucket's population.
+  /// (The SLO ledger uses this for violation counters.)
+  uint64_t countAbove(uint64_t Nanos) const {
+    uint64_t Above = 0;
+    for (unsigned I = NumBuckets; I-- > 0;) {
+      if (bucketLowerBound(I) <= Nanos)
+        break;
+      Above += Counts[I].load(std::memory_order_relaxed);
+    }
+    return Above;
+  }
+
+  uint64_t p50() const { return percentileNanos(50.0); }
+  uint64_t p99() const { return percentileNanos(99.0); }
+  uint64_t p999() const { return percentileNanos(99.9); }
+
+  void reset() {
+    for (unsigned I = 0; I != NumBuckets; ++I)
+      Counts[I].store(0, std::memory_order_relaxed);
+    Count.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  void copyFrom(const LatencyRecorder &O) {
+    for (unsigned I = 0; I != NumBuckets; ++I)
+      Counts[I].store(O.Counts[I].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    Count.store(O.Count.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    Sum.store(O.Sum.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    Max.store(O.Max.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<uint64_t>, NumBuckets> Counts = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// The canonical bench-JSON projection of a recorder: the (key, value)
+/// counter pairs every emitter writes and scripts/bench.sh re-derives.
+/// Keys are `<prefix>_{p50,p99,p999,max}_ns` plus `<prefix>_count`.
+inline std::vector<std::pair<std::string, uint64_t>>
+latencyCounters(const std::string &Prefix, const LatencyRecorder &R) {
+  return {{Prefix + "_p50_ns", R.p50()},
+          {Prefix + "_p99_ns", R.p99()},
+          {Prefix + "_p999_ns", R.p999()},
+          {Prefix + "_max_ns", R.maxNanos()},
+          {Prefix + "_count", R.count()}};
+}
+
+} // namespace gengc
+
+#endif // GENGC_TELEMETRY_LATENCYRECORDER_H

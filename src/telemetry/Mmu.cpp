@@ -1,0 +1,99 @@
+//===- telemetry/Mmu.cpp - Minimum mutator utilization -------------------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Mmu.h"
+
+#include <algorithm>
+
+namespace gengc {
+
+namespace {
+
+/// Pause time overlapping [T0, T1), against clip arrays sorted by
+/// start time.
+uint64_t pauseInWindow(const std::vector<uint64_t> &Starts,
+                       const std::vector<uint64_t> &Ends, uint64_t T0,
+                       uint64_t T1) {
+  if (T1 <= T0 || Starts.empty())
+    return 0;
+  // Clips are non-overlapping (pauses are stop-the-world on one
+  // thread), so the overlap is full durations of clips strictly inside
+  // the window plus partial overlaps of at most one clip at each edge.
+  uint64_t Total = 0;
+  // First clip whose end is past T0, last clip whose start is before T1.
+  const size_t Lo = static_cast<size_t>(
+      std::upper_bound(Ends.begin(), Ends.end(), T0) - Ends.begin());
+  const size_t Hi = static_cast<size_t>(
+      std::lower_bound(Starts.begin(), Starts.end(), T1) - Starts.begin());
+  for (size_t I = Lo; I < Hi; ++I) {
+    const uint64_t S = std::max(Starts[I], T0);
+    const uint64_t E = std::min(Ends[I], T1);
+    if (E > S)
+      Total += E - S;
+  }
+  return Total;
+}
+
+} // namespace
+
+double minMutatorUtilization(const std::vector<PauseClip> &Clips,
+                             uint64_t WindowNanos, uint64_t TotalNanos) {
+  if (WindowNanos == 0 || TotalNanos == 0)
+    return 1.0;
+  if (Clips.empty())
+    return 1.0;
+
+  std::vector<uint64_t> Starts, Ends;
+  Starts.reserve(Clips.size());
+  Ends.reserve(Clips.size());
+  uint64_t PauseSum = 0;
+  for (const PauseClip &C : Clips) {
+    Starts.push_back(C.StartNanos);
+    Ends.push_back(C.StartNanos + C.DurNanos);
+    PauseSum += C.DurNanos;
+  }
+
+  if (WindowNanos >= TotalNanos) {
+    const uint64_t P = std::min(PauseSum, TotalNanos);
+    return static_cast<double>(TotalNanos - P) /
+           static_cast<double>(TotalNanos);
+  }
+
+  // The minimizing window is one that begins at a pause start or ends
+  // at a pause end (sliding a window off such an alignment can only
+  // shed pause time). Evaluate both candidate families, clamped to the
+  // observed span.
+  uint64_t WorstPause = 0;
+  auto Consider = [&](uint64_t T0) {
+    if (T0 + WindowNanos > TotalNanos)
+      T0 = TotalNanos - WindowNanos;
+    const uint64_t P = pauseInWindow(Starts, Ends, T0, T0 + WindowNanos);
+    if (P > WorstPause)
+      WorstPause = P;
+  };
+  for (size_t I = 0; I != Clips.size(); ++I) {
+    Consider(Starts[I]);
+    Consider(Ends[I] >= WindowNanos ? Ends[I] - WindowNanos : 0);
+  }
+
+  if (WorstPause >= WindowNanos)
+    return 0.0;
+  return static_cast<double>(WindowNanos - WorstPause) /
+         static_cast<double>(WindowNanos);
+}
+
+std::vector<MmuPoint> standardMmuCurve(const std::vector<PauseClip> &Clips,
+                                       uint64_t TotalNanos) {
+  static constexpr uint64_t Windows[] = {1'000'000, 10'000'000,
+                                         100'000'000};
+  std::vector<MmuPoint> Curve;
+  for (uint64_t W : Windows)
+    Curve.push_back({W, minMutatorUtilization(Clips, W, TotalNanos)});
+  return Curve;
+}
+
+} // namespace gengc

@@ -1,0 +1,56 @@
+//===- telemetry/Mmu.h - Minimum mutator utilization ----------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimum mutator utilization (MMU) over the per-heap pause-clip
+/// record. MMU(w) is the worst-case fraction of any wall-clock window
+/// of length w that the mutator got to run: 1.0 means no window of
+/// that length ever saw a pause, 0.0 means some window was entirely
+/// consumed by collection. It is the standard real-time currency for
+/// GC latency (Cheng & Blelloch): a pause-time histogram says how long
+/// pauses were, MMU(w) says whether back-to-back pauses ever starved a
+/// w-sized deadline.
+///
+/// The exact minimum over all window placements is attained at a
+/// window whose start coincides with a pause start or whose end
+/// coincides with a pause end, so the computation enumerates only
+/// those candidates against a prefix-sum of pause time — O(n log n)
+/// in the number of clips, which the bounded clip ring keeps small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_TELEMETRY_MMU_H
+#define GENGC_TELEMETRY_MMU_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gc/telemetry/Telemetry.h"
+
+namespace gengc {
+
+/// Worst-case mutator utilization over any window of \p WindowNanos
+/// within [0, TotalNanos]. \p Clips must be time-ordered (as returned
+/// by GcTelemetry::pauseClips()). Returns 1.0 for an empty record and
+/// the global utilization when the window exceeds the total span.
+double minMutatorUtilization(const std::vector<PauseClip> &Clips,
+                             uint64_t WindowNanos, uint64_t TotalNanos);
+
+/// One point of an MMU curve.
+struct MmuPoint {
+  uint64_t WindowNanos = 0;
+  double Utilization = 1.0;
+};
+
+/// The standard three-window curve (1 ms / 10 ms / 100 ms) every
+/// emitter in-tree reports.
+std::vector<MmuPoint> standardMmuCurve(const std::vector<PauseClip> &Clips,
+                                       uint64_t TotalNanos);
+
+} // namespace gengc
+
+#endif // GENGC_TELEMETRY_MMU_H

@@ -1,0 +1,68 @@
+//===- telemetry/SloLedger.cpp - Fleet SLO targets and verdict -----------===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/SloLedger.h"
+
+#include <cstdio>
+
+namespace gengc {
+
+SloVerdict evaluateSlo(const SloTargets &Targets,
+                       const LatencyRecorder &Pauses,
+                       const LatencyRecorder &Ops,
+                       const std::vector<PauseClip> &Clips,
+                       uint64_t MutatorNanos) {
+  SloVerdict V;
+  V.PauseP99Nanos = Pauses.p99();
+  V.PauseMaxNanos = Pauses.maxNanos();
+  V.OpP99Nanos = Ops.p99();
+  V.Mmu = minMutatorUtilization(Clips, Targets.MmuWindowNanos,
+                                MutatorNanos);
+
+  if (Targets.PauseP99Nanos != 0 &&
+      V.PauseP99Nanos > Targets.PauseP99Nanos) {
+    V.Pass = false;
+    V.PauseViolations += Pauses.countAbove(Targets.PauseP99Nanos);
+  }
+  if (Targets.PauseMaxNanos != 0 &&
+      V.PauseMaxNanos > Targets.PauseMaxNanos) {
+    V.Pass = false;
+    const uint64_t Over = Pauses.countAbove(Targets.PauseMaxNanos);
+    if (Over > V.PauseViolations)
+      V.PauseViolations = Over;
+  }
+  if (Targets.OpP99Nanos != 0 && V.OpP99Nanos > Targets.OpP99Nanos) {
+    V.Pass = false;
+    V.OpViolations = Ops.countAbove(Targets.OpP99Nanos);
+  }
+  if (Targets.MmuFloor > 0.0 && V.Mmu < Targets.MmuFloor) {
+    V.Pass = false;
+    V.MmuViolations = 1;
+  }
+  return V;
+}
+
+std::string formatSloVerdict(const SloTargets &Targets,
+                             const SloVerdict &V) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "SLO %s: pause p99 %.3f ms (target %.3f) max %.3f ms "
+                "(target %.3f) | op p99 %.3f ms (target %.3f) | "
+                "MMU(%.0f ms) %.3f (floor %.3f)",
+                V.Pass ? "PASS" : "FAIL",
+                static_cast<double>(V.PauseP99Nanos) / 1e6,
+                static_cast<double>(Targets.PauseP99Nanos) / 1e6,
+                static_cast<double>(V.PauseMaxNanos) / 1e6,
+                static_cast<double>(Targets.PauseMaxNanos) / 1e6,
+                static_cast<double>(V.OpP99Nanos) / 1e6,
+                static_cast<double>(Targets.OpP99Nanos) / 1e6,
+                static_cast<double>(Targets.MmuWindowNanos) / 1e6, V.Mmu,
+                Targets.MmuFloor);
+  return Buf;
+}
+
+} // namespace gengc

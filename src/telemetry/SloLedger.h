@@ -1,0 +1,78 @@
+//===- telemetry/SloLedger.h - Fleet SLO targets and verdict --*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SLO ledger: configurable pause/latency/utilization targets
+/// evaluated against the fleet's merged latency recorders and MMU
+/// curve, producing a machine-readable verdict. loadgen emits the
+/// verdict into its bench JSON (slo_pass plus one violation counter
+/// per target), so a CI gate is one key lookup instead of re-deriving
+/// percentiles from raw output.
+///
+/// A target of 0 disables that clause; an all-disabled ledger passes
+/// vacuously. Violation counters count *samples* over the target (how
+/// many pauses/ops broke it), not a boolean, so a regression's blast
+/// radius is visible in the same number that detects it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_TELEMETRY_SLOLEDGER_H
+#define GENGC_TELEMETRY_SLOLEDGER_H
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/LatencyRecorder.h"
+#include "telemetry/Mmu.h"
+
+namespace gengc {
+
+/// The targets. All-zero (the default) disables every clause.
+struct SloTargets {
+  /// GC pause targets, against the fleet-merged pause recorder.
+  uint64_t PauseP99Nanos = 0;
+  uint64_t PauseMaxNanos = 0;
+  /// Mutator operation latency target, against the merged per-op
+  /// recorder.
+  uint64_t OpP99Nanos = 0;
+  /// Utilization floor: MMU(MmuWindowNanos) must be >= MmuFloor.
+  uint64_t MmuWindowNanos = 10'000'000;
+  double MmuFloor = 0.0;
+};
+
+/// What was measured and which clauses held.
+struct SloVerdict {
+  bool Pass = true;
+
+  uint64_t PauseP99Nanos = 0;      ///< Measured.
+  uint64_t PauseMaxNanos = 0;      ///< Measured.
+  uint64_t OpP99Nanos = 0;         ///< Measured.
+  double Mmu = 1.0;                ///< Measured at MmuWindowNanos.
+
+  /// Individual samples over the corresponding target (0 when the
+  /// clause is disabled or held).
+  uint64_t PauseViolations = 0;
+  uint64_t OpViolations = 0;
+  /// 1 when the MMU floor clause failed.
+  uint64_t MmuViolations = 0;
+};
+
+/// Evaluates \p Targets against the merged recorders and pause clips.
+/// \p MutatorNanos is the wall-clock span MMU is computed over.
+SloVerdict evaluateSlo(const SloTargets &Targets,
+                       const LatencyRecorder &Pauses,
+                       const LatencyRecorder &Ops,
+                       const std::vector<PauseClip> &Clips,
+                       uint64_t MutatorNanos);
+
+/// One-line human summary ("SLO PASS ..." / "SLO FAIL ...").
+std::string formatSloVerdict(const SloTargets &Targets,
+                             const SloVerdict &V);
+
+} // namespace gengc
+
+#endif // GENGC_TELEMETRY_SLOLEDGER_H

@@ -240,4 +240,93 @@ TEST(ExecutorTest, WaitIdleSeesCompletion) {
   Exec.drainAndStop();
 }
 
+TEST(ExecutorTest, LatencyRecordersCoverEveryTicket) {
+  Recorder Rec;
+  FinalizationExecutor Exec(fastConfig());
+  auto Q = Exec.registerQueue("lat", [&](const FinalizationTicket &T) {
+    return Rec.record(T.Payload);
+  });
+  for (intptr_t I = 0; I != 200; ++I)
+    ASSERT_TRUE(Exec.submit(Q, I));
+  Exec.drainAndStop();
+  const FinalizationExecutor::Stats &S = Exec.stats();
+  // One wait sample and one run sample per executed attempt.
+  EXPECT_EQ(S.WaitNanos.count(), S.Executed + S.Retried);
+  EXPECT_EQ(S.RunNanos.count(), S.Executed + S.Retried);
+  EXPECT_EQ(S.Executed, 200u);
+  // Percentiles are readable and ordered; max bounds p99.
+  EXPECT_LE(S.WaitNanos.p50(), S.WaitNanos.p99());
+  EXPECT_LE(S.WaitNanos.p99(), S.WaitNanos.maxNanos());
+  EXPECT_LE(S.RunNanos.p99(), S.RunNanos.maxNanos());
+  // The queue-depth high-water mark saw at least one pending ticket
+  // and never exceeded what was submitted.
+  EXPECT_GE(S.MaxPending, 1u);
+  EXPECT_LE(S.MaxPending, 200u);
+}
+
+TEST(ExecutorTest, StatsAreStableAfterDrain) {
+  // After drainAndStop joins the worker, every counter and recorder
+  // must be quiescent: two reads observe identical values, and the
+  // ledger balances (submitted = executed + quarantined attempts).
+  Recorder Rec;
+  FinalizationExecutor Exec(fastConfig());
+  auto Q = Exec.registerQueue("stable", [&](const FinalizationTicket &T) {
+    return Rec.record(T.Payload);
+  });
+  for (intptr_t I = 0; I != 100; ++I)
+    ASSERT_TRUE(Exec.submit(Q, I));
+  Exec.drainAndStop();
+  const uint64_t Executed = Exec.stats().Executed;
+  const uint64_t Waits = Exec.stats().WaitNanos.count();
+  const uint64_t WaitP99 = Exec.stats().WaitNanos.p99();
+  const uint64_t RunTotal = Exec.stats().RunNanos.totalNanos();
+  const size_t HighWater = Exec.stats().MaxPending;
+  EXPECT_EQ(Exec.pending(), 0u);
+  EXPECT_EQ(Executed, 100u);
+  // Re-read: nothing moves once drained.
+  EXPECT_EQ(Exec.stats().Executed, Executed);
+  EXPECT_EQ(Exec.stats().WaitNanos.count(), Waits);
+  EXPECT_EQ(Exec.stats().WaitNanos.p99(), WaitP99);
+  EXPECT_EQ(Exec.stats().RunNanos.totalNanos(), RunTotal);
+  EXPECT_EQ(Exec.stats().MaxPending, HighWater);
+}
+
+TEST(ExecutorTest, TracingRecordsFinalizeSpansOnTheFleetClock) {
+  Recorder Rec;
+  FinalizationExecutor::Config C = fastConfig();
+  C.Tracing = true;
+  FinalizationExecutor Exec(C);
+  auto Q = Exec.registerQueue("traced", [&](const FinalizationTicket &T) {
+    return Rec.record(T.Payload);
+  });
+  const uint64_t Trace = 0x100000001ull, Span = 0x100000002ull;
+  ASSERT_TRUE(Exec.submit(Q, 1, 0, Trace, Span));
+  ASSERT_TRUE(Exec.submit(Q, 2)); // untraced ticket still gets a span
+  Exec.drainAndStop();
+  const std::vector<gengc::FinalizeSpan> Spans = Exec.finalizeSpans();
+  ASSERT_EQ(Spans.size(), 2u);
+  const gengc::FinalizeSpan &F = Spans[0];
+  EXPECT_EQ(F.TraceId, Trace);
+  EXPECT_EQ(F.SpanId, Span);
+  EXPECT_TRUE(F.Ok);
+  // Timestamps are ordered on the executor's epoch clock.
+  EXPECT_LE(F.SubmitNanos, F.StartNanos);
+  EXPECT_LE(F.StartNanos, F.EndNanos);
+  EXPECT_EQ(Spans[1].SpanId, 0u);
+}
+
+TEST(ExecutorTest, TracingDisabledKeepsNoSpans) {
+  Recorder Rec;
+  FinalizationExecutor Exec(fastConfig()); // Tracing defaults to off
+  auto Q = Exec.registerQueue("off", [&](const FinalizationTicket &T) {
+    return Rec.record(T.Payload);
+  });
+  for (intptr_t I = 0; I != 50; ++I)
+    ASSERT_TRUE(Exec.submit(Q, I));
+  Exec.drainAndStop();
+  EXPECT_TRUE(Exec.finalizeSpans().empty());
+  EXPECT_EQ(Exec.stats().Executed, 50u); // latency stats still recorded
+  EXPECT_EQ(Exec.stats().WaitNanos.count(), 50u);
+}
+
 } // namespace

@@ -16,7 +16,7 @@
 #include "core/Guardian.h"
 #include "gc/Heap.h"
 #include "gc/Roots.h"
-#include "gc/telemetry/Aggregate.h"
+#include "telemetry/Aggregate.h"
 #include "object/Layout.h"
 #include "runtime/Mailbox.h"
 #include "runtime/PinnedMessage.h"
@@ -25,7 +25,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 using namespace gengc;
 using namespace gengc::runtime;
@@ -347,6 +350,108 @@ TEST(ShardRuntimeTest, FleetStatsAggregateAcrossShards) {
   EXPECT_EQ(SumCollections, Fleet.Combined.Collections);
 }
 
+/// Receiver that records the trace context onMessage sees and submits
+/// a finalization ticket from inside it, so the ticket inherits the
+/// message's trace id.
+struct TracingLocal : ShardLocal {
+  const FinalizationExecutor::QueueId *Queue;
+  std::atomic<uint64_t> *SeenTraceId;
+  TracingLocal(const FinalizationExecutor::QueueId *Queue,
+               std::atomic<uint64_t> *SeenTraceId)
+      : Queue(Queue), SeenTraceId(SeenTraceId) {}
+  void onMessage(Shard &S, Value V) override {
+    SeenTraceId->store(S.currentTraceId());
+    ASSERT_TRUE(S.submitTicket(*Queue, V.asFixnum()));
+  }
+};
+
+TEST(ShardRuntimeTest, TraceIdsPropagateAcrossShardsAndTickets) {
+  std::atomic<uint64_t> SeenTraceId{0};
+  std::atomic<unsigned> Finalized{0};
+  FinalizationExecutor::QueueId Queue = 0;
+  ShardRuntime::Config Cfg;
+  Cfg.ShardCount = 2;
+  Cfg.HeapCfg = testConfig();
+  Cfg.HeapCfg.GcTrace = true;
+  Cfg.ExecutorCfg.Tracing = true;
+  ShardRuntime RT(Cfg, [&](Shard &) {
+    return std::make_unique<TracingLocal>(&Queue, &SeenTraceId);
+  });
+  Queue = RT.executor().registerQueue(
+      "traced", [&](const FinalizationTicket &) {
+        ++Finalized;
+        return true;
+      });
+  RT.shard(0).run([&](Shard &S) {
+    ASSERT_TRUE(S.sendValue(RT.shard(1), Value::fixnum(7)));
+  });
+  RT.shutdown();
+  ASSERT_EQ(Finalized.load(), 1u);
+
+  // The receive installed the sender's trace id: nonzero, and its high
+  // word recovers the originating shard (shard 0 stamps (0+1) << 32).
+  const uint64_t Trace = SeenTraceId.load();
+  ASSERT_NE(Trace, 0u);
+  EXPECT_EQ(Trace >> 32, 1u);
+
+  // The ticket submitted inside onMessage carried the trace id into
+  // the executor's finalize span.
+  const std::vector<FinalizeSpan> Spans = RT.executor().finalizeSpans();
+  ASSERT_EQ(Spans.size(), 1u);
+  EXPECT_EQ(Spans[0].TraceId, Trace);
+  ASSERT_NE(Spans[0].SpanId, 0u);
+  // The submit span was stamped by shard 1 (the submitting shard).
+  EXPECT_EQ(Spans[0].SpanId >> 32, 2u);
+  EXPECT_LE(Spans[0].SubmitNanos, Spans[0].StartNanos);
+
+  // The merged fleet trace round-trips and draws the causal arrows:
+  // msg-send + ticket-submit flow starts, msg-recv + finalize ends.
+  const std::string Path = "/tmp/gengc_runtime_fleet_trace_test.json";
+  ASSERT_TRUE(RT.exportFleetTrace(Path));
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  const std::string Trace1 = Buf.str();
+  std::remove(Path.c_str());
+  auto CountOf = [&](const std::string &Needle) {
+    size_t N = 0;
+    for (size_t At = Trace1.find(Needle); At != std::string::npos;
+         At = Trace1.find(Needle, At + Needle.size()))
+      ++N;
+    return N;
+  };
+  EXPECT_NE(Trace1.find("\"msg-send\""), std::string::npos);
+  EXPECT_NE(Trace1.find("\"msg-recv\""), std::string::npos);
+  EXPECT_NE(Trace1.find("\"ticket-submit\""), std::string::npos);
+  EXPECT_NE(Trace1.find("\"name\":\"finalize\""), std::string::npos);
+  EXPECT_EQ(CountOf("\"ph\":\"s\""), 2u) << "send + submit flow starts";
+  EXPECT_EQ(CountOf("\"ph\":\"f\""), 2u) << "recv + finalize flow ends";
+  EXPECT_NE(Trace1.find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(Trace1.find("\"shard-1\""), std::string::npos);
+  EXPECT_NE(Trace1.find("\"finalization-executor\""), std::string::npos);
+  // Structural sanity: balanced braces outside strings.
+  int Depth = 0;
+  bool InString = false, Escaped = false;
+  for (char Ch : Trace1) {
+    if (Escaped) {
+      Escaped = false;
+      continue;
+    }
+    if (Ch == '\\')
+      Escaped = InString;
+    else if (Ch == '"')
+      InString = !InString;
+    else if (!InString && Ch == '{')
+      ++Depth;
+    else if (!InString && Ch == '}')
+      --Depth;
+    ASSERT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_FALSE(InString);
+}
+
 TEST(AggregateTest, MergeCoversEveryTotalsField) {
   // Mirror of the telemetry accumulate-coverage test: a fully
   // populated GcStats accumulated into totals, then merged, must
@@ -419,17 +524,24 @@ TEST(AggregateTest, MergeCoversEveryTotalsField) {
 TEST(AggregateTest, PercentilesOverMergedDistribution) {
   std::vector<ShardGcSample> Samples(2);
   Samples[0].ShardId = 0;
-  Samples[0].PauseNanos = {100, 200, 300};
+  for (uint64_t P : {100, 200, 300})
+    Samples[0].Pauses.record(P);
   Samples[0].BytesAllocated = 1000;
   Samples[1].ShardId = 1;
-  Samples[1].PauseNanos = {400, 500};
+  for (uint64_t P : {400, 500})
+    Samples[1].Pauses.record(P);
   Samples[1].BytesAllocated = 2000;
   FleetGcStats Fleet = aggregateShards(Samples);
   EXPECT_EQ(Fleet.Shards, 2u);
   EXPECT_EQ(Fleet.TotalBytesAllocated, 3000u);
+  EXPECT_EQ(Fleet.Pauses.count(), 5u);
   EXPECT_EQ(Fleet.PauseMaxNanos, 500u);
-  EXPECT_EQ(Fleet.PauseP50Nanos, 300u); // Rank (5-1)*50/100 = 2.
-  EXPECT_EQ(Fleet.PauseP99Nanos, 400u); // Rank (5-1)*99/100 = 3.
+  // Nearest-rank 3 of 5 lands on 300, reported as its bucket's upper
+  // bound (300 sits in the 8-wide bucket [296, 303]).
+  EXPECT_EQ(Fleet.PauseP50Nanos, 303u);
+  // Ranks 5: the histogram clamps the top bucket to the exact max.
+  EXPECT_EQ(Fleet.PauseP99Nanos, 500u);
+  EXPECT_EQ(Fleet.PauseP999Nanos, 500u);
   std::string Summary = formatFleetSummary(Samples, Fleet);
   EXPECT_NE(Summary.find("fleet (2 shards)"), std::string::npos);
 }

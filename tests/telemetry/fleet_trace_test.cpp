@@ -1,0 +1,169 @@
+//===- tests/telemetry/fleet_trace_test.cpp -------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet trace exporter: merged output is structurally valid JSON,
+/// shard events land on their own tid rows rebased onto the fleet
+/// clock, and send/receive/submit instants become flow-event pairs
+/// sharing an id — the causal arrows chrome://tracing draws.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/FleetTrace.h"
+
+using namespace gengc;
+
+namespace {
+
+/// Minimal structural JSON check: quotes-aware brace/bracket balance.
+/// (The CI smoke runs the real thing through python3 -m json.tool; this
+/// keeps a fast in-process guard on the writer's structure.)
+bool balancedJson(const std::string &S) {
+  int Brace = 0, Bracket = 0;
+  bool InString = false, Escaped = false;
+  for (char C : S) {
+    if (Escaped) {
+      Escaped = false;
+      continue;
+    }
+    if (C == '\\') {
+      Escaped = InString;
+      continue;
+    }
+    if (C == '"') {
+      InString = !InString;
+      continue;
+    }
+    if (InString)
+      continue;
+    if (C == '{')
+      ++Brace;
+    else if (C == '}' && --Brace < 0)
+      return false;
+    else if (C == '[')
+      ++Bracket;
+    else if (C == ']' && --Bracket < 0)
+      return false;
+  }
+  return !InString && Brace == 0 && Bracket == 0;
+}
+
+size_t countOccurrences(const std::string &Hay, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t At = Hay.find(Needle); At != std::string::npos;
+       At = Hay.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
+GcEvent makeEvent(GcEventType T, uint64_t TimeNanos, uint64_t A, uint64_t B,
+                  uint16_t Detail) {
+  GcEvent E;
+  E.Type = T;
+  E.TimeNanos = TimeNanos;
+  E.A = A;
+  E.B = B;
+  E.Detail = Detail;
+  return E;
+}
+
+TEST(FleetTraceTest, EmptyFleetIsValidJson) {
+  std::ostringstream OS;
+  writeFleetTrace(OS, {}, {});
+  const std::string S = OS.str();
+  EXPECT_TRUE(balancedJson(S)) << S;
+  EXPECT_NE(S.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(FleetTraceTest, CrossShardMessageBecomesAFlowPair) {
+  // Shard 0 sends span 0x100000001 to shard 1; shard 1 receives it.
+  const uint64_t Span = (0ull + 1) << 32 | 1;
+  ShardTraceSample S0, S1;
+  S0.ShardId = 0;
+  S0.Events.push_back(
+      makeEvent(GcEventType::MessageSend, 1000, Span, Span, /*To=*/1));
+  S1.ShardId = 1;
+  S1.EpochOffsetNanos = 500; // shard 1's heap epoch is 500 ns late
+  S1.Events.push_back(
+      makeEvent(GcEventType::MessageReceive, 700, Span, Span, /*From=*/0));
+
+  std::ostringstream OS;
+  writeFleetTrace(OS, {S0, S1}, {});
+  const std::string S = OS.str();
+  ASSERT_TRUE(balancedJson(S)) << S;
+
+  // Both named tid rows are present.
+  EXPECT_NE(S.find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(S.find("\"shard-1\""), std::string::npos);
+  // One flow start, one flow finish, sharing the span id.
+  EXPECT_EQ(countOccurrences(S, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(countOccurrences(S, "\"ph\":\"f\""), 1u);
+  char Id[32];
+  std::snprintf(Id, sizeof(Id), "\"id\":\"0x%llx\"",
+                static_cast<unsigned long long>(Span));
+  EXPECT_EQ(countOccurrences(S, Id), 2u);
+  // The receive is rebased onto the fleet clock: 700 ns + 500 ns offset
+  // = 1.200 us, later than the send at 1.000 us despite the smaller
+  // raw ring timestamp.
+  EXPECT_NE(S.find("\"ts\":1.200"), std::string::npos) << S;
+}
+
+TEST(FleetTraceTest, TicketSubmitFlowsToTheExecutorRow) {
+  const uint64_t Span = (2ull + 1) << 32 | 7;
+  ShardTraceSample S2;
+  S2.ShardId = 2;
+  S2.Events.push_back(
+      makeEvent(GcEventType::TicketSubmit, 2000, Span, Span, /*Queue=*/3));
+
+  FinalizeSpan F;
+  F.TraceId = Span;
+  F.SpanId = Span;
+  F.Queue = 3;
+  F.SubmitNanos = 2100;
+  F.StartNanos = 2500;
+  F.EndNanos = 3000;
+
+  std::ostringstream OS;
+  writeFleetTrace(OS, {S2}, {F});
+  const std::string S = OS.str();
+  ASSERT_TRUE(balancedJson(S)) << S;
+
+  EXPECT_NE(S.find("\"finalization-executor\""), std::string::npos);
+  EXPECT_NE(S.find("\"name\":\"finalize\""), std::string::npos);
+  // Submit starts the flow on shard 2's row; the executor span ends it.
+  EXPECT_EQ(countOccurrences(S, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(countOccurrences(S, "\"ph\":\"f\""), 1u);
+  EXPECT_NE(S.find("\"tid\":999"), std::string::npos);
+  // Wait time (submit -> start) is surfaced in the span args.
+  EXPECT_NE(S.find("\"wait_us\":0.400"), std::string::npos) << S;
+}
+
+TEST(FleetTraceTest, UntracedFinalizeSpanEmitsNoFlow) {
+  FinalizeSpan F; // SpanId 0: submitted outside any traced context
+  F.StartNanos = 100;
+  F.EndNanos = 200;
+  std::ostringstream OS;
+  writeFleetTrace(OS, {}, {F});
+  const std::string S = OS.str();
+  ASSERT_TRUE(balancedJson(S)) << S;
+  EXPECT_EQ(countOccurrences(S, "\"ph\":\"s\""), 0u);
+  EXPECT_EQ(countOccurrences(S, "\"ph\":\"f\""), 0u);
+  EXPECT_EQ(countOccurrences(S, "\"name\":\"finalize\""), 1u);
+}
+
+TEST(FleetTraceTest, DumpToFileRejectsUnwritablePath) {
+  EXPECT_FALSE(dumpFleetTraceToFile({}, {}, "/nonexistent-dir/trace.json"));
+}
+
+} // namespace

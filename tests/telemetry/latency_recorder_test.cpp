@@ -1,0 +1,238 @@
+//===- tests/telemetry/latency_recorder_test.cpp --------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HDR histogram's contract tests: bucket math, the one-bucket
+/// percentile error bound, merge associativity/commutativity, the
+/// concurrent-record determinism the fleet roll-up relies on, and the
+/// latencyCounters bench-JSON projection.
+///
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/LatencyRecorder.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(LatencyRecorderTest, EmptyRecorderReadsZero) {
+  LatencyRecorder R;
+  EXPECT_EQ(R.count(), 0u);
+  EXPECT_EQ(R.maxNanos(), 0u);
+  EXPECT_EQ(R.meanNanos(), 0u);
+  EXPECT_EQ(R.percentileNanos(50.0), 0u);
+  EXPECT_EQ(R.percentileNanos(99.9), 0u);
+  EXPECT_EQ(R.countAbove(0), 0u);
+}
+
+TEST(LatencyRecorderTest, ExactBelowLinearThreshold) {
+  // Values below 2*SubBuckets live in width-1 buckets: percentiles are
+  // exact there.
+  LatencyRecorder R;
+  for (uint64_t V = 0; V != 2 * LatencyRecorder::SubBuckets; ++V) {
+    EXPECT_EQ(LatencyRecorder::bucketIndex(V), V);
+    EXPECT_EQ(LatencyRecorder::bucketWidth(LatencyRecorder::bucketIndex(V)),
+              1u);
+    R.record(V);
+  }
+  EXPECT_EQ(R.percentileNanos(50.0), 2 * LatencyRecorder::SubBuckets / 2 - 1);
+  EXPECT_EQ(R.maxNanos(), 2 * LatencyRecorder::SubBuckets - 1);
+}
+
+TEST(LatencyRecorderTest, BucketBoundsPartitionTheLine) {
+  // Every bucket's range starts exactly where the previous one ended,
+  // and bucketIndex maps both endpoints back to the bucket.
+  for (unsigned I = 0; I + 1 < LatencyRecorder::NumBuckets; ++I) {
+    const uint64_t Lo = LatencyRecorder::bucketLowerBound(I);
+    const uint64_t W = LatencyRecorder::bucketWidth(I);
+    EXPECT_EQ(LatencyRecorder::bucketIndex(Lo), I) << "lower bound of " << I;
+    EXPECT_EQ(LatencyRecorder::bucketIndex(Lo + W - 1), I)
+        << "upper bound of " << I;
+    if (Lo + W > Lo) { // skip the final, overflowing row
+      EXPECT_EQ(LatencyRecorder::bucketLowerBound(I + 1), Lo + W)
+          << "gap after bucket " << I;
+    }
+  }
+}
+
+TEST(LatencyRecorderTest, PercentileErrorAtMostOneBucketWidth) {
+  // Against an exact sorted-vector oracle: for every percentile probed,
+  // the histogram answer is >= the true value and overshoots by less
+  // than one bucket width of the bucket holding the true value.
+  std::mt19937_64 Rng(42);
+  std::vector<uint64_t> Samples;
+  LatencyRecorder R;
+  for (int I = 0; I != 10000; ++I) {
+    // Log-uniform over ~6 decades, the shape of real latency data.
+    const double Mag = std::uniform_real_distribution<>(0.0, 6.0)(Rng);
+    const uint64_t V = static_cast<uint64_t>(std::pow(10.0, Mag));
+    Samples.push_back(V);
+    R.record(V);
+  }
+  std::sort(Samples.begin(), Samples.end());
+  for (double P : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const uint64_t N = Samples.size();
+    uint64_t Rank = static_cast<uint64_t>(P / 100.0 * N + 0.5);
+    Rank = std::min(std::max<uint64_t>(Rank, 1), N);
+    const uint64_t Exact = Samples[Rank - 1];
+    const uint64_t Got = R.percentileNanos(P);
+    const uint64_t Width =
+        LatencyRecorder::bucketWidth(LatencyRecorder::bucketIndex(Exact));
+    EXPECT_GE(Got, Exact) << "p" << P;
+    EXPECT_LT(Got, Exact + Width) << "p" << P;
+  }
+  // And the reported value never exceeds the true max.
+  EXPECT_EQ(R.maxNanos(), Samples.back());
+  EXPECT_LE(R.percentileNanos(100.0), Samples.back());
+}
+
+TEST(LatencyRecorderTest, MergeIsAssociativeAndCommutative) {
+  std::mt19937_64 Rng(7);
+  LatencyRecorder A, B, C;
+  auto Fill = [&](LatencyRecorder &R, int N) {
+    for (int I = 0; I != N; ++I)
+      R.record(std::uniform_int_distribution<uint64_t>(0, 1u << 20)(Rng));
+  };
+  Fill(A, 500);
+  Fill(B, 300);
+  Fill(C, 700);
+
+  // (A + B) + C
+  LatencyRecorder L = A;
+  L.merge(B);
+  L.merge(C);
+  // A + (C + B) — different order AND different grouping.
+  LatencyRecorder R1 = C;
+  R1.merge(B);
+  LatencyRecorder R = A;
+  R.merge(R1);
+
+  EXPECT_EQ(L.count(), R.count());
+  EXPECT_EQ(L.totalNanos(), R.totalNanos());
+  EXPECT_EQ(L.maxNanos(), R.maxNanos());
+  for (double P : {50.0, 90.0, 99.0, 99.9})
+    EXPECT_EQ(L.percentileNanos(P), R.percentileNanos(P)) << "p" << P;
+  EXPECT_EQ(L.count(), 1500u);
+}
+
+TEST(LatencyRecorderTest, MergeMatchesSingleRecorder) {
+  // Recording a stream into one recorder equals splitting it across
+  // shards and merging — the property the fleet pause roll-up needs.
+  std::mt19937_64 Rng(11);
+  LatencyRecorder Whole;
+  LatencyRecorder Shards[4];
+  for (int I = 0; I != 4000; ++I) {
+    const uint64_t V =
+        std::uniform_int_distribution<uint64_t>(0, 1u << 24)(Rng);
+    Whole.record(V);
+    Shards[I % 4].record(V);
+  }
+  LatencyRecorder Merged;
+  for (const LatencyRecorder &S : Shards)
+    Merged.merge(S);
+  EXPECT_EQ(Merged.count(), Whole.count());
+  EXPECT_EQ(Merged.totalNanos(), Whole.totalNanos());
+  EXPECT_EQ(Merged.maxNanos(), Whole.maxNanos());
+  for (double P : {50.0, 99.0, 99.9})
+    EXPECT_EQ(Merged.percentileNanos(P), Whole.percentileNanos(P));
+}
+
+TEST(LatencyRecorderTest, ConcurrentRecordIsDeterministic) {
+  // Wait-free record(): totals and every percentile must come out the
+  // same regardless of interleaving (relaxed adds commute). Run under
+  // TSan this also proves record() is race-free.
+  const int Threads = 4, PerThread = 25000;
+  LatencyRecorder Concurrent;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != Threads; ++T)
+    Pool.emplace_back([&Concurrent, T] {
+      std::mt19937_64 Rng(1000 + T);
+      for (int I = 0; I != PerThread; ++I)
+        Concurrent.record(
+            std::uniform_int_distribution<uint64_t>(0, 1u << 22)(Rng));
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  // Sequential replay of the same per-thread streams.
+  LatencyRecorder Sequential;
+  for (int T = 0; T != Threads; ++T) {
+    std::mt19937_64 Rng(1000 + T);
+    for (int I = 0; I != PerThread; ++I)
+      Sequential.record(
+          std::uniform_int_distribution<uint64_t>(0, 1u << 22)(Rng));
+  }
+  EXPECT_EQ(Concurrent.count(),
+            static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(Concurrent.count(), Sequential.count());
+  EXPECT_EQ(Concurrent.totalNanos(), Sequential.totalNanos());
+  EXPECT_EQ(Concurrent.maxNanos(), Sequential.maxNanos());
+  for (double P : {50.0, 99.0, 99.9})
+    EXPECT_EQ(Concurrent.percentileNanos(P), Sequential.percentileNanos(P));
+}
+
+TEST(LatencyRecorderTest, CountAboveRespectsBucketResolution) {
+  LatencyRecorder R;
+  R.record(10);
+  R.record(1000);
+  R.record(100000);
+  // Threshold below every sample's bucket: all three count.
+  EXPECT_EQ(R.countAbove(0), 3u);
+  // Threshold above the top sample: none count.
+  EXPECT_EQ(R.countAbove(1u << 30), 0u);
+  // Mid threshold: only buckets entirely above it count, so the answer
+  // never exceeds the true count and misses at most the threshold's
+  // own bucket.
+  EXPECT_EQ(R.countAbove(5000), 1u);
+  EXPECT_LE(R.countAbove(999), 2u);
+}
+
+TEST(LatencyRecorderTest, LatencyCountersRoundTrip) {
+  // The bench-JSON projection: exactly the five keys every emitter
+  // writes, values equal to the recorder's own reads.
+  LatencyRecorder R;
+  for (uint64_t V : {100u, 200u, 300u, 400u, 500u})
+    R.record(V);
+  const auto KVs = latencyCounters("gc_pause", R);
+  ASSERT_EQ(KVs.size(), 5u);
+  EXPECT_EQ(KVs[0].first, "gc_pause_p50_ns");
+  EXPECT_EQ(KVs[0].second, R.p50());
+  EXPECT_EQ(KVs[1].first, "gc_pause_p99_ns");
+  EXPECT_EQ(KVs[1].second, R.p99());
+  EXPECT_EQ(KVs[2].first, "gc_pause_p999_ns");
+  EXPECT_EQ(KVs[2].second, R.p999());
+  EXPECT_EQ(KVs[3].first, "gc_pause_max_ns");
+  EXPECT_EQ(KVs[3].second, 500u);
+  EXPECT_EQ(KVs[4].first, "gc_pause_count");
+  EXPECT_EQ(KVs[4].second, 5u);
+  // Percentiles clamp to the exact max, so p999 of a small sample is
+  // the max itself — the property the bench JSON relies on.
+  EXPECT_EQ(R.p999(), 500u);
+}
+
+TEST(LatencyRecorderTest, CopyPreservesDistribution) {
+  LatencyRecorder R;
+  for (int I = 0; I != 100; ++I)
+    R.record(static_cast<uint64_t>(I) * 37);
+  LatencyRecorder C = R;
+  EXPECT_EQ(C.count(), R.count());
+  EXPECT_EQ(C.totalNanos(), R.totalNanos());
+  EXPECT_EQ(C.p99(), R.p99());
+  R.reset();
+  EXPECT_EQ(R.count(), 0u);
+  EXPECT_EQ(C.count(), 100u); // the copy is independent
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- tests/telemetry/mmu_slo_test.cpp -----------------------*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MMU math against hand-computed windows, and the SLO ledger's
+/// clause-by-clause verdict semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/Mmu.h"
+#include "telemetry/SloLedger.h"
+
+using namespace gengc;
+
+namespace {
+
+constexpr uint64_t Ms = 1'000'000;
+
+TEST(MmuTest, EmptyRecordIsFullyUtilized) {
+  EXPECT_EQ(minMutatorUtilization({}, 10 * Ms, 100 * Ms), 1.0);
+  for (const MmuPoint &P : standardMmuCurve({}, 100 * Ms))
+    EXPECT_EQ(P.Utilization, 1.0);
+}
+
+TEST(MmuTest, SinglePauseHandComputed) {
+  // One 5 ms pause starting at t=10 ms in a 100 ms run.
+  const std::vector<PauseClip> Clips = {{10 * Ms, 5 * Ms}};
+  // A 10 ms window containing the whole pause: 5/10 mutator time.
+  EXPECT_DOUBLE_EQ(minMutatorUtilization(Clips, 10 * Ms, 100 * Ms), 0.5);
+  // A 5 ms window can sit entirely inside the pause.
+  EXPECT_DOUBLE_EQ(minMutatorUtilization(Clips, 5 * Ms, 100 * Ms), 0.0);
+  EXPECT_DOUBLE_EQ(minMutatorUtilization(Clips, 2 * Ms, 100 * Ms), 0.0);
+  // Window == total span: global utilization.
+  EXPECT_DOUBLE_EQ(minMutatorUtilization(Clips, 100 * Ms, 100 * Ms), 0.95);
+  // Window beyond the span clamps to global utilization too.
+  EXPECT_DOUBLE_EQ(minMutatorUtilization(Clips, 200 * Ms, 100 * Ms), 0.95);
+}
+
+TEST(MmuTest, BackToBackPausesCompoundWithinAWindow) {
+  // 2 ms pause at t=0 and 3 ms pause at t=5 ms: an 8 ms window over
+  // [0, 8) sees 2 + 3 = 5 ms of pause -> 3/8 utilization. A pause-time
+  // histogram alone cannot see this compounding; MMU is the point.
+  const std::vector<PauseClip> Clips = {{0, 2 * Ms}, {5 * Ms, 3 * Ms}};
+  EXPECT_DOUBLE_EQ(minMutatorUtilization(Clips, 8 * Ms, 20 * Ms), 0.375);
+  // A 3 ms window fits inside the second pause.
+  EXPECT_DOUBLE_EQ(minMutatorUtilization(Clips, 3 * Ms, 20 * Ms), 0.0);
+}
+
+TEST(MmuTest, WindowAlignmentFindsTheWorstPlacement) {
+  // Pause in the middle; the minimizing 4 ms window must align on the
+  // pause, not on t=0.
+  const std::vector<PauseClip> Clips = {{7 * Ms, 2 * Ms}};
+  EXPECT_DOUBLE_EQ(minMutatorUtilization(Clips, 4 * Ms, 20 * Ms), 0.5);
+}
+
+TEST(MmuTest, StandardCurveUsesTheThreeCanonicalWindows) {
+  const std::vector<PauseClip> Clips = {{10 * Ms, 5 * Ms}};
+  const auto Curve = standardMmuCurve(Clips, 100 * Ms);
+  ASSERT_EQ(Curve.size(), 3u);
+  EXPECT_EQ(Curve[0].WindowNanos, 1 * Ms);
+  EXPECT_EQ(Curve[1].WindowNanos, 10 * Ms);
+  EXPECT_EQ(Curve[2].WindowNanos, 100 * Ms);
+  EXPECT_DOUBLE_EQ(Curve[0].Utilization, 0.0);  // window inside the pause
+  EXPECT_DOUBLE_EQ(Curve[1].Utilization, 0.5);
+  EXPECT_DOUBLE_EQ(Curve[2].Utilization, 0.95);
+}
+
+TEST(SloTest, AllZeroTargetsPassVacuously) {
+  LatencyRecorder Pauses, Ops;
+  Pauses.record(50 * Ms); // terrible pause, but no clause armed
+  const SloVerdict V = evaluateSlo(SloTargets{}, Pauses, Ops,
+                                   {{0, 50 * Ms}}, 100 * Ms);
+  EXPECT_TRUE(V.Pass);
+  EXPECT_EQ(V.PauseViolations, 0u);
+  EXPECT_EQ(V.OpViolations, 0u);
+  EXPECT_EQ(V.MmuViolations, 0u);
+  // Measured fields are still filled in: the default 10 ms window fits
+  // entirely inside the 50 ms pause, so MMU is 0.
+  EXPECT_EQ(V.PauseMaxNanos, 50 * Ms);
+  EXPECT_DOUBLE_EQ(V.Mmu, 0.0);
+}
+
+TEST(SloTest, PauseMaxClauseCountsViolatingSamples) {
+  LatencyRecorder Pauses, Ops;
+  Pauses.record(1 * Ms);
+  Pauses.record(2 * Ms);
+  Pauses.record(30 * Ms);
+  Pauses.record(40 * Ms);
+  SloTargets T;
+  T.PauseMaxNanos = 10 * Ms;
+  const SloVerdict V = evaluateSlo(T, Pauses, Ops, {}, 100 * Ms);
+  EXPECT_FALSE(V.Pass);
+  EXPECT_EQ(V.PauseViolations, 2u); // the two pauses over 10 ms
+  EXPECT_EQ(V.OpViolations, 0u);
+}
+
+TEST(SloTest, PauseMaxClauseHoldsWhenUnderTarget) {
+  LatencyRecorder Pauses, Ops;
+  Pauses.record(1 * Ms);
+  SloTargets T;
+  T.PauseMaxNanos = 10 * Ms;
+  EXPECT_TRUE(evaluateSlo(T, Pauses, Ops, {}, 100 * Ms).Pass);
+}
+
+TEST(SloTest, OpLatencyClauseUsesTheOpRecorder) {
+  LatencyRecorder Pauses, Ops;
+  for (int I = 0; I != 98; ++I)
+    Ops.record(1000);
+  // Two terrible ops put nearest-rank 99 of 100 onto a violating
+  // sample, dragging p99 over a 1 ms target.
+  Ops.record(50 * Ms);
+  Ops.record(60 * Ms);
+  SloTargets T;
+  T.OpP99Nanos = 1 * Ms;
+  const SloVerdict V = evaluateSlo(T, Pauses, Ops, {}, 100 * Ms);
+  EXPECT_FALSE(V.Pass);
+  EXPECT_EQ(V.OpViolations, 2u);
+  EXPECT_EQ(V.PauseViolations, 0u);
+}
+
+TEST(SloTest, MmuFloorClause) {
+  LatencyRecorder Pauses, Ops;
+  const std::vector<PauseClip> Clips = {{10 * Ms, 5 * Ms}};
+  SloTargets T;
+  T.MmuWindowNanos = 10 * Ms; // MMU here is 0.5 (hand-computed above)
+  T.MmuFloor = 0.8;
+  SloVerdict V = evaluateSlo(T, Pauses, Ops, Clips, 100 * Ms);
+  EXPECT_FALSE(V.Pass);
+  EXPECT_EQ(V.MmuViolations, 1u);
+  T.MmuFloor = 0.3;
+  V = evaluateSlo(T, Pauses, Ops, Clips, 100 * Ms);
+  EXPECT_TRUE(V.Pass);
+  EXPECT_EQ(V.MmuViolations, 0u);
+}
+
+TEST(SloTest, FormatVerdictOneLiner) {
+  LatencyRecorder Pauses, Ops;
+  Pauses.record(3 * Ms);
+  SloTargets T;
+  T.PauseMaxNanos = 10 * Ms;
+  const SloVerdict Pass = evaluateSlo(T, Pauses, Ops, {}, 100 * Ms);
+  EXPECT_NE(formatSloVerdict(T, Pass).find("SLO PASS"), std::string::npos);
+  T.PauseMaxNanos = 1 * Ms;
+  const SloVerdict Fail = evaluateSlo(T, Pauses, Ops, {}, 100 * Ms);
+  const std::string Line = formatSloVerdict(T, Fail);
+  EXPECT_NE(Line.find("SLO FAIL"), std::string::npos);
+  EXPECT_EQ(Line.find('\n'), std::string::npos); // stays one line
+}
+
+} // namespace

@@ -23,6 +23,9 @@
 ///
 ///   loadgen --shards 8 --sessions 16 --ops 300 --seed 7
 ///           --think-time-us 200 --fail-rate 5 --json out.json
+///           --trace fleet.json --profile heap.folded
+///           --slo-max-pause-us 20000 --slo-op-p99-us 5000
+///           --slo-mmu-floor-pct 50
 ///
 /// --think-time-us simulates client think time between sessions: with
 /// it, sessions are open-loop and aggregate throughput scales with
@@ -32,13 +35,22 @@
 /// finalization tickets, exercising the executor's retry/backoff path
 /// without perturbing the accounting (retries succeed).
 ///
+/// Observability: --trace writes the merged fleet Chrome trace (every
+/// shard's event ring on one clock, flow arrows from msg-send to
+/// msg-recv and from ticket-submit to the executor's finalize span);
+/// --profile enables the sampled allocation-site profiler on every
+/// shard and writes the concatenated collapsed stacks; the --slo-*
+/// flags set SLO targets whose verdict is printed and emitted into the
+/// bench JSON (slo_pass plus violation counters).
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/GuardedHashTable.h"
 #include "core/Guardian.h"
 #include "gc/Heap.h"
 #include "gc/Roots.h"
-#include "gc/telemetry/Aggregate.h"
+#include "telemetry/Aggregate.h"
+#include "telemetry/SloLedger.h"
 #include "io/GuardedPorts.h"
 #include "io/PortTable.h"
 #include "object/Layout.h"
@@ -72,13 +84,19 @@ struct Options {
   unsigned FailRatePct = 0; ///< Transient ticket-failure injection.
   unsigned GcThreads = 0;   ///< Scavenge workers per shard heap (0=auto).
   std::string JsonPath;     ///< Google-Benchmark-format output file.
+  std::string TracePath;    ///< Merged fleet Chrome trace output.
+  std::string ProfilePath;  ///< Collapsed allocation-site stacks output.
+  SloTargets Slo;           ///< --slo-* targets (0 = clause disabled).
 };
 
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--shards N] [--sessions N] [--ops N] [--seed N]\n"
                "          [--think-time-us N] [--fail-rate PCT]\n"
-               "          [--gc-threads N] [--json PATH]\n",
+               "          [--gc-threads N] [--json PATH]\n"
+               "          [--trace PATH] [--profile PATH]\n"
+               "          [--slo-max-pause-us N] [--slo-pause-p99-us N]\n"
+               "          [--slo-op-p99-us N] [--slo-mmu-floor-pct N]\n",
                Argv0);
 }
 
@@ -108,6 +126,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       Opt.GcThreads = static_cast<unsigned>(V);
     else if (Arg == "--json" && I + 1 < Argc)
       Opt.JsonPath = Argv[++I];
+    else if (Arg == "--trace" && I + 1 < Argc)
+      Opt.TracePath = Argv[++I];
+    else if (Arg == "--profile" && I + 1 < Argc)
+      Opt.ProfilePath = Argv[++I];
+    else if (Arg == "--slo-max-pause-us" && NextInt(V))
+      Opt.Slo.PauseMaxNanos = V * 1000;
+    else if (Arg == "--slo-pause-p99-us" && NextInt(V))
+      Opt.Slo.PauseP99Nanos = V * 1000;
+    else if (Arg == "--slo-op-p99-us" && NextInt(V))
+      Opt.Slo.OpP99Nanos = V * 1000;
+    else if (Arg == "--slo-mmu-floor-pct" && NextInt(V))
+      Opt.Slo.MmuFloor = static_cast<double>(V) / 100.0;
     else {
       usage(Argv[0]);
       return false;
@@ -170,6 +200,13 @@ struct ShardEnv {
   FinalizationExecutor::QueueId PortQueue = 0;
   FinalizationExecutor::QueueId ExtQueue = 0;
   WorldCounters Out;
+  /// Per-op latency, recorded by the shard thread during sessions and
+  /// merged into the fleet recorder after shutdown.
+  LatencyRecorder OpLatency;
+  /// Collapsed allocation-site stacks, copied out before the shard
+  /// heap (and its profiler) dies. Empty when profiling is off.
+  std::string ProfileCollapsed;
+  uint64_t SampledSites = 0;
 };
 
 /// Per-shard mutator state: the guarded resources of the paper, plus a
@@ -207,13 +244,14 @@ struct World : ShardLocal {
   /// the runtime's analogue of Section 3's close-dropped-ports, with
   /// the actual closing moved off the mutator hot path.
   void drainToExecutor() {
+    // submitTicket (not executor().submit) so every ticket carries a
+    // trace span and shows as a causal arrow in the fleet trace.
     PortG.drain([&](Value Handle) {
-      Self.executor().submit(Env.PortQueue,
-                             GuardedPortSystem::portIdOf(Handle));
+      Self.submitTicket(Env.PortQueue, GuardedPortSystem::portIdOf(Handle));
     });
     ExtG.drain([&](Value Header) {
-      Self.executor().submit(Env.ExtQueue,
-                             GuardedExternalMemory::blockIdOf(Header));
+      Self.submitTicket(Env.ExtQueue,
+                        GuardedExternalMemory::blockIdOf(Header));
     });
   }
 
@@ -231,6 +269,7 @@ struct World : ShardLocal {
     size_t Mark = Held.size();
     for (size_t Op = 0; Op != Opt.Ops; ++Op) {
       ++C.Ops;
+      const auto OpStart = std::chrono::steady_clock::now();
       // Ordinary mutator churn alongside the guarded resources: a
       // short-lived list per op, dead by the next iteration, so the
       // generational collector runs for real under the session load.
@@ -307,6 +346,13 @@ struct World : ShardLocal {
         drainToExecutor();
         Self.pumpInbox();
       }
+      // An "op" is one full loop body including its safepoint work, so
+      // the latency distribution shows GC pauses where clients feel
+      // them, not just where the collector measures them.
+      Env.OpLatency.record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - OpStart)
+              .count()));
     }
     Held.truncate(Mark); // Session over: everything it held is dropped.
     drainToExecutor();
@@ -330,6 +376,10 @@ struct World : ShardLocal {
         Pool.initializations() > Accounted ? Pool.initializations() - Accounted
                                            : 0;
     Pool.shutdown();
+    if (H.allocProfiler().enabled()) {
+      Env.ProfileCollapsed = H.allocProfiler().collapsedStacks();
+      Env.SampledSites = H.allocProfiler().sitesWithSamples();
+    }
     Env.Out = C;
   }
 };
@@ -358,6 +408,13 @@ int main(int Argc, char **Argv) {
   Cfg.HeapCfg.GcThreads = Opt.GcThreads;
   Cfg.MailboxCapacity = 128;
   Cfg.ExecutorCfg.BaseBackoff = std::chrono::microseconds(200);
+  if (!Opt.TracePath.empty()) {
+    Cfg.HeapCfg.GcTrace = true; // Per-shard event rings.
+    Cfg.ExecutorCfg.Tracing = true; // Finalize spans on the fleet clock.
+  }
+  if (!Opt.ProfilePath.empty())
+    Cfg.HeapCfg.ProfileSampleBytes = HeapConfig::DefaultProfileSampleBytes;
+  Cfg.HeapCfg.SloMaxPauseNanos = Opt.Slo.PauseMaxNanos;
   ShardRuntime RT(Cfg, [&](Shard &S) {
     return std::make_unique<World>(S, *Envs[S.id()], Opt);
   });
@@ -462,6 +519,33 @@ int main(int Argc, char **Argv) {
     Samples.push_back(R.Gc);
   FleetGcStats Fleet = RT.fleetGcStats();
 
+  // Merged per-op latency across every shard's sessions.
+  LatencyRecorder OpLatency;
+  for (const auto &Env : Envs)
+    OpLatency.merge(Env->OpLatency);
+
+  // SLO verdict: pause/op clauses against the merged recorders; the
+  // MMU clause against the worst shard at the target window (the
+  // utilization a client sees is that of the shard it landed on).
+  const ShardGcSample *MmuWorst = nullptr;
+  double MmuAtTarget = 1.0;
+  for (const ShardGcSample &S : Samples) {
+    double U = minMutatorUtilization(S.Clips, Opt.Slo.MmuWindowNanos,
+                                     S.MutatorNanos);
+    if (!MmuWorst || U < MmuAtTarget) {
+      MmuWorst = &S;
+      MmuAtTarget = U;
+    }
+  }
+  SloVerdict Verdict = evaluateSlo(
+      Opt.Slo, Fleet.Pauses, OpLatency,
+      MmuWorst ? MmuWorst->Clips : std::vector<PauseClip>{},
+      MmuWorst ? MmuWorst->MutatorNanos : 0);
+
+  uint64_t SampledSites = 0;
+  for (const auto &Env : Envs)
+    SampledSites += Env->SampledSites;
+
   std::printf("loadgen: %zu shards x %zu sessions x %zu ops  "
               "(seed %llu, think %uus, fail %u%%)\n",
               Opt.Shards, Opt.Sessions, Opt.Ops,
@@ -482,12 +566,52 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.MessagesReceived));
   }
   std::printf("%s", formatFleetSummary(Samples, Fleet).c_str());
+  std::printf("loadgen: op latency p50 %llu p99 %llu p999 %llu max %llu ns "
+              "over %llu ops\n",
+              static_cast<unsigned long long>(OpLatency.p50()),
+              static_cast<unsigned long long>(OpLatency.p99()),
+              static_cast<unsigned long long>(OpLatency.p999()),
+              static_cast<unsigned long long>(OpLatency.maxNanos()),
+              static_cast<unsigned long long>(OpLatency.count()));
   std::printf("loadgen: %llu total ops in %.3fs = %.0f ops/s aggregate; "
-              "executor ran %llu tickets (%llu retried)\n",
+              "executor ran %llu tickets (%llu retried, wait p99 %llu ns, "
+              "run p99 %llu ns, peak depth %llu)\n",
               static_cast<unsigned long long>(TotalOps), ElapsedSec,
               Throughput, static_cast<unsigned long long>(ES.Executed),
-              static_cast<unsigned long long>(ES.Retried));
+              static_cast<unsigned long long>(ES.Retried),
+              static_cast<unsigned long long>(ES.WaitNanos.p99()),
+              static_cast<unsigned long long>(ES.RunNanos.p99()),
+              static_cast<unsigned long long>(ES.MaxPending));
+  std::printf("loadgen: %s\n",
+              formatSloVerdict(Opt.Slo, Verdict).c_str());
   std::printf("loadgen: accounting %s\n", Failures ? "FAILED" : "clean");
+  // An armed SLO that fails is a red exit, not just a log line.
+  if (!Verdict.Pass)
+    ++Failures;
+
+  if (!Opt.TracePath.empty()) {
+    if (RT.exportFleetTrace(Opt.TracePath))
+      std::printf("loadgen: fleet trace -> %s\n", Opt.TracePath.c_str());
+    else
+      ++Failures;
+  }
+  if (!Opt.ProfilePath.empty()) {
+    std::FILE *F = std::fopen(Opt.ProfilePath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n",
+                   Opt.ProfilePath.c_str());
+      ++Failures;
+    } else {
+      // Concatenated per-shard collapsed stacks; flamegraph tooling
+      // sums repeated frames, so no pre-merge is needed.
+      for (const auto &Env : Envs)
+        std::fputs(Env->ProfileCollapsed.c_str(), F);
+      std::fclose(F);
+      std::printf("loadgen: heap profile (%llu sampled sites) -> %s\n",
+                  static_cast<unsigned long long>(SampledSites),
+                  Opt.ProfilePath.c_str());
+    }
+  }
 
   if (!Opt.JsonPath.empty()) {
     // Google Benchmark JSON shape, so scripts/bench.sh --summarize
@@ -514,8 +638,17 @@ int main(int Argc, char **Argv) {
         "     \"gc_bytes_copied\": %llu, \"gc_objects_promoted\": %llu,\n"
         "     \"gc_segments_freed\": %llu, \"gc_total_pause_ns\": %llu,\n"
         "     \"gc_pause_p50_ns\": %llu, \"gc_pause_p99_ns\": %llu,\n"
-        "     \"gc_pause_max_ns\": %llu,\n"
+        "     \"gc_pause_p999_ns\": %llu, \"gc_pause_max_ns\": %llu,\n"
+        "     \"latency_op_p50_ns\": %llu, \"latency_op_p99_ns\": %llu,\n"
+        "     \"latency_op_p999_ns\": %llu, \"latency_op_max_ns\": %llu,\n"
+        "     \"latency_op_count\": %llu,\n"
+        "     \"mmu_1ms\": %.4f, \"mmu_10ms\": %.4f, \"mmu_100ms\": %.4f,\n"
+        "     \"slo_pass\": %d, \"slo_pause_violations\": %llu,\n"
+        "     \"slo_op_violations\": %llu, \"slo_mmu_violations\": %llu,\n"
+        "     \"alloc_sampled_sites\": %llu,\n"
         "     \"executor_tickets\": %llu, \"executor_retries\": %llu,\n"
+        "     \"executor_wait_p99_ns\": %llu, \"executor_run_p99_ns\": %llu,\n"
+        "     \"executor_max_pending\": %llu,\n"
         "     \"messages_sent\": %llu, \"accounting_failures\": %d}\n"
         "  ]\n"
         "}\n",
@@ -531,9 +664,31 @@ int main(int Argc, char **Argv) {
         static_cast<unsigned long long>(Fleet.Combined.DurationNanos),
         static_cast<unsigned long long>(Fleet.PauseP50Nanos),
         static_cast<unsigned long long>(Fleet.PauseP99Nanos),
+        static_cast<unsigned long long>(Fleet.PauseP999Nanos),
         static_cast<unsigned long long>(Fleet.PauseMaxNanos),
+        static_cast<unsigned long long>(OpLatency.p50()),
+        static_cast<unsigned long long>(OpLatency.p99()),
+        static_cast<unsigned long long>(OpLatency.p999()),
+        static_cast<unsigned long long>(OpLatency.maxNanos()),
+        static_cast<unsigned long long>(OpLatency.count()),
+        [&] {
+          double M[3] = {1.0, 1.0, 1.0};
+          for (size_t K = 0; K != Fleet.Mmu.size() && K != 3; ++K)
+            M[K] = Fleet.Mmu[K].Utilization;
+          return M[0];
+        }(),
+        Fleet.Mmu.size() > 1 ? Fleet.Mmu[1].Utilization : 1.0,
+        Fleet.Mmu.size() > 2 ? Fleet.Mmu[2].Utilization : 1.0,
+        Verdict.Pass ? 1 : 0,
+        static_cast<unsigned long long>(Verdict.PauseViolations),
+        static_cast<unsigned long long>(Verdict.OpViolations),
+        static_cast<unsigned long long>(Verdict.MmuViolations),
+        static_cast<unsigned long long>(SampledSites),
         static_cast<unsigned long long>(ES.Executed),
         static_cast<unsigned long long>(ES.Retried),
+        static_cast<unsigned long long>(ES.WaitNanos.p99()),
+        static_cast<unsigned long long>(ES.RunNanos.p99()),
+        static_cast<unsigned long long>(ES.MaxPending),
         [&] {
           uint64_t Sent = 0;
           for (const auto &Env : Envs)
