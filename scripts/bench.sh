@@ -69,6 +69,15 @@ if [ "${1:-}" = "--loadgen" ]; then
       --seed "$LG_SEED" --think-time-us "$LG_THINK_US" --fail-rate 5 \
       --json "$OUT/loadgen_shards${shards}.json"
   done
+  # Scoped A/B leg: the same 4-shard load with every session inside a
+  # request scope. Diff loadgen_shards4.json against this file's
+  # gc_collections / gc_pause_* / gc_scope_* keys (EXPERIMENTS.md's
+  # scoped-vs-unscoped walkthrough reads the pair).
+  echo "==> loadgen: 4 shards, scoped sessions"
+  "$DIR/tools/loadgen/loadgen" \
+    --shards 4 --sessions "$LG_SESSIONS" --ops "$LG_OPS" \
+    --seed "$LG_SEED" --think-time-us "$LG_THINK_US" --fail-rate 5 \
+    --scoped --json "$OUT/loadgen_shards4_scoped.json"
   echo "==> results in $OUT/"
   summarize
   exit 0

@@ -36,7 +36,10 @@ import sys
 PREFIXES = ("gc_", "latency_", "mmu_", "slo_", "alloc_", "executor_")
 
 # Percentile/extremum shape: aggregate as a distribution, never sum.
-DISTRIBUTION_RE = re.compile(r"_(p\d+|max)_ns$|_max_pending$|_max_worker_bytes$")
+# gc_scope_max_depth is max-merged at the source (deepest nesting seen),
+# so it aggregates the same way.
+DISTRIBUTION_RE = re.compile(
+    r"_(p\d+|max)_ns$|_max_pending$|_max_worker_bytes$|_max_depth$")
 
 # Dimensionless ratios/flags: meaningless to sum or take medians of
 # across heterogeneous benchmarks; kept per-row only.

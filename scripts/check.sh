@@ -61,6 +61,22 @@ run_suite() {
   echo "==> [$name] elision differential"
   "$dir/tools/gcfuzz/gcfuzz" --seed-corpus --elide off --out "$dir"
   "$dir/tools/gcfuzz/gcfuzz" --vm-diff 30 --out "$dir"
+  # Scoped corpus: the trace alphabet gains request-scope open/close/
+  # alloc ops and every closeScope is cross-checked against the
+  # scope-aware shadow model; then the vm-diff matrix with half the
+  # forms inside (call-in-new-scope ...) — elision × scoping.
+  echo "==> [$name] scoped corpus"
+  "$dir/tools/gcfuzz/gcfuzz" --seed-corpus --scoped on --out "$dir"
+  "$dir/tools/gcfuzz/gcfuzz" --vm-diff 30 --scoped on --out "$dir"
+  # Canary: a deliberately leaked scope escape must be caught by the
+  # scope-aware oracle — a zero exit means scope closes are unchecked.
+  echo "==> [$name] scope-leak canary"
+  if "$dir/tools/gcfuzz/gcfuzz" --traces 40 --config paper --scoped on \
+       --fault leak-scope-escape --no-shrink --out "$dir" \
+       >/dev/null 2>&1; then
+    echo "[$name] scope-leak canary was NOT caught" >&2
+    exit 1
+  fi
   # Canary: with a deliberately unsound elision injected, the gate must
   # FAIL — either the store-time verifier aborts or the reachability
   # oracle reports a divergence. A zero exit means the elision safety
@@ -79,6 +95,12 @@ run_suite() {
   echo "==> [$name] loadgen smoke"
   "$dir/tools/loadgen/loadgen" --shards 8 --sessions 8 --ops 200 \
     --seed 11 --fail-rate 5 >/dev/null
+  # The same accounting audit with every session inside a request
+  # scope: guardian tickets delivered by scope closes instead of
+  # collections must still balance the books on all 4 shards.
+  echo "==> [$name] loadgen scoped smoke"
+  "$dir/tools/loadgen/loadgen" --shards 4 --sessions 8 --ops 200 \
+    --seed 11 --fail-rate 5 --scoped >/dev/null
   # Observability smoke: a 2-shard run with causal tracing, heap
   # profiling, and an SLO target. The merged fleet trace must be strict
   # JSON containing flow events (the cross-shard causal arrows), the

@@ -11,6 +11,7 @@
 
 #include "gc/ParallelScavenge.h"
 #include "gc/Roots.h"
+#include "gc/ScopedGeneration.h"
 #include "gc/Tconc.h"
 #include "gc/telemetry/Telemetry.h"
 
@@ -76,7 +77,12 @@ void Collector::run(unsigned G) {
     }
   }
 
-  const unsigned Workers = H.gcThreads();
+  // Open request scopes force the exact serial path: scope objects are
+  // scanned as uncollected roots and the escape sets are plain
+  // PtrHashSets, neither of which is prepared for worker concurrency.
+  // Request extents are short-lived, so a scope rarely spans an
+  // automatic collection in the first place.
+  const unsigned Workers = H.ScopeStack.empty() ? H.gcThreads() : 1;
   if (Workers >= 2) {
     // Multi-worker scavenge: roots, remembered sets, and the Cheney
     // sweep run as a work-stealing fixpoint over per-worker to-space
@@ -90,6 +96,8 @@ void Collector::run(unsigned G) {
     {
       PhaseTimer PT(Tel, S, GcPhase::Roots, PhaseCursor);
       forwardRoots();
+      if (!H.ScopeStack.empty())
+        scanOpenScopes();
     }
     {
       PhaseTimer PT(Tel, S, GcPhase::RememberedSets, PhaseCursor);
@@ -120,10 +128,12 @@ void Collector::run(unsigned G) {
   }
   {
     PhaseTimer PT(Tel, S, GcPhase::Reclaim, PhaseCursor);
-    // The profiler sweep must read forwarding markers, so it runs
-    // while from-space is still intact.
+    // The profiler sweep and the escape-set fixup must read forwarding
+    // markers, so they run while from-space is still intact.
     if (H.Profiler.enabled())
       sweepAllocProfiler();
+    if (!H.ScopeStack.empty())
+      fixupScopeEscapes();
     freeFromSpace();
   }
 
@@ -269,16 +279,23 @@ Value Collector::forward(Value V) {
   if (!Info.isFromSpace())
     return V;
 
-  unsigned NewGen, NewAge;
-  targetFor(Info.Generation, Info.Age, NewGen, NewAge);
-  const uint64_t Promoted = NewGen > Info.Generation ? 1 : 0;
+  // A scope close targets the enclosing extent, not the generation
+  // ladder; graduation is not a promotion.
+  unsigned NewGen = 0, NewAge = 0;
+  uint64_t Promoted = 0;
+  if (!ClosingScope) {
+    targetFor(Info.Generation, Info.Age, NewGen, NewAge);
+    Promoted = NewGen > Info.Generation ? 1 : 0;
+  }
 
   if (V.isPair()) {
     PairCell *Cell = V.pairCell();
     if (Value::fromBits(Cell->Car).isForwardMarker())
       return Value::fromBits(Cell->Cdr);
     // Copy, preserving the pair's space (ordinary vs. weak).
-    uintptr_t *NewCell = H.allocateInGeneration(Info.Space, NewGen, NewAge, 2);
+    uintptr_t *NewCell =
+        ClosingScope ? scopeAllocate(Info.Space, 2)
+                     : H.allocateInGeneration(Info.Space, NewGen, NewAge, 2);
     NewCell[0] = Cell->Car;
     NewCell[1] = Cell->Cdr;
     Value NewV = Value::pair(reinterpret_cast<PairCell *>(NewCell));
@@ -298,7 +315,9 @@ Value Collector::forward(Value V) {
   const size_t Words = objectSizeInWords(*Header);
   const size_t AllocWords = objectAllocWords(*Header);
   uintptr_t *NewObj =
-      H.allocateInGeneration(Info.Space, NewGen, NewAge, AllocWords);
+      ClosingScope
+          ? scopeAllocate(Info.Space, AllocWords)
+          : H.allocateInGeneration(Info.Space, NewGen, NewAge, AllocWords);
   std::memcpy(NewObj, Header, Words * sizeof(uintptr_t));
   if (AllocWords > Words)
     NewObj[Words] = 0; // Deterministic padding for the verifier.
@@ -453,6 +472,21 @@ bool Collector::pointsBelowGeneration(Value Container,
 //===----------------------------------------------------------------------===//
 
 void Collector::kleeneSweep() {
+  if (ClosingScope) {
+    // Scope-close mode: the to-space is the four target contexts of the
+    // enclosing extent, swept from the pre-close frontiers.
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (SpaceKind Space :
+           {SpaceKind::Pair, SpaceKind::Typed, SpaceKind::WeakPair}) {
+        const unsigned Sp = static_cast<unsigned>(Space);
+        Progress |= sweepRange(scopeTargetContext(Sp), ScopeCursors[Sp],
+                               Space, /*ContainerGen=*/0);
+      }
+    }
+    return;
+  }
   bool Progress = true;
   while (Progress) {
     Progress = false;
@@ -468,8 +502,12 @@ void Collector::kleeneSweep() {
 
 bool Collector::sweepContext(SpaceKind Space, unsigned Gen, unsigned Age) {
   const unsigned Sp = static_cast<unsigned>(Space);
-  SpaceContext &Ctx = H.Contexts[Sp][Gen][Age];
-  SweepCursor &Cur = Cursors[Sp][Gen][Age];
+  return sweepRange(H.Contexts[Sp][Gen][Age], Cursors[Sp][Gen][Age], Space,
+                    Gen);
+}
+
+bool Collector::sweepRange(SpaceContext &Ctx, SweepCursor &Cur,
+                           SpaceKind Space, unsigned ContainerGen) {
   bool Progress = false;
 
   while (true) {
@@ -491,10 +529,10 @@ bool Collector::sweepContext(SpaceKind Space, unsigned Gen, unsigned Age) {
         H.Segments.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
         Cur.OffsetWords;
     if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair) {
-      sweepPairAt(P, Space == SpaceKind::WeakPair, Gen);
+      sweepPairAt(P, Space == SpaceKind::WeakPair, ContainerGen);
       Cur.OffsetWords += 2;
     } else {
-      sweepTypedAt(P, Gen);
+      sweepTypedAt(P, ContainerGen);
       Cur.OffsetWords += objectAllocWords(*P);
     }
     Progress = true;
@@ -580,23 +618,43 @@ void Collector::processGuardians(unsigned G) {
   // this is a no-op for inaccessible ones, preserving the Section 4
   // algorithm: forward() only marks it live if it was already live).
   bool ForwardedAnAgent = false;
-  for (unsigned I = 0; I <= G; ++I) {
-    for (Entry E : H.Protected[I]) {
-      ++S.ProtectedEntriesVisited;
-      if (isForwarded(Value::fromBits(E.ObjectBits))) {
-        if (E.AgentBits != E.ObjectBits) {
-          E.AgentBits = forward(Value::fromBits(E.AgentBits)).bits();
-          ForwardedAnAgent = true;
-        } else {
-          E.AgentBits =
-              forwardedAddress(Value::fromBits(E.ObjectBits)).bits();
-        }
-        PendHold.push_back(E);
+  auto Classify = [&](const Entry &In) {
+    Entry E = In;
+    ++S.ProtectedEntriesVisited;
+    if (isForwarded(Value::fromBits(E.ObjectBits))) {
+      if (E.AgentBits != E.ObjectBits) {
+        E.AgentBits = forward(Value::fromBits(E.AgentBits)).bits();
+        ForwardedAnAgent = true;
       } else {
-        PendFinal.push_back(E);
+        E.AgentBits = forwardedAddress(Value::fromBits(E.ObjectBits)).bits();
       }
+      PendHold.push_back(E);
+    } else {
+      PendFinal.push_back(E);
     }
-    H.Protected[I].clear();
+  };
+  if (ClosingScope) {
+    // Scope close: only the closing scope's own registrations are in
+    // play; forwarded?(obj) now means "graduated or lives outside the
+    // scope", so the Section 4 blocks below run unchanged over the
+    // dying extent.
+    for (const Entry &E : ClosingScope->Protected)
+      Classify(E);
+    ClosingScope->Protected.clear();
+  } else {
+    for (unsigned I = 0; I <= G; ++I) {
+      for (const Entry &E : H.Protected[I])
+        Classify(E);
+      H.Protected[I].clear();
+    }
+    // Entries parked on open scopes' lists: their scope participants are
+    // uncollected, but a participant in a collected generation can still
+    // move or die, so they are triaged every collection too.
+    for (auto &SG : H.ScopeStack) {
+      for (const Entry &E : SG->Protected)
+        Classify(E);
+      SG->Protected.clear();
+    }
   }
   if (ForwardedAnAgent)
     kleeneSweep();
@@ -620,7 +678,7 @@ void Collector::processGuardians(unsigned G) {
     PendFinal.resize(Keep);
     if (FinalList.empty())
       break;
-    if (H.Telemetry.TraceEnabled) {
+    if (H.Telemetry.TraceEnabled && !ClosingScope) {
       GcEvent Ev;
       Ev.Type = GcEventType::GuardianResurrection;
       Ev.TimeNanos = H.Telemetry.now();
@@ -666,9 +724,7 @@ void Collector::processGuardians(unsigned G) {
       Value NewObj = forwardedAddress(Value::fromBits(E.ObjectBits));
       Value NewTconc = forwardedAddress(Tconc);
       Value NewAgent = Value::fromBits(E.AgentBits);
-      unsigned Index = entryListIndex(NewObj, NewTconc, NewAgent);
-      H.Protected[Index].push_back(
-          {NewObj.bits(), NewTconc.bits(), NewAgent.bits()});
+      parkProtectedEntry(NewObj, NewTconc, NewAgent);
       ++S.ProtectedEntriesKept;
     } else {
       ++S.GuardianEntriesDropped;
@@ -676,13 +732,32 @@ void Collector::processGuardians(unsigned G) {
   }
 }
 
+void Collector::parkProtectedEntry(Value Obj, Value Tconc, Value Agent) {
+  // An entry with a scope participant parks on the deepest such scope's
+  // list, so it is revisited no later than that scope's close; entries
+  // whose participants are all ordinary heap objects use the paper's
+  // youngest-generation rule.
+  unsigned Deepest = 0;
+  for (Value V : {Obj, Tconc, Agent})
+    Deepest = std::max(Deepest, H.scopeDepthOf(V));
+  if (Deepest != 0) {
+    H.ScopeStack[Deepest - 1]->Protected.push_back(
+        {Obj.bits(), Tconc.bits(), Agent.bits()});
+    return;
+  }
+  unsigned Index = entryListIndex(Obj, Tconc, Agent);
+  H.Protected[Index].push_back({Obj.bits(), Tconc.bits(), Agent.bits()});
+}
+
 void Collector::appendToTconc(Value Tconc, Value Obj) {
   // Figure 3, with the fresh last pair allocated directly in the target
-  // generation. The stores go through the barriered setters: when the
-  // tconc lives in an older generation, linking in target-generation
-  // cells creates old-to-young pointers that must be remembered.
+  // generation (the enclosing extent during a scope close). The stores
+  // go through the barriered setters: when the tconc lives in an older
+  // generation — or a shallower scope — linking in target cells creates
+  // edges that must be remembered or escape-recorded.
   uintptr_t *NewCell =
-      H.allocateInGeneration(SpaceKind::Pair, T, /*Age=*/0, 2);
+      ClosingScope ? scopeAllocate(SpaceKind::Pair, 2)
+                   : H.allocateInGeneration(SpaceKind::Pair, T, /*Age=*/0, 2);
   NewCell[0] = Value::falseV().bits();
   NewCell[1] = Value::falseV().bits();
   Value NewLast = Value::pair(reinterpret_cast<PairCell *>(NewCell));
@@ -763,6 +838,64 @@ void Collector::weakPairPass(unsigned G) {
       if (Car.isHeapPointer() &&
           H.Segments.infoFor(Car.heapAddress()).Generation < I)
         H.WeakRemembered[I].insert(Bits);
+    }
+  }
+
+  // (c) Weak pairs living in open request scopes: the scopes are not
+  // collected, but their cars may point into the collected generations.
+  if (!H.ScopeStack.empty())
+    scopeWeakContextPass();
+}
+
+void Collector::scopeWeakContextPass() {
+  const unsigned Sp = static_cast<unsigned>(SpaceKind::WeakPair);
+  for (auto &SG : H.ScopeStack) {
+    SpaceContext &Ctx = SG->Contexts[Sp];
+    Ctx.sealCurrentRun(H.Segments);
+    const std::vector<SegmentRun> &Runs = Ctx.runs();
+    for (size_t R = 0; R != Runs.size(); ++R) {
+      // rootcheck:allow(segment-base) — replays the scope's bump walk.
+      uintptr_t *Base = H.Segments.segmentBase(Runs[R].FirstSegment);
+      const size_t Used = Ctx.usedWordsOf(H.Segments, R);
+      for (size_t Off = 0; Off != Used; Off += 2)
+        fixWeakCar(Value::pair(reinterpret_cast<PairCell *>(Base + Off)));
+    }
+  }
+}
+
+void Collector::scanOpenScopes() {
+  // Every object in every open scope is an uncollected container whose
+  // strong fields may point into the collected generations: one full
+  // scan forwards them. Nothing is allocated into scope contexts during
+  // a collection (guardian tconc cells go to the target generation), and
+  // collector-side stores only write already-forwarded values, so a
+  // single pass per scope suffices — no fixpoint.
+  for (auto &SG : H.ScopeStack) {
+    for (SpaceKind Space :
+         {SpaceKind::Pair, SpaceKind::Typed, SpaceKind::WeakPair}) {
+      const unsigned Sp = static_cast<unsigned>(Space);
+      SweepCursor Cur{0, 0};
+      sweepRange(SG->Contexts[Sp], Cur, Space, /*ContainerGen=*/0);
+    }
+  }
+}
+
+void Collector::fixupScopeEscapes() {
+  for (auto &SG : H.ScopeStack) {
+    for (PtrHashSet *Set : {&SG->Escapes, &SG->WeakEscapes}) {
+      std::vector<uintptr_t> Snapshot = Set->takeSnapshot();
+      Set->clear();
+      for (uintptr_t Bits : Snapshot) {
+        Value C = Value::fromBits(Bits);
+        const SegmentInfo &Info = H.Segments.infoFor(C.heapAddress());
+        if (!Info.isFromSpace()) {
+          Set->insert(Bits);
+        } else if (isForwarded(C)) {
+          Set->insert(forwardedAddress(C).bits());
+        }
+        // Dead containers drop out: whatever escape they recorded died
+        // with them.
+      }
     }
   }
 }

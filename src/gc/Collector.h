@@ -48,6 +48,7 @@
 namespace gengc {
 
 class ParallelScavenge;
+struct ScopedGeneration;
 
 class Collector {
 public:
@@ -55,6 +56,14 @@ public:
 
   /// Collects generations 0..G.
   void run(unsigned G);
+
+  /// Closes the innermost request scope (gc/ScopedGeneration.h): the
+  /// scope's segments become the from-space, survivors graduate into the
+  /// enclosing scope (or the ordinary generation 0), and the scope's own
+  /// guardian fixpoint, weak pass, and symbol-table pass run over the
+  /// dying extent. NOT a collection: fills \p Out instead of GcStats,
+  /// and bumps no collection counters. Defined in gc/ScopedGeneration.cpp.
+  void runScopeClose(ScopedGeneration &Scope, ScopeCloseStats &Out);
 
 private:
   /// The parallel scavenge reuses the serial scan/sweep helpers on
@@ -113,6 +122,12 @@ private:
   /// Sweeps one (space, generation, age) context from its cursor to the
   /// allocation frontier. Returns true if any object was processed.
   bool sweepContext(SpaceKind Space, unsigned Gen, unsigned Age);
+  /// The shared walk under sweepContext: sweeps \p Ctx from \p Cur to
+  /// its allocation frontier. Also used for the scope-close targets and
+  /// the open-scope root scan, which sweep contexts outside the
+  /// Contexts[][][] array.
+  bool sweepRange(SpaceContext &Ctx, SweepCursor &Cur, SpaceKind Space,
+                  unsigned ContainerGen);
   void sweepPairAt(uintptr_t *Cell, bool Weak, unsigned ContainerGen);
   void sweepTypedAt(uintptr_t *Header, unsigned ContainerGen);
   /// Re-records \p Container in the remembered set if \p FieldBits now
@@ -142,9 +157,47 @@ private:
   /// matching the paper.
   unsigned entryListIndex(Value Obj, Value Tconc, Value Agent) const;
 
+  /// Re-parks a surviving (already forwarded) guardian entry: on the
+  /// protected list of the deepest open scope any participant lives in,
+  /// else on Protected[entryListIndex(...)].
+  void parkProtectedEntry(Value Obj, Value Tconc, Value Agent);
+
+  //===--- Request scopes (gc/ScopedGeneration.cpp) ----------------------===//
+
+  /// Ordinary collections with scopes open treat every scope object as
+  /// an uncollected root container: one full scan of each open scope's
+  /// contexts, forwarding strong fields (weak cars are left for
+  /// scopeWeakContextPass). Runs in the Roots phase; scopes force the
+  /// serial path, so no worker coordination is needed.
+  void scanOpenScopes();
+  /// Weak-car pass over every open scope's weak-pair context (their cars
+  /// may point into the collected generations).
+  void scopeWeakContextPass();
+  /// Rebuilds every open scope's escape sets after the copy: from-space
+  /// containers that were forwarded are re-inserted under their new
+  /// bits, dead ones are dropped. Must run before freeFromSpace (it
+  /// reads forwarding markers).
+  void fixupScopeEscapes();
+
+  /// Scope-close helpers (defined in gc/ScopedGeneration.cpp).
+  SpaceContext &scopeTargetContext(unsigned Sp);
+  uintptr_t *scopeAllocate(SpaceKind Space, size_t Words);
+  void scopeDetachFromSpace(ScopedGeneration &Scope);
+  void scopeForwardEscapeRoots(ScopedGeneration &Scope);
+  void scopeWeakPairPass(ScopedGeneration &Scope);
+  void propagateScopeEscapes(ScopedGeneration &Scope);
+
   Heap &H;
   GcStats S;
   unsigned T = 0; ///< Target generation (the paper's min(g+1, n)).
+  /// Non-null only during runScopeClose: the scope being closed. The
+  /// shared machinery (forward, kleeneSweep, appendToTconc,
+  /// processGuardians) branches on it to target the enclosing extent
+  /// instead of the generation ladder.
+  ScopedGeneration *ClosingScope = nullptr;
+  /// Enclosing scope survivors graduate into; null when the closing
+  /// scope is outermost (survivors go to the ordinary generation 0).
+  ScopedGeneration *TargetScope = nullptr;
   /// Non-null only while a parallel scavenge's worker fixpoint runs;
   /// forward() and maybeReRemember() redirect through it so the serial
   /// sweep helpers above work unchanged on GC worker threads.
@@ -155,6 +208,10 @@ private:
   /// Start positions of the weak-pair regions copied during this
   /// collection, for the second (weak) pass.
   SweepCursor WeakScanStarts[MaxGenerations][MaxTenureCopies];
+  /// Scope-close sweep cursors over the four target contexts, and the
+  /// weak-pair target's scan start for the scope weak pass.
+  SweepCursor ScopeCursors[NumSpaces];
+  SweepCursor ScopeWeakScanStart;
 };
 
 } // namespace gengc

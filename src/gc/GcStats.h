@@ -267,6 +267,90 @@ struct GcTotals {
   }
 };
 
+/// Statistics of one scope-close evacuation (Heap::closeScope). A scope
+/// close is deliberately NOT a collection — it does not bump
+/// GcTotals::Collections, CollectionIndex, or the per-generation
+/// survival history — so its counters live in their own record rather
+/// than in GcStats. The shared machinery (forwarding, the guardian
+/// fixpoint, weak-pair breaking) still fills the same kinds of
+/// counters, with "evacuated" in place of "copied".
+struct ScopeCloseStats {
+  unsigned Depth = 0; ///< The scope that was closed (1 = outermost).
+
+  uint64_t ObjectsEvacuated = 0; ///< Graduated into the enclosing extent.
+  uint64_t BytesEvacuated = 0;
+  /// Bytes the scope had bump-allocated when it closed (its from-space
+  /// extent). BytesInScope - BytesEvacuated died without being traced.
+  uint64_t BytesInScope = 0;
+  uint64_t SegmentsFreed = 0;
+
+  /// Guardian bookkeeping over the scope's own protected list (the
+  /// Section 4 fixpoint, run at scope exit).
+  uint64_t ProtectedEntriesVisited = 0;
+  uint64_t GuardianObjectsSaved = 0;
+  uint64_t ProtectedEntriesKept = 0;
+  uint64_t GuardianEntriesDropped = 0;
+  uint64_t GuardianLoopIterations = 0;
+
+  uint64_t WeakPairsExamined = 0;
+  uint64_t WeakPointersBroken = 0;
+  uint64_t FinalizerThunksRun = 0;
+  uint64_t SymbolsDropped = 0;
+
+  uint64_t DurationNanos = 0;
+};
+
+/// Running totals across every scope open/close of a heap. Mirrors the
+/// GcTotals discipline: merge() must cover every field (cross-shard
+/// aggregation in tools/loadgen).
+struct ScopeTotals {
+  uint64_t ScopesOpened = 0;
+  uint64_t ScopesClosed = 0;
+  uint64_t MaxDepth = 0; ///< Deepest nesting seen (max-merged).
+  uint64_t ObjectsEvacuated = 0;
+  uint64_t BytesEvacuated = 0;
+  uint64_t BytesInScopes = 0;
+  /// BytesInScopes - BytesEvacuated: request-local garbage reclaimed at
+  /// scope exits without ever being traced by a collection.
+  uint64_t BytesReclaimed = 0;
+  uint64_t SegmentsFreed = 0;
+  uint64_t GuardianObjectsSaved = 0;
+  uint64_t WeakPointersBroken = 0;
+  uint64_t SymbolsDropped = 0;
+  uint64_t CloseNanos = 0;
+
+  void accumulate(const ScopeCloseStats &S) {
+    ++ScopesClosed;
+    if (S.Depth > MaxDepth)
+      MaxDepth = S.Depth;
+    ObjectsEvacuated += S.ObjectsEvacuated;
+    BytesEvacuated += S.BytesEvacuated;
+    BytesInScopes += S.BytesInScope;
+    BytesReclaimed += S.BytesInScope - S.BytesEvacuated;
+    SegmentsFreed += S.SegmentsFreed;
+    GuardianObjectsSaved += S.GuardianObjectsSaved;
+    WeakPointersBroken += S.WeakPointersBroken;
+    SymbolsDropped += S.SymbolsDropped;
+    CloseNanos += S.DurationNanos;
+  }
+
+  void merge(const ScopeTotals &O) {
+    ScopesOpened += O.ScopesOpened;
+    ScopesClosed += O.ScopesClosed;
+    if (O.MaxDepth > MaxDepth)
+      MaxDepth = O.MaxDepth;
+    ObjectsEvacuated += O.ObjectsEvacuated;
+    BytesEvacuated += O.BytesEvacuated;
+    BytesInScopes += O.BytesInScopes;
+    BytesReclaimed += O.BytesReclaimed;
+    SegmentsFreed += O.SegmentsFreed;
+    GuardianObjectsSaved += O.GuardianObjectsSaved;
+    WeakPointersBroken += O.WeakPointersBroken;
+    SymbolsDropped += O.SymbolsDropped;
+    CloseNanos += O.CloseNanos;
+  }
+};
+
 } // namespace gengc
 
 #endif // GENGC_GC_GCSTATS_H

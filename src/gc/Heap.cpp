@@ -14,6 +14,7 @@
 #include "gc/Collector.h"
 #include "gc/GcWorkerPool.h"
 #include "gc/Roots.h"
+#include "gc/ScopedGeneration.h"
 #include "gc/Tconc.h"
 #include "gc/telemetry/TraceExport.h"
 
@@ -143,12 +144,26 @@ uintptr_t *Heap::allocateRaw(SpaceKind Space, size_t Words) {
                "collector cannot run, so allocating (a safepoint) here "
                "is a rooting-discipline violation");
   const size_t Bytes = Words * sizeof(uintptr_t);
-  BytesSinceGc += Bytes;
   TotalBytesAllocated += Bytes;
-  if (BytesSinceGc >= Cfg.Gen0CollectBytes)
-    GcPending = true;
-  uintptr_t *W = Contexts[static_cast<unsigned>(Space)][0][0].allocate(
-      Segments, Space, 0, Words, /*Age=*/0);
+  uintptr_t *W;
+  if (!ScopeStack.empty()) {
+    // In-scope allocation bumps into the innermost scope's private
+    // nursery. Scope garbage is reclaimed wholesale at closeScope, so
+    // it is not charged against the generation-0 collection budget;
+    // the bytes that survive (escape) are charged when the scope
+    // closes. StressGC still collects on schedule — its trigger is the
+    // safepoint counter, not the byte budget.
+    ScopedGeneration &SG = *ScopeStack.back();
+    W = SG.Contexts[static_cast<unsigned>(Space)].allocate(
+        Segments, Space, 0, Words, /*Age=*/0,
+        static_cast<uint8_t>(SG.Depth));
+  } else {
+    BytesSinceGc += Bytes;
+    if (BytesSinceGc >= Cfg.Gen0CollectBytes)
+      GcPending = true;
+    W = Contexts[static_cast<unsigned>(Space)][0][0].allocate(
+        Segments, Space, 0, Words, /*Age=*/0);
+  }
   // Allocation-site sampling: tick() is a single compare of the
   // just-updated allocation counter against the profiler's threshold
   // (UINT64_MAX when disarmed). The tagged bits recorded for survival
@@ -396,10 +411,41 @@ void Heap::writeBarrier(Value Container, Value V, bool WeakField) {
   ++BarriersExecutedTotal;
   if (!V.isHeapPointer())
     return;
+  if (!ScopeStack.empty()) {
+    scopeBarrier(Container, V, WeakField);
+    return;
+  }
   const SegmentInfo &CInfo = Segments.infoFor(Container.heapAddress());
   if (CInfo.Generation == 0)
     return;
   const SegmentInfo &VInfo = Segments.infoFor(V.heapAddress());
+  if (VInfo.Generation >= CInfo.Generation)
+    return;
+  if (WeakField)
+    WeakRemembered[CInfo.Generation].insert(Container.bits());
+  else
+    Remembered[CInfo.Generation].insert(Container.bits());
+}
+
+void Heap::scopeBarrier(Value Container, Value V, bool WeakField) {
+  // A store of a deeper-scope value into a shallower container is the
+  // scope analogue of an old-to-young store: the container becomes an
+  // evacuation root (escape) for the value's scope. Checked before the
+  // generational early-outs because even a generation-0 container can
+  // hold the only outside reference into a scope.
+  const SegmentInfo &CInfo = Segments.infoFor(Container.heapAddress());
+  const SegmentInfo &VInfo = Segments.infoFor(V.heapAddress());
+  if (VInfo.ScopeDepth > CInfo.ScopeDepth) {
+    ScopedGeneration &SG = *ScopeStack[VInfo.ScopeDepth - 1];
+    (WeakField ? SG.WeakEscapes : SG.Escapes).insert(Container.bits());
+    return;
+  }
+  if (CInfo.ScopeDepth != 0)
+    return; // Scope container, same-or-shallower value: the container
+            // either dies with its scope or is rescanned when it
+            // graduates; no set needs the edge.
+  if (CInfo.Generation == 0)
+    return;
   if (VInfo.Generation >= CInfo.Generation)
     return;
   if (WeakField)
@@ -476,13 +522,26 @@ void Heap::elidedStore(Value Container, Value V, StoreElision Claim) {
   // are exactly the preconditions under which writeBarrier could never
   // have inserted a remembered-set entry.
   switch (Claim) {
-  case StoreElision::Initializing:
-    if (Segments.infoFor(Container.heapAddress()).Generation != 0)
+  case StoreElision::Initializing: {
+    const SegmentInfo &CInfo = Segments.infoFor(Container.heapAddress());
+    if (CInfo.Generation != 0)
       fatalError(__FILE__, __LINE__,
                  "unsound barrier elision: store classified 'initializing' "
                  "but the target is no longer in generation 0 (a safepoint "
                  "intervened between allocation and store)");
+    // With request scopes, "freshly allocated" additionally means "in
+    // the innermost scope": a container from outside the current scope
+    // could receive an in-scope pointer, which needs the escape-set
+    // barrier. An Initializing claim therefore also expires at any
+    // openScope/closeScope between the allocation and the store.
+    if (CInfo.ScopeDepth != scopeDepth())
+      fatalError(__FILE__, __LINE__,
+                 "unsound barrier elision: store classified 'initializing' "
+                 "but the target was not allocated in the current "
+                 "(innermost) request scope — a scope transition "
+                 "intervened between allocation and store");
     return;
+  }
   case StoreElision::Immediate:
     if (V.isHeapPointer())
       fatalError(__FILE__, __LINE__,
@@ -530,6 +589,12 @@ unsigned Heap::generationOf(Value V) const {
   return Segments.infoFor(V.heapAddress()).Generation;
 }
 
+unsigned Heap::scopeDepthOf(Value V) const {
+  if (!V.isHeapPointer())
+    return 0;
+  return Segments.infoFor(V.heapAddress()).ScopeDepth;
+}
+
 bool Heap::isWeakPair(Value V) const {
   return V.isPair() &&
          Segments.infoFor(V.heapAddress()).Space == SpaceKind::WeakPair;
@@ -559,6 +624,9 @@ size_t Heap::liveBytes() const {
     for (unsigned G = 0; G != Cfg.Generations; ++G)
       for (unsigned A = 0; A != Cfg.TenureCopies; ++A)
         Words += Contexts[S][G][A].usedWords(Segments);
+  for (const auto &SG : ScopeStack)
+    for (unsigned S = 0; S != NumSpaces; ++S)
+      Words += SG->Contexts[S].usedWords(Segments);
   return Words * sizeof(uintptr_t);
 }
 
@@ -577,14 +645,18 @@ void Heap::guardianProtect(Value Tconc, Value Obj) {
   checkOwner("guardianProtect");
   GENGC_ASSERT(Tconc.isPair(), "guardian tconc must be a pair");
   // install-guardian adds the (obj . tconc) entry to the protected list
-  // for generation 0. The agent defaults to the object itself.
-  Protected[0].push_back({Obj.bits(), Tconc.bits(), Obj.bits()});
+  // for generation 0 — or, when a participant lives in an open request
+  // scope, to that scope's own list so the entry is processed at the
+  // scope's close. The agent defaults to the object itself.
+  protectedListFor(Obj, Tconc, Obj)
+      .push_back({Obj.bits(), Tconc.bits(), Obj.bits()});
 }
 
 void Heap::guardianProtectWithAgent(Value Tconc, Value Obj, Value Agent) {
   checkOwner("guardianProtectWithAgent");
   GENGC_ASSERT(Tconc.isPair(), "guardian tconc must be a pair");
-  Protected[0].push_back({Obj.bits(), Tconc.bits(), Agent.bits()});
+  protectedListFor(Obj, Tconc, Agent)
+      .push_back({Obj.bits(), Tconc.bits(), Agent.bits()});
 }
 
 Value Heap::guardianRetrieve(Value Tconc) {

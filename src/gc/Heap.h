@@ -54,6 +54,7 @@ class NoGcScope;
 class ParallelScavenge;
 class RootVector;
 struct HeapCensus;
+struct ScopedGeneration;
 
 /// Why an unbarriered store is sound — the claim a caller makes when it
 /// uses one of the Heap::*Elided fast paths. The claim is established
@@ -231,6 +232,43 @@ public:
   uint32_t registerForFinalization(Value Obj, FinalizerThunk Thunk);
 
   //===------------------------------------------------------------------===//
+  // Request-scoped ephemeral generations (gc/ScopedGeneration.h,
+  // DESIGN.md §13). Scopes nest LIFO: openScope() redirects all mutator
+  // allocation into a fresh scope-private nursery, closeScope() runs the
+  // scope-local evacuation — escaping objects graduate into the
+  // enclosing extent, the rest die untraced.
+  //===------------------------------------------------------------------===//
+
+  /// Opens a new innermost scope. Not a safepoint.
+  void openScope();
+  /// Closes the innermost scope (asserts one is open). Runs the
+  /// evacuation, the scope's guardian fixpoint, the weak/symbol passes,
+  /// and frees (optionally poisons) the scope's segments.
+  void closeScope();
+  /// Number of currently open scopes (0 = ordinary heap only).
+  unsigned scopeDepth() const {
+    return static_cast<unsigned>(ScopeStack.size());
+  }
+  /// Scope that owns \p V: 0 for ordinary heap values and non-pointers,
+  /// d > 0 for values allocated in the d-th open scope.
+  unsigned scopeDepthOf(Value V) const;
+
+  /// Statistics of the most recent closeScope() and running totals
+  /// across all of them (scope closes are not collections and do not
+  /// appear in totals()).
+  const ScopeCloseStats &lastScopeClose() const { return LastScopeClose; }
+  const ScopeTotals &scopeTotals() const { return ScopeTotalsRec; }
+
+  /// Hook invoked after every closeScope() with that close's
+  /// statistics, under the same contract as post-GC hooks (may read the
+  /// heap; must not open/close scopes or collect). Used by the
+  /// model-differential fuzzer to cross-check every scope exit.
+  using ScopeCloseHook = std::function<void(Heap &, const ScopeCloseStats &)>;
+  void setScopeCloseHook(ScopeCloseHook Hook) {
+    CloseScopeHook = std::move(Hook);
+  }
+
+  //===------------------------------------------------------------------===//
   // Collection.
   //===------------------------------------------------------------------===//
 
@@ -405,6 +443,7 @@ private:
   friend class NoGcScope;
   friend class ParallelScavenge;
   friend class RootVector;
+  friend struct ScopedGeneration;
 
   /// An (object, guardian-tconc) entry of a protected list. The paper
   /// encodes entries as heap pairs; a plain struct is semantically
@@ -456,6 +495,19 @@ private:
   /// must find it to update or break it).
   void writeBarrier(Value Container, Value V, bool WeakField);
 
+  /// Slow tail of writeBarrier taken only while scopes are open: stores
+  /// of a deeper-scope value into a shallower container record the
+  /// container in the deeper scope's escape set; everything else falls
+  /// back to the generational logic.
+  void scopeBarrier(Value Container, Value V, bool WeakField);
+
+  /// The protected list an entry with the given participants parks on:
+  /// the deepest open scope any participant lives in, else the
+  /// generation-0 list (guardianProtect) / the youngest participant
+  /// generation (collector re-parking computes that itself).
+  std::vector<ProtectedEntry> &protectedListFor(Value Obj, Value Tconc,
+                                                Value Agent);
+
   /// Bookkeeping shared by every *Elided store: counts the elision and,
   /// under HeapConfig::VerifyElision, re-checks \p Claim against the
   /// actual container generation / value tag, aborting on violation.
@@ -490,6 +542,17 @@ private:
 
   /// The collector's protected lists, one per generation (Section 4).
   std::vector<ProtectedEntry> Protected[MaxGenerations];
+
+  /// Open request scopes, innermost last (gc/ScopedGeneration.h). While
+  /// non-empty, allocateRaw redirects into the innermost scope's
+  /// contexts and the write barrier routes cross-scope stores to escape
+  /// sets before the generational logic.
+  std::vector<std::unique_ptr<ScopedGeneration>> ScopeStack;
+  ScopeCloseStats LastScopeClose;
+  ScopeTotals ScopeTotalsRec;
+  ScopeCloseHook CloseScopeHook;
+  /// GcFaultInjection::LeakScopeEscape fires once per heap.
+  bool ScopeLeakFired = false;
 
   /// register-for-finalization entries, one list per generation.
   std::vector<FinalizeEntry> FinalizeLists[MaxGenerations];

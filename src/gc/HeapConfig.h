@@ -61,6 +61,13 @@ enum class GcFaultInjection : uint8_t {
   /// verifier aborts at the store; without it, the missing old-to-young
   /// remembered entry is caught by Heap::verifyHeap / the fuzz oracle.
   UnsoundElision,
+  /// The first closeScope drops one recorded escape: the first container
+  /// in the closing scope's escape set has its into-scope strong fields
+  /// cleared to #f instead of being scanned, exactly as if the write
+  /// barrier had lost the escape record. The object the container kept
+  /// alive dies in the evacuation while the shadow model keeps it — a
+  /// clean, memory-safe divergence the oracle must catch and shrink.
+  LeakScopeEscape,
 };
 
 struct HeapConfig {
@@ -123,6 +130,12 @@ struct HeapConfig {
 
   /// Upper clamp for GcThreads auto-detection.
   static constexpr unsigned MaxGcThreads = 16;
+
+  /// Maximum nesting depth of request-scoped ephemeral generations
+  /// (Heap::openScope / DESIGN.md §13). Scope depth is tracked per
+  /// segment in a uint8_t, so the hard ceiling is 255; the default is a
+  /// sanity bound — scopes model request extents, not recursion.
+  unsigned MaxScopeDepth = 8;
 
   /// When true, the symbol intern table holds its symbols weakly:
   /// symbols reachable only from the table are reclaimed and their

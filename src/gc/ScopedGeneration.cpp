@@ -1,0 +1,330 @@
+//===- gc/ScopedGeneration.cpp - Request-scoped generations ----*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "Guardians in a
+// Generation-Based Garbage Collector" (Dybvig, Bruggeman, Eby, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scope lifecycle (Heap::openScope / Heap::closeScope) and the
+/// scope-close evacuation (Collector::runScopeClose). A close is a
+/// miniature stop-and-copy whose from-space is the scope's segments and
+/// whose roots are the real roots plus the scope's escape set; it reuses
+/// the collector's forwarding, Cheney sweep, Section 4 guardian
+/// fixpoint, weak-pair, finalizer, and symbol-table machinery, with
+/// forward() retargeted at the enclosing extent. It is deliberately NOT
+/// a collection: no GcStats, no collection counters, no survival
+/// history — its numbers land in ScopeCloseStats / ScopeTotals.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/ScopedGeneration.h"
+
+#include <algorithm>
+
+#include "gc/Collector.h"
+#include "gc/telemetry/Telemetry.h"
+
+using namespace gengc;
+
+//===----------------------------------------------------------------------===//
+// Heap-side lifecycle.
+//===----------------------------------------------------------------------===//
+
+void Heap::openScope() {
+  checkOwner("openScope");
+  GENGC_ASSERT(!InGc, "openScope during a collection");
+  GENGC_ASSERT(!NoAllocMode, "openScope inside a finalizer thunk");
+  GENGC_ASSERT(NoGcScopeDepth == 0, "openScope inside a NoGcScope");
+  GENGC_ASSERT(ScopeStack.size() < Cfg.MaxScopeDepth,
+               "scope nesting deeper than HeapConfig::MaxScopeDepth");
+  ScopeStack.push_back(std::make_unique<ScopedGeneration>(
+      static_cast<unsigned>(ScopeStack.size()) + 1));
+  ++ScopeTotalsRec.ScopesOpened;
+  if (ScopeStack.size() > ScopeTotalsRec.MaxDepth)
+    ScopeTotalsRec.MaxDepth = ScopeStack.size();
+}
+
+void Heap::closeScope() {
+  checkOwner("closeScope");
+  GENGC_ASSERT(!InGc, "closeScope during a collection");
+  GENGC_ASSERT(!NoAllocMode, "closeScope inside a finalizer thunk");
+  GENGC_ASSERT(NoGcScopeDepth == 0, "closeScope inside a NoGcScope");
+  GENGC_ASSERT(!ScopeStack.empty(), "closeScope with no open scope");
+
+  ScopeCloseStats Out;
+  {
+    // The stack still holds the closing scope while the evacuation runs:
+    // barriered stores the evacuation itself performs (tconc delivery)
+    // classify against the full depth ladder.
+    Collector C(*this);
+    C.runScopeClose(*ScopeStack.back(), Out);
+  }
+  LastScopeClose = Out;
+  ScopeTotalsRec.accumulate(Out);
+  ScopeStack.pop_back();
+
+  if (ScopeStack.empty()) {
+    // Graduates landed in the ordinary generation 0: charge them to the
+    // allocation budget so the automatic policy sees them. (Graduates
+    // into an enclosing scope are charged when that scope closes.)
+    BytesSinceGc += Out.BytesEvacuated;
+    if (BytesSinceGc >= Cfg.Gen0CollectBytes)
+      GcPending = true;
+  }
+
+  if (CloseScopeHook)
+    CloseScopeHook(*this, LastScopeClose);
+}
+
+std::vector<Heap::ProtectedEntry> &
+Heap::protectedListFor(Value Obj, Value Tconc, Value Agent) {
+  unsigned Deepest = 0;
+  for (Value V : {Obj, Tconc, Agent})
+    Deepest = std::max(Deepest, scopeDepthOf(V));
+  if (Deepest != 0)
+    return ScopeStack[Deepest - 1]->Protected;
+  return Protected[0];
+}
+
+//===----------------------------------------------------------------------===//
+// The scope-close evacuation.
+//===----------------------------------------------------------------------===//
+
+SpaceContext &Collector::scopeTargetContext(unsigned Sp) {
+  if (TargetScope)
+    return TargetScope->Contexts[Sp];
+  return H.Contexts[Sp][0][0];
+}
+
+uintptr_t *Collector::scopeAllocate(SpaceKind Space, size_t Words) {
+  const unsigned Sp = static_cast<unsigned>(Space);
+  const uint8_t Depth =
+      TargetScope ? static_cast<uint8_t>(TargetScope->Depth) : 0;
+  return scopeTargetContext(Sp).allocate(H.Segments, Space, /*Generation=*/0,
+                                         Words, /*Age=*/0, Depth);
+}
+
+void Collector::scopeDetachFromSpace(ScopedGeneration &Scope) {
+  for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
+    std::vector<SegmentRun> Runs = Scope.Contexts[Sp].takeRuns(H.Segments);
+    for (const SegmentRun &R : Runs) {
+      for (uint32_t Seg = R.FirstSegment;
+           Seg != R.FirstSegment + R.SegmentCount; ++Seg)
+        H.Segments.infoAt(Seg).Flags |= SegmentInfo::FlagFromSpace;
+      S.BytesInFromSpace +=
+          static_cast<uint64_t>(R.UsedWords) * sizeof(uintptr_t);
+    }
+    FromRuns[Sp].insert(FromRuns[Sp].end(), Runs.begin(), Runs.end());
+  }
+}
+
+void Collector::scopeForwardEscapeRoots(ScopedGeneration &Scope) {
+  // The escape set plays the remembered set's role: each recorded
+  // container lives outside the scope and may hold the only strong
+  // pointer into it. Conservative like a remembered set — a container
+  // whose into-scope field was later overwritten is scanned harmlessly.
+  bool LeakOne = H.Cfg.InjectedFault == GcFaultInjection::LeakScopeEscape &&
+                 !H.ScopeLeakFired;
+  for (uintptr_t Bits : Scope.Escapes.takeSnapshot()) {
+    Value C = Value::fromBits(Bits);
+    if (LeakOne) {
+      // Injected bug: lose this escape record, exactly as if the write
+      // barrier had missed the store. Memory-safe by construction: the
+      // into-scope fields are cleared to #f rather than left dangling,
+      // so the divergence is semantic (an object the model keeps alive
+      // dies), never a wild pointer.
+      LeakOne = false;
+      H.ScopeLeakFired = true;
+      auto ClearIfFromSpace = [&](uintptr_t &FieldBits) {
+        Value F = Value::fromBits(FieldBits);
+        if (F.isHeapPointer() &&
+            H.Segments.infoFor(F.heapAddress()).isFromSpace())
+          FieldBits = Value::falseV().bits();
+      };
+      if (C.isPair()) {
+        PairCell *Cell = C.pairCell();
+        if (H.Segments.infoFor(C.heapAddress()).Space != SpaceKind::WeakPair)
+          ClearIfFromSpace(Cell->Car);
+        ClearIfFromSpace(Cell->Cdr);
+      } else {
+        uintptr_t *Header = C.objectHeader();
+        const size_t Fields = objectPointerFieldCount(*Header);
+        for (size_t I = 0; I != Fields; ++I)
+          ClearIfFromSpace(Header[1 + I]);
+      }
+      continue;
+    }
+    forwardRememberedObject(C);
+    ++S.RememberedObjectsScanned;
+  }
+}
+
+void Collector::scopeWeakPairPass(ScopedGeneration &Scope) {
+  // (a) Weak pairs evacuated into the target weak context this close:
+  // their cars may still point into the dying scope — update or break,
+  // per the paper's rule. Guardian-salvaged objects were forwarded by
+  // the fixpoint before this pass, so they update rather than break.
+  const unsigned Sp = static_cast<unsigned>(SpaceKind::WeakPair);
+  SpaceContext &Ctx = scopeTargetContext(Sp);
+  SweepCursor Cur = ScopeWeakScanStart;
+  while (true) {
+    const std::vector<SegmentRun> &Runs = Ctx.runs();
+    if (Cur.RunIndex >= Runs.size())
+      break;
+    const size_t Used = Ctx.usedWordsOf(H.Segments, Cur.RunIndex);
+    if (Cur.OffsetWords >= Used) {
+      if (Cur.RunIndex + 1 < Runs.size()) {
+        ++Cur.RunIndex;
+        Cur.OffsetWords = 0;
+        continue;
+      }
+      break;
+    }
+    // rootcheck:allow(segment-base) — weak pass replays the sweep walk.
+    uintptr_t *Cell =
+        H.Segments.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
+        Cur.OffsetWords;
+    fixWeakCar(Value::pair(reinterpret_cast<PairCell *>(Cell)));
+    Cur.OffsetWords += 2;
+  }
+
+  // (b) Registered weak escapes: weak pairs outside the scope whose car
+  // may point into it. fixWeakCar updates-or-breaks and re-records the
+  // generational WeakRemembered edge itself; the scope analogue (car
+  // graduated into a still-open enclosing scope) is re-recorded here.
+  for (uintptr_t Bits : Scope.WeakEscapes.takeSnapshot()) {
+    Value W = Value::fromBits(Bits);
+    fixWeakCar(W);
+    Value Car = pairCar(W);
+    if (!Car.isHeapPointer())
+      continue;
+    const SegmentInfo &WI = H.Segments.infoFor(W.heapAddress());
+    const SegmentInfo &CI = H.Segments.infoFor(Car.heapAddress());
+    if (CI.ScopeDepth > WI.ScopeDepth)
+      H.ScopeStack[CI.ScopeDepth - 1]->WeakEscapes.insert(Bits);
+  }
+  Scope.WeakEscapes.clear();
+}
+
+void Collector::propagateScopeEscapes(ScopedGeneration &Scope) {
+  // Replay the barrier classification over every escape container's
+  // strong fields: edges into the dying scope were rewritten to point at
+  // graduated copies, which may themselves be escapes of the (still
+  // open) enclosing scope — or old-to-young edges when the closing scope
+  // was outermost and graduates landed in the ordinary generation 0.
+  auto Record = [&](Value C, const SegmentInfo &CInfo, uintptr_t FieldBits) {
+    Value F = Value::fromBits(FieldBits);
+    if (!F.isHeapPointer())
+      return;
+    const SegmentInfo &FInfo = H.Segments.infoFor(F.heapAddress());
+    if (FInfo.ScopeDepth > CInfo.ScopeDepth) {
+      H.ScopeStack[FInfo.ScopeDepth - 1]->Escapes.insert(C.bits());
+    } else if (CInfo.ScopeDepth == 0 && FInfo.ScopeDepth == 0 &&
+               CInfo.Generation > 0 &&
+               FInfo.Generation < CInfo.Generation) {
+      H.Remembered[CInfo.Generation].insert(C.bits());
+    }
+  };
+  for (uintptr_t Bits : Scope.Escapes.takeSnapshot()) {
+    Value C = Value::fromBits(Bits);
+    const SegmentInfo &CInfo = H.Segments.infoFor(C.heapAddress());
+    if (C.isPair()) {
+      PairCell *Cell = C.pairCell();
+      if (CInfo.Space != SpaceKind::WeakPair)
+        Record(C, CInfo, Cell->Car);
+      Record(C, CInfo, Cell->Cdr);
+    } else {
+      uintptr_t *Header = C.objectHeader();
+      const size_t Fields = objectPointerFieldCount(*Header);
+      for (size_t I = 0; I != Fields; ++I)
+        Record(C, CInfo, Header[1 + I]);
+    }
+  }
+  Scope.Escapes.clear();
+}
+
+void Collector::runScopeClose(ScopedGeneration &Scope, ScopeCloseStats &Out) {
+  GcTelemetry &Tel = H.Telemetry;
+  const uint64_t StartNanos = Tel.now();
+  H.InGc = true;
+  ClosingScope = &Scope;
+  TargetScope =
+      Scope.Depth >= 2 ? H.ScopeStack[Scope.Depth - 2].get() : nullptr;
+  T = 0;
+  // Not a collection: events recorded mid-close (none today) would name
+  // the last completed collection, and no counters are bumped.
+  S.CollectionIndex = H.Totals.Collections;
+
+  // From-space = the scope's segments; sweep targets = the enclosing
+  // extent's contexts, from their pre-close frontiers.
+  scopeDetachFromSpace(Scope);
+  for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
+    SpaceContext &Ctx = scopeTargetContext(Sp);
+    if (Ctx.runs().empty()) {
+      ScopeCursors[Sp] = SweepCursor{0, 0};
+    } else {
+      size_t Last = Ctx.runs().size() - 1;
+      ScopeCursors[Sp] =
+          SweepCursor{Last, Ctx.usedWordsOf(H.Segments, Last)};
+    }
+  }
+  ScopeWeakScanStart = ScopeCursors[static_cast<unsigned>(SpaceKind::WeakPair)];
+
+  // Roots: the real roots (plus the strong symbol table) and the escape
+  // set. Outer scopes need no full scan — any outer container holding a
+  // pointer into this scope was recorded by the write barrier, because
+  // initializing stores can only ever point outward (a fresh container
+  // is always innermost).
+  forwardRoots();
+  scopeForwardEscapeRoots(Scope);
+  kleeneSweep();
+
+  // The paper's Section 4 fixpoint over the scope's own registrations:
+  // resurrection order, tconc delivery, and re-guarding at scope exit
+  // behave exactly as in a full collection of the dying extent.
+  processGuardians(0);
+
+  std::vector<uint32_t> ThunkQueue;
+  processFinalizeLists(0, ThunkQueue);
+  scopeWeakPairPass(Scope);
+  updateSymbolTable();
+  propagateScopeEscapes(Scope);
+
+  // The profiler sweep must read forwarding markers, so it runs while
+  // from-space is still intact.
+  if (H.Profiler.enabled())
+    sweepAllocProfiler();
+  freeFromSpace();
+
+  H.InGc = false;
+  S.FinalizerThunksRun = ThunkQueue.size();
+  S.DurationNanos = Tel.now() - StartNanos;
+  // A close is a pause like any other: it participates in the MMU
+  // curves and the SLO ledger even though it is not a collection.
+  Tel.recordPause({StartNanos, S.DurationNanos});
+
+  Out.Depth = Scope.Depth;
+  Out.ObjectsEvacuated = S.ObjectsCopied;
+  Out.BytesEvacuated = S.BytesCopied;
+  Out.BytesInScope = S.BytesInFromSpace;
+  Out.SegmentsFreed = S.SegmentsFreed;
+  Out.ProtectedEntriesVisited = S.ProtectedEntriesVisited;
+  Out.GuardianObjectsSaved = S.GuardianObjectsSaved;
+  Out.ProtectedEntriesKept = S.ProtectedEntriesKept;
+  Out.GuardianEntriesDropped = S.GuardianEntriesDropped;
+  Out.GuardianLoopIterations = S.GuardianLoopIterations;
+  Out.WeakPairsExamined = S.WeakPairsExamined;
+  Out.WeakPointersBroken = S.WeakPointersBroken;
+  Out.FinalizerThunksRun = S.FinalizerThunksRun;
+  Out.SymbolsDropped = S.SymbolsDropped;
+  Out.DurationNanos = S.DurationNanos;
+
+  // Dickey-style finalization thunks: allocation stays disabled.
+  if (!ThunkQueue.empty()) {
+    H.NoAllocMode = true;
+    for (uint32_t Id : ThunkQueue)
+      H.FinalizerThunks[Id]();
+    H.NoAllocMode = false;
+  }
+}

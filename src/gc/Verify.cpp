@@ -29,6 +29,7 @@
 
 #include "gc/Heap.h"
 #include "gc/Roots.h"
+#include "gc/ScopedGeneration.h"
 #include "support/PtrHashSet.h"
 
 using namespace gengc;
@@ -38,15 +39,19 @@ namespace {
 struct Verifier {
   using ContextsArray =
       const SpaceContext (*)[MaxGenerations][MaxTenureCopies];
+  using ScopeStackArray =
+      const std::vector<std::unique_ptr<ScopedGeneration>>;
 
   Arena &A;
   const HeapConfig &Cfg;
   ContextsArray Contexts;
+  ScopeStackArray &Scopes;
   PtrHashSet ValidBits; // Tagged bits of every live object.
   std::vector<std::string> Failures;
 
-  Verifier(Arena &A, const HeapConfig &Cfg, ContextsArray Contexts)
-      : A(A), Cfg(Cfg), Contexts(Contexts) {}
+  Verifier(Arena &A, const HeapConfig &Cfg, ContextsArray Contexts,
+           ScopeStackArray &Scopes)
+      : A(A), Cfg(Cfg), Contexts(Contexts), Scopes(Scopes) {}
 
   /// Coordinates of \p Address: segment index, generation, space kind,
   /// and tenure age, from the segment information table.
@@ -126,6 +131,9 @@ struct Verifier {
         for (unsigned Age = 0; Age != Cfg.TenureCopies; ++Age)
           walkContext(contextOf(Sp, G, Age), static_cast<SpaceKind>(Sp),
                       Visit);
+    for (const auto &SG : Scopes)
+      for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+        walkContext(SG->Contexts[Sp], static_cast<SpaceKind>(Sp), Visit);
   }
 
   const SpaceContext &contextOf(unsigned Sp, unsigned G, unsigned Age) {
@@ -133,7 +141,7 @@ struct Verifier {
   }
 
   void checkSegmentTagging(const SpaceContext &Ctx, SpaceKind Space,
-                           unsigned Gen, unsigned Age) {
+                           unsigned Gen, unsigned Age, unsigned Depth) {
     for (const SegmentRun &R : Ctx.runs())
       for (uint32_t Seg = R.FirstSegment;
            Seg != R.FirstSegment + R.SegmentCount; ++Seg) {
@@ -150,7 +158,25 @@ struct Verifier {
         if (Info.Age != Age)
           failSegment(Seg,
                       "segment tenure-age tag disagrees with its context");
+        if (Info.ScopeDepth != Depth)
+          failSegment(Seg,
+                      "segment scope-depth tag disagrees with its context");
       }
+  }
+
+  void registerObject(uintptr_t *P, SpaceKind Space) {
+    if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair) {
+      ValidBits.insert(Value::pair(reinterpret_cast<PairCell *>(P)).bits());
+      return;
+    }
+    ObjectKind K = headerKind(*P);
+    if (K == ObjectKind::Forward)
+      failAt(reinterpret_cast<uintptr_t>(P),
+             "forwarding header in live heap");
+    bool Data = Space == SpaceKind::Data;
+    if (Data == kindHasPointers(K) && K != ObjectKind::Forward)
+      failAt(reinterpret_cast<uintptr_t>(P), "object kind in the wrong space");
+    ValidBits.insert(Value::object(P).bits());
   }
 
   void collectValidObjects() {
@@ -158,28 +184,25 @@ struct Verifier {
       for (unsigned G = 0; G != Cfg.Generations; ++G)
        for (unsigned Age = 0; Age != Cfg.TenureCopies; ++Age) {
         const SpaceContext &Ctx = contextOf(Sp, G, Age);
-        checkSegmentTagging(Ctx, static_cast<SpaceKind>(Sp), G, Age);
+        checkSegmentTagging(Ctx, static_cast<SpaceKind>(Sp), G, Age,
+                            /*Depth=*/0);
         walkContext(Ctx, static_cast<SpaceKind>(Sp),
                     [&](uintptr_t *P, SpaceKind Space) {
-                      if (Space == SpaceKind::Pair ||
-                          Space == SpaceKind::WeakPair) {
-                        ValidBits.insert(
-                            Value::pair(reinterpret_cast<PairCell *>(P))
-                                .bits());
-                        return;
-                      }
-                      ObjectKind K = headerKind(*P);
-                      if (K == ObjectKind::Forward)
-                        failAt(reinterpret_cast<uintptr_t>(P),
-                               "forwarding header in live heap");
-                      bool Data = Space == SpaceKind::Data;
-                      if (Data == kindHasPointers(K) &&
-                          K != ObjectKind::Forward)
-                        failAt(reinterpret_cast<uintptr_t>(P),
-                               "object kind in the wrong space");
-                      ValidBits.insert(Value::object(P).bits());
+                      registerObject(P, Space);
                     });
        }
+    // Open request scopes: their segments are tagged (generation 0,
+    // age 0, the scope's depth) and their objects are as valid as any.
+    for (const auto &SG : Scopes)
+      for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
+        const SpaceContext &Ctx = SG->Contexts[Sp];
+        checkSegmentTagging(Ctx, static_cast<SpaceKind>(Sp), /*Gen=*/0,
+                            /*Age=*/0, SG->Depth);
+        walkContext(Ctx, static_cast<SpaceKind>(Sp),
+                    [&](uintptr_t *P, SpaceKind Space) {
+                      registerObject(P, Space);
+                    });
+      }
   }
 
   void checkValue(Value V, const char *What) {
@@ -202,6 +225,10 @@ struct Verifier {
     return A.infoFor(V.heapAddress()).Generation;
   }
 
+  unsigned depthOf(Value V) {
+    return A.infoFor(V.heapAddress()).ScopeDepth;
+  }
+
   void checkField(Value Container, Value Field, bool WeakField,
                   const PtrHashSet *Remembered,
                   const PtrHashSet *WeakRemembered) {
@@ -210,6 +237,23 @@ struct Verifier {
                           : "strong field points to a reclaimed object");
     if (!Field.isHeapPointer() || !A.containsAddress(Field.heapAddress()))
       return;
+    const unsigned CD = depthOf(Container), FD = depthOf(Field);
+    if (FD > CD) {
+      // A pointer into a deeper scope must be covered by that scope's
+      // escape set — the scope analogue of the remembered-set rule.
+      const ScopedGeneration &SG = *Scopes[FD - 1];
+      const PtrHashSet &Set = WeakField ? SG.WeakEscapes : SG.Escapes;
+      if (!Set.contains(Container.bits()))
+        failAt(Container.heapAddress(),
+               WeakField ? "weak into-scope car missing from the scope's "
+                           "weak escape set"
+                         : "into-scope pointer missing from the scope's "
+                           "escape set");
+      return;
+    }
+    if (CD != 0)
+      return; // Scope containers are rescanned in full at every
+              // collection and close; outward edges need no tracking.
     unsigned CG = genOf(Container), FG = genOf(Field);
     if (FG >= CG)
       return;
@@ -249,7 +293,7 @@ struct Verifier {
 
 void Heap::verifyHeap() {
   GENGC_ASSERT(!InGc, "verifyHeap during collection");
-  Verifier V(Segments, Cfg, Contexts);
+  Verifier V(Segments, Cfg, Contexts, ScopeStack);
   V.collectValidObjects();
   V.checkReferences(Remembered, WeakRemembered);
 
@@ -261,8 +305,8 @@ void Heap::verifyHeap() {
       V.checkValue(Val, "root vector references a reclaimed object");
 
   // Protected-list entries: objects may be anything; tconcs are pairs.
-  for (unsigned G = 0; G != Cfg.Generations; ++G)
-    for (const ProtectedEntry &E : Protected[G]) {
+  auto CheckProtected = [&](const std::vector<ProtectedEntry> &Entries) {
+    for (const ProtectedEntry &E : Entries) {
       V.checkValue(Value::fromBits(E.ObjectBits),
                    "protected entry references a reclaimed object");
       V.checkValue(Value::fromBits(E.AgentBits),
@@ -273,6 +317,20 @@ void Heap::verifyHeap() {
       else
         V.checkValue(Tconc, "protected entry's tconc was reclaimed");
     }
+  };
+  for (unsigned G = 0; G != Cfg.Generations; ++G)
+    CheckProtected(Protected[G]);
+  for (const auto &SG : ScopeStack) {
+    CheckProtected(SG->Protected);
+    // Escape-set containers must themselves be live objects: dead ones
+    // are dropped by the collector's fixup at every collection.
+    for (uintptr_t Bits : SG->Escapes.takeSnapshot())
+      V.checkValue(Value::fromBits(Bits),
+                   "escape set references a reclaimed container");
+    for (uintptr_t Bits : SG->WeakEscapes.takeSnapshot())
+      V.checkValue(Value::fromBits(Bits),
+                   "weak escape set references a reclaimed container");
+  }
 
   // Symbol-table entries must be live symbols.
   for (auto &Entry : SymbolTable) {

@@ -36,7 +36,8 @@ Arena::~Arena() {
 }
 
 uint32_t Arena::allocateRun(uint32_t NumSegments, SpaceKind Space,
-                            uint8_t Generation, uint8_t Age) {
+                            uint8_t Generation, uint8_t Age,
+                            uint8_t ScopeDepth) {
   GENGC_ASSERT(NumSegments > 0, "empty run requested");
   std::lock_guard<std::mutex> Guard(RunLock);
   // First fit over the sorted free list.
@@ -57,6 +58,7 @@ uint32_t Arena::allocateRun(uint32_t NumSegments, SpaceKind Space,
       Info.Space = Space;
       Info.Generation = Generation;
       Info.Age = Age;
+      Info.ScopeDepth = ScopeDepth;
       Info.Flags = SegmentInfo::FlagInUse;
     }
     InUseCount += NumSegments;

@@ -79,6 +79,11 @@ struct SegmentInfo {
   /// Copies survived within the current generation (tenure age). Only
   /// meaningful when the heap's TenureCopies policy exceeds 1.
   uint8_t Age = 0;
+  /// Request-scope ownership: 0 for the ordinary generational ladder,
+  /// d > 0 for segments belonging to the d-th open ScopedGeneration
+  /// (1 = outermost). Scope segments always carry Generation 0 and
+  /// Age 0 — a scope is an ephemeral nursery, not a tenure rung.
+  uint8_t ScopeDepth = 0;
   uint8_t Flags = 0;
 
   bool inUse() const { return Flags & FlagInUse; }
@@ -118,7 +123,8 @@ public:
   /// updated under one internal lock (runs, not objects — the
   /// allocation fast path never comes here).
   uint32_t allocateRun(uint32_t NumSegments, SpaceKind Space,
-                       uint8_t Generation, uint8_t Age = 0);
+                       uint8_t Generation, uint8_t Age = 0,
+                       uint8_t ScopeDepth = 0);
 
   /// Returns a run to the free list and clears its segment entries.
   /// Thread-safe, like allocateRun.

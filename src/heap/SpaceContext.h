@@ -40,7 +40,8 @@ public:
   /// runs from \p A tagged (\p Space, \p Generation) as needed. Never
   /// triggers collection; collection policy lives above this layer.
   uintptr_t *allocate(Arena &A, SpaceKind Space, uint8_t Generation,
-                      size_t Words, uint8_t Age = 0) {
+                      size_t Words, uint8_t Age = 0,
+                      uint8_t ScopeDepth = 0) {
     GENGC_ASSERT(Words >= 2, "objects must be at least two words");
     if (Alloc + Words <= Limit) {
       uintptr_t *P = Alloc;
@@ -48,7 +49,7 @@ public:
       BytesAllocated += Words * sizeof(uintptr_t);
       return P;
     }
-    return allocateSlow(A, Space, Generation, Words, Age);
+    return allocateSlow(A, Space, Generation, Words, Age, ScopeDepth);
   }
 
   const std::vector<SegmentRun> &runs() const { return Runs; }
@@ -120,11 +121,12 @@ public:
 
 private:
   uintptr_t *allocateSlow(Arena &A, SpaceKind Space, uint8_t Generation,
-                          size_t Words, uint8_t Age) {
+                          size_t Words, uint8_t Age, uint8_t ScopeDepth) {
     sealCurrentRun(A);
     uint32_t NumSegments =
         static_cast<uint32_t>(divideCeil(Words, SegmentWords));
-    uint32_t First = A.allocateRun(NumSegments, Space, Generation, Age);
+    uint32_t First =
+        A.allocateRun(NumSegments, Space, Generation, Age, ScopeDepth);
     Runs.push_back({First, NumSegments, 0});
     uintptr_t *RunBase = A.segmentBase(First);
     Alloc = RunBase + Words;

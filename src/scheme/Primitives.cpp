@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ListOps.h"
+#include "gc/ScopedGeneration.h"
 #include "io/GuardedPorts.h"
 #include "scheme/Interpreter.h"
 #include "scheme/Printer.h"
@@ -177,6 +178,7 @@ void Interpreter::installPrimitives() {
     const uint64_t SegmentsInUse = H.segmentsInUse();
     const uint64_t BarriersExecuted = H.barriersExecuted();
     const uint64_t BarriersElided = H.barriersElided();
+    const ScopeTotals ScopeTot = H.scopeTotals();
     const unsigned Generations = H.config().Generations;
     Heap::GenerationUsage Usage[MaxGenerations];
     double Rates[MaxGenerations];
@@ -227,6 +229,16 @@ void Interpreter::installPrimitives() {
     Add("last-worker-imbalance", H.makeFlonum(Last.workerImbalanceRatio()));
     Add("total-steal-attempts", Fix(Tot.StealAttempts));
     Add("total-steal-hits", Fix(Tot.StealHits));
+    // Request-scope ledger (DESIGN.md §13): opens/closes, nesting, and
+    // the bytes reclaimed at scope exits without ever being traced.
+    Add("scope-opens", Fix(ScopeTot.ScopesOpened));
+    Add("scope-closes", Fix(ScopeTot.ScopesClosed));
+    Add("scope-max-depth", Fix(ScopeTot.MaxDepth));
+    Add("scope-objects-evacuated", Fix(ScopeTot.ObjectsEvacuated));
+    Add("scope-bytes-evacuated", Fix(ScopeTot.BytesEvacuated));
+    Add("scope-bytes-in-scopes", Fix(ScopeTot.BytesInScopes));
+    Add("scope-bytes-reclaimed", Fix(ScopeTot.BytesReclaimed));
+    Add("scope-close-nanos", Fix(ScopeTot.CloseNanos));
 
     // Mutator-utilization and pause-SLO ledger (telemetry/Mmu.h): MMU
     // at the standard windows over the retained pause clips, and the
@@ -634,6 +646,27 @@ void Interpreter::installPrimitives() {
     for (Value L = A[1]; L.isPair(); L = pairCdr(L))
       CallArgs.push_back(pairCar(L));
     return I.applyProcedure(Proc, CallArgs);
+  });
+  // Runs a thunk inside a fresh request scope (DESIGN.md §13): every
+  // allocation in its dynamic extent lands in the scope's private
+  // nursery, and at extent exit only values reachable from outside the
+  // scope graduate out; the rest is reclaimed without being traced.
+  Def("call-in-new-scope", 1, 1, [](Interpreter &I, RootVector &A) {
+    Heap &H = I.heap();
+    Root Proc(H, A[0]);
+    // Declared before the extent: the Root keeps the thunk's result an
+    // evacuation root when the extent destructor runs closeScope, so
+    // the returned structure graduates instead of dying with the scope.
+    Root Result(H, Value::voidV());
+    {
+      ScopedExtent Extent(H);
+      RootVector NoArgs(H);
+      Result = I.applyProcedure(Proc, NoArgs);
+    }
+    return Result.get();
+  });
+  Def("scope-depth", 0, 0, [](Interpreter &I, RootVector &) {
+    return Value::fixnum(I.heap().scopeDepth());
   });
 
   //===--- Ports (Section 3's substrate) ------------------------------------===//

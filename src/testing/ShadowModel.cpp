@@ -21,6 +21,9 @@ using namespace gengc::gcfuzz;
 ObjId ShadowModel::newObject(SKind Kind) {
   SObj O;
   O.Kind = Kind;
+  // Mirrors Heap::allocateRaw: while a scope is open every birth lands
+  // in the innermost scope's private nursery.
+  O.Scope = static_cast<uint8_t>(ScopeDepth);
   Objects.push_back(std::move(O));
   return static_cast<ObjId>(Objects.size() - 1);
 }
@@ -113,8 +116,19 @@ void ShadowModel::setField(ObjId Obj, uint32_t Index, SVal V) {
 // Guardians (mutator side).
 //===----------------------------------------------------------------------===//
 
+unsigned ShadowModel::scopeOf(const SVal &V) const {
+  return V.IsId ? Objects[V.Id].Scope : 0;
+}
+
 void ShadowModel::guardianProtect(ObjId Tconc, SVal Obj, SVal Agent) {
-  Protected[0].push_back({Obj, SVal::object(Tconc), Agent});
+  const SEntry E{Obj, SVal::object(Tconc), Agent};
+  unsigned Deepest = 0;
+  for (const SVal *V : {&E.Obj, &E.Tconc, &E.Agent})
+    Deepest = std::max(Deepest, scopeOf(*V));
+  if (Deepest != 0)
+    ScopeProtected[Deepest - 1].push_back(E);
+  else
+    Protected[0].push_back(E);
 }
 
 SVal ShadowModel::guardianRetrieve(ObjId Tconc) {
@@ -192,28 +206,30 @@ ShadowModel::collect(unsigned RequestedGeneration) {
 
   for (size_t Id = 0; Id != PreCount; ++Id) {
     const SObj &O = Objects[Id];
-    if (O.Alive && O.Gen <= G)
+    if (O.Alive && O.Scope == 0 && O.Gen <= G)
       St.BytesInFromSpace += allocWords(O) * sizeof(uintptr_t);
   }
 
   // "Copied" is the model's F set: live objects in collected
   // generations. Ids born during the collection (guardian tconc cells
-  // appended below) count as trivially live; old-generation objects are
-  // never from-space.
+  // appended below) count as trivially live; old-generation objects and
+  // open-scope residents are never from-space — scope nurseries are
+  // untouched by collections and reclaimed only at closeScope().
   std::vector<ObjId> Work;
   auto isFwd = [&](const SVal &V) {
     if (!V.IsId)
       return true;
     if (V.Id >= PreCount)
       return true;
-    return Objects[V.Id].Gen > G || Out.Copied[V.Id] != 0;
+    return Objects[V.Id].Scope != 0 || Objects[V.Id].Gen > G ||
+           Out.Copied[V.Id] != 0;
   };
   auto forwardObj = [&](ObjId Id) {
     if (Id >= PreCount)
       return;
     SObj &O = Objects[Id];
     GENGC_ASSERT(O.Alive, "model traversal reached a reclaimed object");
-    if (O.Gen > G || Out.Copied[Id])
+    if (O.Scope != 0 || O.Gen > G || Out.Copied[Id])
       return;
     Out.Copied[Id] = 1;
     ++St.ObjectsCopied;
@@ -248,7 +264,8 @@ ShadowModel::collect(unsigned RequestedGeneration) {
   // every live object of an uncollected generation, whether or not it
   // is itself reachable. That last clause models the remembered sets'
   // conservatism exactly: old floating garbage retains its young
-  // children.
+  // children. Open-scope residents are likewise uncollected roots
+  // (Collector::scanOpenScopes rescans scope nurseries wholesale).
   for (const SVal &V : RootStack)
     forwardVal(V);
   for (const SVal &V : Scratch)
@@ -258,7 +275,7 @@ ShadowModel::collect(unsigned RequestedGeneration) {
       forwardObj(KV.second);
   for (size_t Id = 0; Id != PreCount; ++Id) {
     const SObj &O = Objects[Id];
-    if (O.Alive && O.Gen > G)
+    if (O.Alive && (O.Gen > G || O.Scope != 0))
       scanObj(O);
   }
   sweep();
@@ -269,20 +286,30 @@ ShadowModel::collect(unsigned RequestedGeneration) {
   // classification (without closure until the block completes).
   std::vector<SEntry> PendHold, PendFinal;
   bool ForwardedAnAgent = false;
-  for (unsigned I = 0; I <= G; ++I) {
-    for (const SEntry &E : Protected[I]) {
-      ++St.ProtectedEntriesVisited;
-      if (isFwd(E.Obj)) {
-        if (E.Agent != E.Obj) {
-          forwardVal(E.Agent);
-          ForwardedAnAgent = true;
-        }
-        PendHold.push_back(E);
-      } else {
-        PendFinal.push_back(E);
+  auto Classify = [&](const SEntry &E) {
+    ++St.ProtectedEntriesVisited;
+    if (isFwd(E.Obj)) {
+      if (E.Agent != E.Obj) {
+        forwardVal(E.Agent);
+        ForwardedAnAgent = true;
       }
+      PendHold.push_back(E);
+    } else {
+      PendFinal.push_back(E);
     }
+  };
+  for (unsigned I = 0; I <= G; ++I) {
+    for (const SEntry &E : Protected[I])
+      Classify(E);
     Protected[I].clear();
+  }
+  // Scope lists participate in every collection (their objects are
+  // uncollected, so entries classify as held — but tconcs, objects,
+  // and agents parked there can reference collected generations).
+  for (auto &List : ScopeProtected) {
+    for (const SEntry &E : List)
+      Classify(E);
+    List.clear();
   }
   if (ForwardedAnAgent)
     sweep();
@@ -311,6 +338,9 @@ ShadowModel::collect(unsigned RequestedGeneration) {
       ObjId NewCell = cons(SVal::immediate(Value::falseV()),
                            SVal::immediate(Value::falseV()));
       Objects[NewCell].Gen = static_cast<uint8_t>(T);
+      // allocateInGeneration targets the ladder even while scopes are
+      // open (newObject stamped the innermost depth; undo it).
+      Objects[NewCell].Scope = 0;
       Objects[NewCell].TconcPart = true;
       SObj &Header = Objects[E.Tconc.Id];
       ObjId OldLast = Header.Fields[1].Id;
@@ -323,12 +353,14 @@ ShadowModel::collect(unsigned RequestedGeneration) {
   }
   St.GuardianEntriesDropped += PendFinal.size();
 
-  // Third block — re-park surviving registrations on the protected
-  // list of the youngest post-collection generation among the entry's
-  // heap participants; a dead guardian drops the registration.
+  // Third block — re-park surviving registrations. A participant in an
+  // open scope pins the entry to that (deepest) scope's list, so it is
+  // revisited at the scope's close; otherwise the entry parks on the
+  // protected list of the youngest post-collection generation among
+  // the heap participants. A dead guardian drops the registration.
   auto postGen = [&](ObjId Id) -> unsigned {
     const SObj &O = Objects[Id];
-    if (Id >= PreCount || O.Gen > G)
+    if (Id >= PreCount || O.Scope != 0 || O.Gen > G)
       return O.Gen;
     GENGC_ASSERT(Out.Copied[Id], "post-generation of a reclaimed object");
     unsigned NG, NA;
@@ -337,11 +369,18 @@ ShadowModel::collect(unsigned RequestedGeneration) {
   };
   for (const SEntry &E : PendHold) {
     if (isFwd(E.Tconc)) {
-      unsigned Index = Oldest;
+      unsigned Deepest = 0;
       for (const SVal *V : {&E.Obj, &E.Tconc, &E.Agent})
-        if (V->IsId)
-          Index = std::min(Index, postGen(V->Id));
-      Protected[Index].push_back(E);
+        Deepest = std::max(Deepest, scopeOf(*V));
+      if (Deepest != 0) {
+        ScopeProtected[Deepest - 1].push_back(E);
+      } else {
+        unsigned Index = Oldest;
+        for (const SVal *V : {&E.Obj, &E.Tconc, &E.Agent})
+          if (V->IsId)
+            Index = std::min(Index, postGen(V->Id));
+        Protected[Index].push_back(E);
+      }
       ++St.ProtectedEntriesKept;
     } else {
       ++St.GuardianEntriesDropped;
@@ -354,17 +393,20 @@ ShadowModel::collect(unsigned RequestedGeneration) {
   // to-space and older ones via the weak remembered sets; if those sets
   // ever miss a pair, the walk or verifyHeap diverges — that is a bug
   // this model exists to catch, not to imitate.)
+  auto diedThisCycle = [&](ObjId Id) {
+    return Id < PreCount && Objects[Id].Scope == 0 &&
+           Objects[Id].Gen <= G && !Out.Copied[Id];
+  };
   for (size_t Id = 0; Id != PreCount; ++Id) {
     SObj &O = Objects[Id];
     if (!O.Alive || O.Kind != SKind::WeakPair)
       continue;
-    if (O.Gen <= G && !Out.Copied[Id])
+    if (diedThisCycle(static_cast<ObjId>(Id)))
       continue; // The pair itself is dying.
     SVal &Car = O.Fields[0];
-    if (!Car.IsId || Car.Id >= PreCount)
+    if (!Car.IsId)
       continue;
-    const SObj &Target = Objects[Car.Id];
-    if (Target.Gen <= G && !Out.Copied[Car.Id]) {
+    if (diedThisCycle(Car.Id)) {
       Car = SVal::immediate(Value::falseV());
       ++St.WeakPointersBroken;
     }
@@ -374,8 +416,7 @@ ShadowModel::collect(unsigned RequestedGeneration) {
   // (Friedman-Wise).
   if (WeakSymbolTable) {
     for (auto It = Symbols.begin(); It != Symbols.end();) {
-      ObjId Id = It->second;
-      if (Id < PreCount && Objects[Id].Gen <= G && !Out.Copied[Id]) {
+      if (diedThisCycle(It->second)) {
         It = Symbols.erase(It);
         ++St.SymbolsDropped;
       } else {
@@ -384,10 +425,10 @@ ShadowModel::collect(unsigned RequestedGeneration) {
     }
   }
 
-  // Reclaim / promote.
+  // Reclaim / promote. Scope residents are untouched.
   for (size_t Id = 0; Id != PreCount; ++Id) {
     SObj &O = Objects[Id];
-    if (!O.Alive || O.Gen > G)
+    if (!O.Alive || O.Scope != 0 || O.Gen > G)
       continue;
     if (Out.Copied[Id]) {
       unsigned NG, NA;
@@ -403,6 +444,235 @@ ShadowModel::collect(unsigned RequestedGeneration) {
     }
   }
 
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Request scopes.
+//===----------------------------------------------------------------------===//
+
+void ShadowModel::openScope() {
+  ++ScopeDepth;
+  ScopeProtected.emplace_back();
+}
+
+ShadowModel::ScopeCloseOutcome ShadowModel::closeScope() {
+  GENGC_ASSERT(ScopeDepth != 0, "model closeScope with no scope open");
+  const unsigned D = ScopeDepth;
+  ScopeCloseOutcome Out;
+  Out.Depth = D;
+  const size_t PreCount = Objects.size();
+  Out.PreCount = PreCount;
+  Out.Copied.assign(PreCount, 0);
+  ModelScopeStats &St = Out.Stats;
+
+  // Nothing in a scope nursery dies before its scope closes, so every
+  // member is still (model-)alive here and BytesInScope is the scope's
+  // whole bump extent.
+  for (size_t Id = 0; Id != PreCount; ++Id) {
+    const SObj &O = Objects[Id];
+    if (O.Alive && O.Scope == D)
+      St.BytesInScope += allocWords(O) * sizeof(uintptr_t);
+  }
+
+  // The from-set is exactly the closing scope's membership; everything
+  // else — outer scopes included — counts as already forwarded.
+  std::vector<ObjId> Work;
+  auto isFwd = [&](const SVal &V) {
+    if (!V.IsId)
+      return true;
+    if (V.Id >= PreCount)
+      return true;
+    return Objects[V.Id].Scope != D || Out.Copied[V.Id] != 0;
+  };
+  auto forwardObj = [&](ObjId Id) {
+    if (Id >= PreCount)
+      return;
+    SObj &O = Objects[Id];
+    GENGC_ASSERT(O.Alive, "scope-close traversal reached a reclaimed "
+                          "object");
+    if (O.Scope != D || Out.Copied[Id])
+      return;
+    Out.Copied[Id] = 1;
+    ++St.ObjectsEvacuated;
+    St.BytesEvacuated += allocWords(O) * sizeof(uintptr_t);
+    Work.push_back(Id);
+  };
+  auto forwardVal = [&](const SVal &V) {
+    if (V.IsId)
+      forwardObj(V.Id);
+  };
+  auto scanObj = [&](const SObj &O) {
+    if (O.Kind == SKind::WeakPair) {
+      forwardVal(O.Fields[1]);
+      return;
+    }
+    for (const SVal &F : O.Fields)
+      forwardVal(F);
+  };
+  auto sweep = [&]() {
+    while (!Work.empty()) {
+      ObjId Id = Work.back();
+      Work.pop_back();
+      scanObj(Objects[Id]);
+    }
+  };
+
+  // Evacuation roots: the mutator's roots, the strong symbol table,
+  // and the strong fields of every live non-member. That last clause
+  // is what the per-scope escape sets buy the real collector — any
+  // outside object that received an into-scope pointer was recorded by
+  // the barrier and is rescanned at close, whether or not the outside
+  // object is itself still reachable (floating garbage retains its
+  // escaped scope children until a collection reclaims the container).
+  for (const SVal &V : RootStack)
+    forwardVal(V);
+  for (const SVal &V : Scratch)
+    forwardVal(V);
+  if (!WeakSymbolTable)
+    for (const auto &KV : Symbols)
+      forwardObj(KV.second);
+  for (size_t Id = 0; Id != PreCount; ++Id) {
+    const SObj &O = Objects[Id];
+    if (O.Alive && O.Scope != D)
+      scanObj(O);
+  }
+  sweep();
+
+  // The Section 4 guardian fixpoint, over the closing scope's own
+  // protected list only (other lists are untouched at scope exit).
+  std::vector<SEntry> PendHold, PendFinal;
+  bool ForwardedAnAgent = false;
+  for (const SEntry &E : ScopeProtected[D - 1]) {
+    ++St.ProtectedEntriesVisited;
+    if (isFwd(E.Obj)) {
+      if (E.Agent != E.Obj) {
+        forwardVal(E.Agent);
+        ForwardedAnAgent = true;
+      }
+      PendHold.push_back(E);
+    } else {
+      PendFinal.push_back(E);
+    }
+  }
+  ScopeProtected[D - 1].clear();
+  if (ForwardedAnAgent)
+    sweep();
+
+  while (true) {
+    ++St.GuardianLoopIterations;
+    std::vector<SEntry> FinalList;
+    size_t Keep = 0;
+    for (const SEntry &E : PendFinal) {
+      if (isFwd(E.Tconc))
+        FinalList.push_back(E);
+      else
+        PendFinal[Keep++] = E;
+    }
+    PendFinal.resize(Keep);
+    if (FinalList.empty())
+      break;
+    for (const SEntry &E : FinalList) {
+      forwardVal(E.Agent);
+      // Collector::appendToTconc in scope-close mode: the fresh cell
+      // is born in the enclosing extent (depth D-1, generation 0).
+      ObjId NewCell = cons(SVal::immediate(Value::falseV()),
+                           SVal::immediate(Value::falseV()));
+      Objects[NewCell].Scope = static_cast<uint8_t>(D - 1);
+      Objects[NewCell].TconcPart = true;
+      SObj &Header = Objects[E.Tconc.Id];
+      ObjId OldLast = Header.Fields[1].Id;
+      Objects[OldLast].Fields[0] = E.Agent;
+      Objects[OldLast].Fields[1] = SVal::object(NewCell);
+      Objects[E.Tconc.Id].Fields[1] = SVal::object(NewCell);
+      ++St.GuardianObjectsSaved;
+    }
+    sweep();
+  }
+  St.GuardianEntriesDropped += PendFinal.size();
+
+  // Re-park survivors: evacuated participants now live at depth D-1,
+  // so the deepest-scope rule lands the entry on an outer scope's list
+  // or, with no scope participant left, on the youngest-generation
+  // list (every evacuee is generation 0).
+  auto postScope = [&](const SVal &V) -> unsigned {
+    if (!V.IsId)
+      return 0;
+    if (V.Id >= PreCount)
+      return D - 1;
+    const SObj &O = Objects[V.Id];
+    return O.Scope == D ? D - 1 : O.Scope;
+  };
+  const unsigned Oldest = Generations - 1;
+  for (const SEntry &E : PendHold) {
+    if (isFwd(E.Tconc)) {
+      unsigned Deepest = 0;
+      for (const SVal *V : {&E.Obj, &E.Tconc, &E.Agent})
+        Deepest = std::max(Deepest, postScope(*V));
+      if (Deepest != 0) {
+        ScopeProtected[Deepest - 1].push_back(E);
+      } else {
+        unsigned Index = Oldest;
+        for (const SVal *V : {&E.Obj, &E.Tconc, &E.Agent})
+          if (V->IsId)
+            Index = std::min(
+                Index, static_cast<unsigned>(Objects[V->Id].Gen));
+        Protected[Index].push_back(E);
+      }
+      ++St.ProtectedEntriesKept;
+    } else {
+      ++St.GuardianEntriesDropped;
+    }
+  }
+
+  // Weak pairs: any survivor (outside the scope, in an outer scope, or
+  // just evacuated) whose car points at a scope-dying member is broken.
+  auto diedWithScope = [&](ObjId Id) {
+    return Id < PreCount && Objects[Id].Scope == D && !Out.Copied[Id];
+  };
+  for (size_t Id = 0; Id != Objects.size(); ++Id) {
+    SObj &O = Objects[Id];
+    if (!O.Alive || O.Kind != SKind::WeakPair)
+      continue;
+    if (diedWithScope(static_cast<ObjId>(Id)))
+      continue;
+    SVal &Car = O.Fields[0];
+    if (Car.IsId && diedWithScope(Car.Id)) {
+      Car = SVal::immediate(Value::falseV());
+      ++St.WeakPointersBroken;
+    }
+  }
+
+  // Weak symbol table: in-scope symbols that did not escape die with
+  // the scope.
+  if (WeakSymbolTable) {
+    for (auto It = Symbols.begin(); It != Symbols.end();) {
+      if (diedWithScope(It->second)) {
+        It = Symbols.erase(It);
+        ++St.SymbolsDropped;
+      } else {
+        ++It;
+      }
+    }
+  }
+
+  // Graduate / reclaim, then retire the scope.
+  for (size_t Id = 0; Id != PreCount; ++Id) {
+    SObj &O = Objects[Id];
+    if (!O.Alive || O.Scope != D)
+      continue;
+    if (Out.Copied[Id]) {
+      O.Scope = static_cast<uint8_t>(D - 1);
+    } else {
+      O.Alive = false;
+      O.Fields.clear();
+      O.Data.clear();
+    }
+  }
+  GENGC_ASSERT(ScopeProtected.back().empty(),
+               "closed scope still holds protected entries");
+  ScopeProtected.pop_back();
+  --ScopeDepth;
   return Out;
 }
 

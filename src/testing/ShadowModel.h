@@ -92,6 +92,11 @@ struct SObj {
   SKind Kind = SKind::Pair;
   uint8_t Gen = 0;
   uint8_t Age = 0;
+  /// Request-scope depth (0 = the generational ladder). Objects born
+  /// while a scope is open carry the innermost depth, exactly like the
+  /// real allocator's segment tag; closeScope() rewrites survivors to
+  /// the enclosing depth.
+  uint8_t Scope = 0;
   bool Alive = true;
   /// Part of a guardian tconc queue (header, sentinel, or collector-
   /// appended cell). Excluded from the fuzzer's set-car!/set-cdr!
@@ -122,6 +127,22 @@ struct ModelGcStats {
   uint64_t BytesCopied = 0;
   uint64_t ObjectsPromoted = 0;
   uint64_t BytesInFromSpace = 0;
+  uint64_t ProtectedEntriesVisited = 0;
+  uint64_t GuardianObjectsSaved = 0;
+  uint64_t ProtectedEntriesKept = 0;
+  uint64_t GuardianEntriesDropped = 0;
+  uint64_t GuardianLoopIterations = 0;
+  uint64_t WeakPointersBroken = 0;
+  uint64_t SymbolsDropped = 0;
+};
+
+/// The ScopeCloseStats counters the model predicts exactly
+/// (SegmentsFreed, WeakPairsExamined, and timings are implementation
+/// detail and deliberately absent).
+struct ModelScopeStats {
+  uint64_t ObjectsEvacuated = 0;
+  uint64_t BytesEvacuated = 0;
+  uint64_t BytesInScope = 0;
   uint64_t ProtectedEntriesVisited = 0;
   uint64_t GuardianObjectsSaved = 0;
   uint64_t ProtectedEntriesKept = 0;
@@ -171,10 +192,37 @@ public:
   /// the real collector.
   void setField(ObjId Obj, uint32_t Index, SVal V);
 
+  /// Mirrors Heap::protectedListFor: the entry parks on the protected
+  /// list of the deepest open scope any participant lives in, else the
+  /// generation-0 list.
   void guardianProtect(ObjId Tconc, SVal Obj, SVal Agent);
   /// Figure 4 retrieve, including clearing the vacated cell.
   SVal guardianRetrieve(ObjId Tconc);
   bool guardianHasPending(ObjId Tconc) const;
+
+  //===------------------------------------------------------------------===//
+  // Request scopes (DESIGN.md §13).
+  //===------------------------------------------------------------------===//
+
+  void openScope();
+
+  struct ScopeCloseOutcome {
+    ModelScopeStats Stats;
+    /// Indexed by pre-close id: was the object evacuated into the
+    /// enclosing extent? Only meaningful for members of the closed
+    /// scope; everything else is 0. Ids >= PreCount were born during
+    /// the close (guardian tconc cells).
+    std::vector<char> Copied;
+    size_t PreCount = 0;
+    unsigned Depth = 0;
+  };
+
+  /// Closes the innermost scope: members reachable from outside it
+  /// (roots, any live non-member's strong fields — the escape sets'
+  /// conservatism — the strong symbol table, and the Section 4
+  /// guardian fixpoint over the scope's own protected list) graduate
+  /// to the enclosing depth; the rest die untraced.
+  ScopeCloseOutcome closeScope();
 
   //===------------------------------------------------------------------===//
   // Collection.
@@ -217,11 +265,16 @@ public:
   std::vector<SVal> Scratch;
   /// Protected lists, one per generation (Section 4).
   std::vector<std::vector<SEntry>> Protected;
+  /// Per-scope protected lists, one per open scope (index depth - 1).
+  std::vector<std::vector<SEntry>> ScopeProtected;
+  /// Current open-scope depth (0 = none).
+  unsigned ScopeDepth = 0;
   /// Intern table: name -> symbol id.
   std::unordered_map<std::string, ObjId> Symbols;
 
 private:
   ObjId newObject(SKind Kind);
+  unsigned scopeOf(const SVal &V) const;
 };
 
 } // namespace gcfuzz

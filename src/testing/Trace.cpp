@@ -54,12 +54,21 @@ const OpInfo OpTable[NumOps] = {
     {Op::Retrieve, "retrieve", 5},
     {Op::Drain, "drain", 2},
     {Op::Collect, "collect", 4},
+    // Scoped alphabet: enough opens/closes that scopes actually cycle
+    // within a trace, and a churn op so most scope allocation is
+    // request-local garbage (the case the design optimizes for).
+    {Op::ScopeOpen, "scope-open", 4},
+    {Op::ScopeClose, "scope-close", 5},
+    {Op::AllocInScope, "alloc-in-scope", 6},
 };
 
-unsigned totalWeight() {
+/// Total weight of the first \p Count table entries. Unscoped traces
+/// draw over the first NumUnscopedOps only, which keeps every
+/// historical (Seed, OpCount) trace byte-identical.
+unsigned totalWeight(unsigned Count) {
   unsigned W = 0;
-  for (const OpInfo &I : OpTable)
-    W += I.Weight;
+  for (unsigned I = 0; I != Count; ++I)
+    W += OpTable[I].Weight;
   return W;
 }
 
@@ -81,12 +90,13 @@ bool gengc::gcfuzz::opFromName(const std::string &Name, Op &O) {
   return false;
 }
 
-Trace gengc::gcfuzz::generateTrace(uint64_t Seed, size_t OpCount) {
+Trace gengc::gcfuzz::generateTrace(uint64_t Seed, size_t OpCount,
+                                   bool Scoped) {
   Trace T;
   T.Seed = Seed;
   T.Ops.reserve(OpCount);
   XorShift Rng(Seed);
-  const unsigned Total = totalWeight();
+  const unsigned Total = totalWeight(Scoped ? NumOps : NumUnscopedOps);
   for (size_t I = 0; I != OpCount; ++I) {
     uint64_t Pick = Rng.nextBelow(Total);
     const OpInfo *Chosen = &OpTable[0];

@@ -58,8 +58,15 @@ enum class Op : uint8_t {
   Retrieve,
   Drain,
   Collect,
+  // Scoped ops (DESIGN.md §13). Appended after the unscoped alphabet so
+  // unscoped generation, which draws over the first NumUnscopedOps
+  // entries only, reproduces historical traces byte-for-byte.
+  ScopeOpen,    ///< openScope(), bounded nesting.
+  ScopeClose,   ///< closeScope(): evacuate escapes, cross-check.
+  AllocInScope, ///< A garbage-heavy pair chain in the current extent.
 };
-constexpr unsigned NumOps = 25;
+constexpr unsigned NumUnscopedOps = 25;
+constexpr unsigned NumOps = 28;
 
 /// Stable text name of an opcode (trace file format).
 const char *opName(Op O);
@@ -77,9 +84,12 @@ struct Trace {
 };
 
 /// Generates a weighted random trace from the deterministic PRNG
-/// (support/XorShift.h). Identical (Seed, OpCount) always yields an
-/// identical trace, on every platform.
-Trace generateTrace(uint64_t Seed, size_t OpCount);
+/// (support/XorShift.h). Identical (Seed, OpCount, Scoped) always
+/// yields an identical trace, on every platform. Scoped traces draw
+/// from the full alphabet including scope-open/scope-close/
+/// alloc-in-scope; unscoped traces are byte-identical to those this
+/// function generated before scopes existed.
+Trace generateTrace(uint64_t Seed, size_t OpCount, bool Scoped = false);
 
 /// Text round-trip, for committing shrunk failures and --trace-replay.
 std::string serializeTrace(const Trace &T);

@@ -44,6 +44,8 @@ public:
     H.setForwardWitness(&Session::witnessThunk, this);
     H.addPostGcHook(
         [this](Heap &, const GcStats &S) { onCollection(S); });
+    H.setScopeCloseHook(
+        [this](Heap &, const ScopeCloseStats &S) { onScopeClose(S); });
   }
 
   RunResult run(const Trace &T) {
@@ -53,9 +55,13 @@ public:
         CurOp = I;
         applyOp(T.Ops[I]);
       }
-      // End-of-trace flush: a full collection so the final heap state is
-      // cross-checked even when the trace's own collections came early.
+      // End-of-trace flush: close any scopes the trace left open (each
+      // close is itself a cross-checked evacuation), then a full
+      // collection so the final heap state is checked even when the
+      // trace's own collections came early.
       CurOp = T.Ops.size();
+      while (H.scopeDepth() != 0)
+        H.closeScope();
       H.collectFull();
     } catch (const Divergence &D) {
       R.Diverged = true;
@@ -69,6 +75,9 @@ public:
 private:
   static constexpr size_t NumSlots = 24;
   static constexpr size_t RootStackMax = 40;
+  /// Scope nesting the fuzzer exercises (the config's MaxScopeDepth is
+  /// an assertion bound, not a target).
+  static constexpr unsigned ScopeNestCap = 3;
 
   Heap H;
   ShadowModel M;
@@ -110,7 +119,7 @@ private:
     if (Out.Target != S.TargetGeneration)
       diverge("target generation: model " + std::to_string(Out.Target) +
               ", heap " + std::to_string(S.TargetGeneration));
-    syncSlots(Out);
+    syncSlots(Out.Copied, Out.PreCount);
     checkStats(S, Out.Stats);
     checkGraph();
     checkCensus();
@@ -118,9 +127,27 @@ private:
     Witness.clear();
   }
 
+  /// The scope-close analogue of onCollection: the model predicts the
+  /// evacuation, the witness proves per-slot graduation/reclamation,
+  /// and the same graph/census/verify battery runs on what remains.
+  void onScopeClose(const ScopeCloseStats &S) {
+    ShadowModel::ScopeCloseOutcome Out = M.closeScope();
+    if (Out.Depth != S.Depth)
+      diverge("scope depth: model " + std::to_string(Out.Depth) +
+              ", heap " + std::to_string(S.Depth));
+    syncSlots(Out.Copied, Out.PreCount);
+    checkScopeStats(S, Out.Stats);
+    checkGraph();
+    checkCensus();
+    H.verifyHeap();
+    Witness.clear();
+  }
+
   /// Applies the witness map to the unrooted slots, demanding exact
-  /// agreement with model liveness in both directions.
-  void syncSlots(const ShadowModel::CollectOutcome &Out) {
+  /// agreement with model liveness in both directions. Shared by
+  /// collections and scope closes: Copied marks the pre-ids the model
+  /// says moved this cycle, and anything else must not have moved.
+  void syncSlots(const std::vector<char> &Copied, size_t PreCount) {
     for (size_t I = 0; I != NumSlots; ++I) {
       if (SlotId[I] == NoObj)
         continue;
@@ -132,16 +159,16 @@ private:
                   ": collector copied an object the model reclaimed");
         SlotId[I] = NoObj;
         SlotBits[I] = 0;
-      } else if (Id < Out.PreCount && Out.Copied[Id]) {
+      } else if (Id < PreCount && Copied[Id]) {
         if (It == Witness.end())
           diverge("slot " + std::to_string(I) +
-                  ": model-live object in a collected generation was "
+                  ": model-live object in a collected extent was "
                   "not copied (object lost)");
         SlotBits[I] = It->second;
       } else {
         if (It != Witness.end())
           diverge("slot " + std::to_string(I) +
-                  ": object outside the collected generations moved");
+                  ": object outside the collected extent moved");
       }
     }
   }
@@ -172,6 +199,36 @@ private:
     for (const auto &R : Rows)
       if (R.Model != R.Real)
         diverge(std::string("stats.") + R.Name + ": model " +
+                std::to_string(R.Model) + ", heap " +
+                std::to_string(R.Real));
+  }
+
+  void checkScopeStats(const ScopeCloseStats &S,
+                       const ModelScopeStats &P) {
+    const struct {
+      const char *Name;
+      uint64_t Model, Real;
+    } Rows[] = {
+        {"ObjectsEvacuated", P.ObjectsEvacuated, S.ObjectsEvacuated},
+        {"BytesEvacuated", P.BytesEvacuated, S.BytesEvacuated},
+        {"BytesInScope", P.BytesInScope, S.BytesInScope},
+        {"ProtectedEntriesVisited", P.ProtectedEntriesVisited,
+         S.ProtectedEntriesVisited},
+        {"GuardianObjectsSaved", P.GuardianObjectsSaved,
+         S.GuardianObjectsSaved},
+        {"ProtectedEntriesKept", P.ProtectedEntriesKept,
+         S.ProtectedEntriesKept},
+        {"GuardianEntriesDropped", P.GuardianEntriesDropped,
+         S.GuardianEntriesDropped},
+        {"GuardianLoopIterations", P.GuardianLoopIterations,
+         S.GuardianLoopIterations},
+        {"WeakPointersBroken", P.WeakPointersBroken,
+         S.WeakPointersBroken},
+        {"SymbolsDropped", P.SymbolsDropped, S.SymbolsDropped},
+    };
+    for (const auto &R : Rows)
+      if (R.Model != R.Real)
+        diverge(std::string("scope-stats.") + R.Name + ": model " +
                 std::to_string(R.Model) + ", heap " +
                 std::to_string(R.Real));
   }
@@ -241,6 +298,9 @@ private:
     if (H.generationOf(RV) != O.Gen)
       diverge("generation mismatch: model " + std::to_string(O.Gen) +
               ", heap " + std::to_string(H.generationOf(RV)));
+    if (H.scopeDepthOf(RV) != O.Scope)
+      diverge("scope depth mismatch: model " + std::to_string(O.Scope) +
+              ", heap " + std::to_string(H.scopeDepthOf(RV)));
     switch (O.Kind) {
     case SKind::Pair:
       if (!RV.isPair() || H.isWeakPair(RV))
@@ -620,6 +680,43 @@ private:
     case Op::Collect:
       H.collect(O.A % M.Generations);
       return;
+    case Op::ScopeOpen:
+      if (H.scopeDepth() >= ScopeNestCap)
+        return;
+      H.openScope();
+      M.openScope();
+      return;
+    case Op::ScopeClose:
+      if (H.scopeDepth() == 0)
+        return;
+      // The close hook runs the model close and the full cross-check.
+      H.closeScope();
+      return;
+    case Op::AllocInScope: {
+      // A pair chain in the current extent (wherever that is — the op
+      // also runs unscoped, which keeps op deletion sound). Most links
+      // become garbage the moment the slot is dropped: the request-
+      // local churn the scoped design reclaims without tracing. The
+      // running head lives in the scratch roots so stress collections
+      // or scope closes between links move its bits on both sides.
+      const uint32_t Len = 1 + O.A % 4;
+      auto Tail = valueOperand(O.B);
+      ScratchReal.push_back(Tail.second);
+      M.Scratch.push_back(Tail.first);
+      SVal MHead = Tail.first;
+      for (uint32_t I = 0; I != Len; ++I) {
+        const Value Car = Value::fixnum((O.B >> 2) % 4096 + I);
+        const Value RHead = H.cons(Car, ScratchReal.back());
+        const ObjId Id = M.cons(SVal::immediate(Car), MHead);
+        ScratchReal[ScratchReal.size() - 1] = RHead;
+        MHead = SVal::object(Id);
+        M.Scratch[M.Scratch.size() - 1] = MHead;
+      }
+      const Value RHead = ScratchReal.back();
+      clearOperands();
+      storeResult(O.C, MHead.Id, RHead);
+      return;
+    }
     }
     diverge("unknown opcode " + std::to_string(O.Code));
   }

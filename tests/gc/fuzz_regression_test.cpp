@@ -84,9 +84,10 @@ TEST(FuzzHarness, SerializationRejectsGarbage) {
 // Searches a seed range for a trace that diverges under Cfg, then
 // shrinks it and checks the minimized trace still reproduces. Returns
 // the shrunk size, or 0 if no seed diverged.
-size_t catchAndShrink(const HeapConfig &Cfg, uint64_t &FoundSeed) {
+size_t catchAndShrink(const HeapConfig &Cfg, uint64_t &FoundSeed,
+                      bool Scoped = false) {
   for (uint64_t Seed = 1; Seed != 60; ++Seed) {
-    Trace T = generateTrace(Seed, 140);
+    Trace T = generateTrace(Seed, 140, Scoped);
     RunResult R = runTrace(T, Cfg);
     if (!R.Diverged)
       continue;
@@ -174,6 +175,61 @@ TEST(FuzzHarnessDeathTest, UnsoundElisionCaughtByVerifierAtTheStore) {
         std::exit(0); // No seed tripped the fault: the matcher fails.
       },
       ::testing::KilledBySignal(SIGABRT), "unsound barrier elision");
+}
+
+// Scoped alphabet canary: traces with scope-open / scope-close /
+// alloc-in-scope in the mix must run divergence-free under every
+// standard config, and every scoped trace must actually exercise the
+// scope machinery (the weighted alphabet makes opens near-certain at
+// 120 ops, so a zero count means the generator regressed).
+TEST(FuzzHarness, ScopedCleanCorpusSelfTest) {
+  for (const FuzzConfig &Cfg : standardConfigs()) {
+    for (uint64_t Seed = 1; Seed != 6; ++Seed) {
+      Trace T = generateTrace(Seed, 120, /*Scoped=*/true);
+      size_t ScopeOps = 0;
+      for (const TraceOp &O : T.Ops)
+        if (O.Code == static_cast<uint8_t>(Op::ScopeOpen) ||
+            O.Code == static_cast<uint8_t>(Op::ScopeClose) ||
+            O.Code == static_cast<uint8_t>(Op::AllocInScope))
+          ++ScopeOps;
+      EXPECT_GT(ScopeOps, 0u)
+          << "seed " << Seed << ": scoped trace drew no scope ops";
+      RunResult R = runTrace(T, Cfg.Config);
+      EXPECT_FALSE(R.Diverged)
+          << "config " << Cfg.Name << " seed " << Seed << ": "
+          << R.Message;
+    }
+  }
+}
+
+// The scoped ops are appended after the historical alphabet, and the
+// unscoped weighted draw only ranges over the original entries — so
+// pre-existing trace generation must stay byte-identical with the
+// scoped alphabet compiled in.
+TEST(FuzzHarness, UnscopedTracesUnchangedByScopedAlphabet) {
+  Trace T = generateTrace(42, 300, /*Scoped=*/false);
+  for (const TraceOp &O : T.Ops) {
+    EXPECT_NE(O.Code, static_cast<uint8_t>(Op::ScopeOpen));
+    EXPECT_NE(O.Code, static_cast<uint8_t>(Op::ScopeClose));
+    EXPECT_NE(O.Code, static_cast<uint8_t>(Op::AllocInScope));
+  }
+}
+
+// ISSUE acceptance: the scope-close fault — the first escaped
+// container's into-scope fields cleared to #f instead of scanned,
+// exactly as if the write barrier had lost the escape record, so an
+// outside-reachable scope resident dies in the evacuation — must be
+// caught by the scope-aware oracle and shrink to fewer than 25 ops.
+TEST(FuzzHarness, InjectedScopeLeakIsCaughtAndShrinks) {
+  FuzzConfig Cfg;
+  ASSERT_TRUE(findConfig("paper", Cfg));
+  Cfg.Config.InjectedFault = GcFaultInjection::LeakScopeEscape;
+  uint64_t Seed = 0;
+  const size_t ShrunkSize =
+      catchAndShrink(Cfg.Config, Seed, /*Scoped=*/true);
+  ASSERT_GT(ShrunkSize, 0u)
+      << "no seed in range exposed the injected scope leak";
+  EXPECT_LT(ShrunkSize, 25u) << "seed " << Seed << " shrunk poorly";
 }
 
 // The faults must also be caught under the stress schedule (collections

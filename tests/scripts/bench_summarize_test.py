@@ -62,6 +62,11 @@ def main():
     assert totals["latency_op_count"] == 3000, totals
     assert totals["slo_pause_violations"] == 3, totals
     assert totals["alloc_sampled_sites"] == 3, totals
+    # Request-scope counters: closes/bytes are event counts and sum;
+    # max depth is max-merged at the source, so it must NOT be summed.
+    assert totals["gc_scope_closes"] == 20, totals
+    assert totals["gc_scope_bytes_reclaimed"] == 4608, totals
+    assert "gc_scope_max_depth" not in totals, totals
 
     # Percentiles and high-water marks must NOT be summed: they show up
     # as max/median distributions instead.
@@ -75,6 +80,8 @@ def main():
     assert dists["gc_pause_p999_ns"]["benchmarks"] == 1, dists
     assert dists["latency_op_p99_ns"]["max"] == 600, dists
     assert dists["executor_max_pending"]["max"] == 30, dists
+    assert dists["gc_scope_max_depth"] == {"max": 3, "median": 3,
+                                           "benchmarks": 2}, dists
 
     # Ratios and flags are per-row only: never summed, never
     # distribution-folded.

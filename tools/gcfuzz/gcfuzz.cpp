@@ -20,6 +20,13 @@
 //   gcfuzz --gc-threads N                force the scavenge worker width
 //                                        (the model is schedule-blind, so
 //                                        any width must match it exactly)
+//   gcfuzz --scoped on                   extend the trace alphabet with
+//                                        scope-open / scope-close /
+//                                        alloc-in-scope (request-scoped
+//                                        ephemeral generations); in
+//                                        --vm-diff mode, runs half the
+//                                        generated forms inside
+//                                        (call-in-new-scope ...)
 //   gcfuzz --vm-diff N                   N random Scheme programs, each
 //                                        run elide-on vs elide-off in
 //                                        lockstep; outputs must agree
@@ -55,6 +62,7 @@ struct Options {
   std::string OutDir = ".";
   bool NoShrink = false;
   std::string Elide; ///< "", "on", or "off": override ElideBarriers.
+  bool Scoped = false; ///< Scoped trace alphabet / scoped vm-diff programs.
   uint64_t VmDiff = 0; ///< Number of vm-diff programs (0 = off).
   int GcThreads = -1; ///< -1 = leave configs alone; else force this width.
 };
@@ -64,10 +72,10 @@ void usage() {
       stderr,
       "usage: gcfuzz [--seed N] [--traces N] [--ops K]\n"
       "              [--config NAME|all] [--fault none|drop-resurrection|"
-      "break-weak|unsound-elision]\n"
-      "              [--elide on|off] [--gc-threads N] [--vm-diff N]\n"
-      "              [--seed-corpus] [--trace-replay FILE] [--out DIR]\n"
-      "              [--no-shrink]\n"
+      "break-weak|unsound-elision|leak-scope-escape]\n"
+      "              [--elide on|off] [--scoped on|off] [--gc-threads N]\n"
+      "              [--vm-diff N] [--seed-corpus] [--trace-replay FILE]\n"
+      "              [--out DIR] [--no-shrink]\n"
       "configs (--config):");
   // Enumerate the live config list so this help text cannot drift from
   // standardConfigs() again.
@@ -89,6 +97,10 @@ bool applyFault(const std::string &Name, HeapConfig &Cfg) {
   }
   if (Name == "unsound-elision") {
     Cfg.InjectedFault = GcFaultInjection::UnsoundElision;
+    return true;
+  }
+  if (Name == "leak-scope-escape") {
+    Cfg.InjectedFault = GcFaultInjection::LeakScopeEscape;
     return true;
   }
   return false;
@@ -145,7 +157,7 @@ int runSeeds(const std::vector<FuzzConfig> &Configs, uint64_t FirstSeed,
   uint64_t TotalCollections = 0, TotalTraces = 0;
   for (const FuzzConfig &Cfg : Configs) {
     for (uint64_t S = FirstSeed; S != FirstSeed + Count; ++S) {
-      Trace T = generateTrace(S, Opt.Ops);
+      Trace T = generateTrace(S, Opt.Ops, Opt.Scoped);
       RunResult R = runTrace(T, Cfg.Config);
       if (R.Diverged)
         return reportDivergence(T, Cfg, R, Opt);
@@ -188,7 +200,7 @@ struct Rng {
 
 class ProgramGen {
 public:
-  explicit ProgramGen(uint64_t Seed) : R(Seed) {}
+  ProgramGen(uint64_t Seed, bool Scoped) : R(Seed), Scoped(Scoped) {}
 
   /// One program: a list of top-level forms evaluated in order.
   std::vector<std::string> generate() {
@@ -204,7 +216,16 @@ public:
         Forms.push_back("(set! " + Globals[R.below(Globals.size())] +
                         " " + num(2) + ")");
       } else {
-        Forms.push_back(any(3));
+        std::string E = any(3);
+        // Scoped mode: run half the expression forms inside a request
+        // scope. The result escapes through the primitive's return
+        // value (and, when the body mutates a global, through the
+        // barriered global store), so elision × scoping must still
+        // print identical values. The draw is guarded so unscoped
+        // programs keep their historical byte-identical RNG stream.
+        if (Scoped && R.below(2))
+          E = "(call-in-new-scope (lambda () " + E + "))";
+        Forms.push_back(E);
       }
     }
     // End every program by forcing full collections and re-reading the
@@ -217,6 +238,7 @@ public:
 
 private:
   Rng R;
+  bool Scoped;
   std::vector<std::string> Globals;
   std::vector<std::string> NumVars; ///< In-scope numeric locals.
   std::vector<std::string> AnyVars; ///< In-scope locals of any type.
@@ -402,7 +424,7 @@ int runVmDiff(const Options &Opt) {
   uint64_t ElidedTotal = 0, ExecutedTotal = 0;
   const uint64_t First = Opt.SeedGiven ? Opt.Seed : 1;
   for (uint64_t Seed = First; Seed != First + Opt.VmDiff; ++Seed) {
-    ProgramGen Gen(Seed);
+    ProgramGen Gen(Seed, Opt.Scoped);
     const std::vector<std::string> Forms = Gen.generate();
     if (std::getenv("GCFUZZ_VM_DUMP"))
       for (const std::string &F : Forms)
@@ -531,6 +553,13 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "gcfuzz: --elide takes on|off\n");
         return 2;
       }
+    } else if (A == "--scoped") {
+      const std::string V = next();
+      if (V != "on" && V != "off") {
+        std::fprintf(stderr, "gcfuzz: --scoped takes on|off\n");
+        return 2;
+      }
+      Opt.Scoped = V == "on";
     } else if (A == "--gc-threads") {
       Opt.GcThreads = static_cast<int>(std::strtol(next(), nullptr, 0));
       if (Opt.GcThreads < 1 ||

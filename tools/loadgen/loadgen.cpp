@@ -49,6 +49,7 @@
 #include "core/Guardian.h"
 #include "gc/Heap.h"
 #include "gc/Roots.h"
+#include "gc/ScopedGeneration.h"
 #include "telemetry/Aggregate.h"
 #include "telemetry/SloLedger.h"
 #include "io/GuardedPorts.h"
@@ -65,6 +66,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -83,6 +85,7 @@ struct Options {
   unsigned ThinkTimeUs = 0; ///< Sleep per session (open-loop clients).
   unsigned FailRatePct = 0; ///< Transient ticket-failure injection.
   unsigned GcThreads = 0;   ///< Scavenge workers per shard heap (0=auto).
+  bool Scoped = false;      ///< Run each session inside a request scope.
   std::string JsonPath;     ///< Google-Benchmark-format output file.
   std::string TracePath;    ///< Merged fleet Chrome trace output.
   std::string ProfilePath;  ///< Collapsed allocation-site stacks output.
@@ -93,7 +96,7 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--shards N] [--sessions N] [--ops N] [--seed N]\n"
                "          [--think-time-us N] [--fail-rate PCT]\n"
-               "          [--gc-threads N] [--json PATH]\n"
+               "          [--gc-threads N] [--scoped] [--json PATH]\n"
                "          [--trace PATH] [--profile PATH]\n"
                "          [--slo-max-pause-us N] [--slo-pause-p99-us N]\n"
                "          [--slo-op-p99-us N] [--slo-mmu-floor-pct N]\n",
@@ -124,6 +127,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       Opt.FailRatePct = static_cast<unsigned>(V);
     else if (Arg == "--gc-threads" && NextInt(V))
       Opt.GcThreads = static_cast<unsigned>(V);
+    else if (Arg == "--scoped")
+      Opt.Scoped = true;
     else if (Arg == "--json" && I + 1 < Argc)
       Opt.JsonPath = Argv[++I];
     else if (Arg == "--trace" && I + 1 < Argc)
@@ -200,6 +205,9 @@ struct ShardEnv {
   FinalizationExecutor::QueueId PortQueue = 0;
   FinalizationExecutor::QueueId ExtQueue = 0;
   WorldCounters Out;
+  /// Request-scope totals, copied out in onShutdown before the shard
+  /// heap dies. All-zero unless --scoped.
+  ScopeTotals Scope;
   /// Per-op latency, recorded by the shard thread during sessions and
   /// merged into the fleet recorder after shutdown.
   LatencyRecorder OpLatency;
@@ -266,6 +274,16 @@ struct World : ShardLocal {
   }
 
   void runSession() {
+    // --scoped: the whole session runs inside one request extent. Ops
+    // allocate into the scope's private nursery; whatever escapes into
+    // the session-spanning structures (Held, the guarded table, other
+    // shards' inboxes) graduates at close, and the rest of the
+    // session's garbage is reclaimed untraced. Guardian-protected
+    // handles the session dropped are delivered by the close itself,
+    // so the post-session drain below still tickets them.
+    std::optional<ScopedExtent> Extent;
+    if (Opt.Scoped)
+      Extent.emplace(H);
     size_t Mark = Held.size();
     for (size_t Op = 0; Op != Opt.Ops; ++Op) {
       ++C.Ops;
@@ -355,6 +373,7 @@ struct World : ShardLocal {
               .count()));
     }
     Held.truncate(Mark); // Session over: everything it held is dropped.
+    Extent.reset();      // Close the request scope before the drain.
     drainToExecutor();
     ++C.Sessions;
     if (Opt.ThinkTimeUs)
@@ -380,6 +399,7 @@ struct World : ShardLocal {
       Env.ProfileCollapsed = H.allocProfiler().collapsedStacks();
       Env.SampledSites = H.allocProfiler().sitesWithSamples();
     }
+    Env.Scope = H.scopeTotals();
     Env.Out = C;
   }
 };
@@ -546,6 +566,12 @@ int main(int Argc, char **Argv) {
   for (const auto &Env : Envs)
     SampledSites += Env->SampledSites;
 
+  // Merged request-scope totals across the fleet (all-zero unless
+  // --scoped; the JSON keys are emitted either way so A/B runs diff).
+  ScopeTotals ScopeAgg;
+  for (const auto &Env : Envs)
+    ScopeAgg.merge(Env->Scope);
+
   std::printf("loadgen: %zu shards x %zu sessions x %zu ops  "
               "(seed %llu, think %uus, fail %u%%)\n",
               Opt.Shards, Opt.Sessions, Opt.Ops,
@@ -582,6 +608,20 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(ES.WaitNanos.p99()),
               static_cast<unsigned long long>(ES.RunNanos.p99()),
               static_cast<unsigned long long>(ES.MaxPending));
+  if (Opt.Scoped)
+    std::printf("loadgen: scopes: %llu closed (max depth %llu), %.1f MB "
+                "allocated in scopes, %.1f MB reclaimed untraced at close "
+                "(%.1f%%), %llu objects graduated\n",
+                static_cast<unsigned long long>(ScopeAgg.ScopesClosed),
+                static_cast<unsigned long long>(ScopeAgg.MaxDepth),
+                static_cast<double>(ScopeAgg.BytesInScopes) / (1024.0 * 1024.0),
+                static_cast<double>(ScopeAgg.BytesReclaimed) /
+                    (1024.0 * 1024.0),
+                ScopeAgg.BytesInScopes
+                    ? 100.0 * static_cast<double>(ScopeAgg.BytesReclaimed) /
+                          static_cast<double>(ScopeAgg.BytesInScopes)
+                    : 0.0,
+                static_cast<unsigned long long>(ScopeAgg.ObjectsEvacuated));
   std::printf("loadgen: %s\n",
               formatSloVerdict(Opt.Slo, Verdict).c_str());
   std::printf("loadgen: accounting %s\n", Failures ? "FAILED" : "clean");
@@ -628,7 +668,7 @@ int main(int Argc, char **Argv) {
         "  \"context\": {\"executable\": \"loadgen\", \"shards\": %zu,\n"
         "              \"sessions_per_shard\": %zu, \"ops_per_session\": %zu,\n"
         "              \"seed\": %llu, \"think_time_us\": %u,\n"
-        "              \"fail_rate_pct\": %u},\n"
+        "              \"fail_rate_pct\": %u, \"scoped\": %d},\n"
         "  \"benchmarks\": [\n"
         "    {\"name\": \"loadgen/shards:%zu\", \"run_type\": \"iteration\",\n"
         "     \"iterations\": 1, \"real_time\": %.0f, \"cpu_time\": %.0f,\n"
@@ -639,6 +679,13 @@ int main(int Argc, char **Argv) {
         "     \"gc_segments_freed\": %llu, \"gc_total_pause_ns\": %llu,\n"
         "     \"gc_pause_p50_ns\": %llu, \"gc_pause_p99_ns\": %llu,\n"
         "     \"gc_pause_p999_ns\": %llu, \"gc_pause_max_ns\": %llu,\n"
+        "     \"gc_scope_opens\": %llu, \"gc_scope_closes\": %llu,\n"
+        "     \"gc_scope_max_depth\": %llu,\n"
+        "     \"gc_scope_objects_evacuated\": %llu,\n"
+        "     \"gc_scope_bytes_evacuated\": %llu,\n"
+        "     \"gc_scope_bytes_in_scopes\": %llu,\n"
+        "     \"gc_scope_bytes_reclaimed\": %llu,\n"
+        "     \"gc_scope_close_ns\": %llu,\n"
         "     \"latency_op_p50_ns\": %llu, \"latency_op_p99_ns\": %llu,\n"
         "     \"latency_op_p999_ns\": %llu, \"latency_op_max_ns\": %llu,\n"
         "     \"latency_op_count\": %llu,\n"
@@ -654,7 +701,7 @@ int main(int Argc, char **Argv) {
         "}\n",
         Opt.Shards, Opt.Sessions, Opt.Ops,
         static_cast<unsigned long long>(Opt.Seed), Opt.ThinkTimeUs,
-        Opt.FailRatePct, Opt.Shards, RealNs, RealNs,
+        Opt.FailRatePct, Opt.Scoped ? 1 : 0, Opt.Shards, RealNs, RealNs,
         static_cast<unsigned long long>(TotalOps), Throughput,
         static_cast<unsigned long long>(Fleet.Combined.Collections),
         static_cast<unsigned long long>(Fleet.Combined.FullCollections),
@@ -666,6 +713,14 @@ int main(int Argc, char **Argv) {
         static_cast<unsigned long long>(Fleet.PauseP99Nanos),
         static_cast<unsigned long long>(Fleet.PauseP999Nanos),
         static_cast<unsigned long long>(Fleet.PauseMaxNanos),
+        static_cast<unsigned long long>(ScopeAgg.ScopesOpened),
+        static_cast<unsigned long long>(ScopeAgg.ScopesClosed),
+        static_cast<unsigned long long>(ScopeAgg.MaxDepth),
+        static_cast<unsigned long long>(ScopeAgg.ObjectsEvacuated),
+        static_cast<unsigned long long>(ScopeAgg.BytesEvacuated),
+        static_cast<unsigned long long>(ScopeAgg.BytesInScopes),
+        static_cast<unsigned long long>(ScopeAgg.BytesReclaimed),
+        static_cast<unsigned long long>(ScopeAgg.CloseNanos),
         static_cast<unsigned long long>(OpLatency.p50()),
         static_cast<unsigned long long>(OpLatency.p99()),
         static_cast<unsigned long long>(OpLatency.p999()),
