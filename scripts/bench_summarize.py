@@ -33,7 +33,8 @@ import sys
 
 # Counter prefixes folded into the summary. Anything else in a
 # benchmark entry is benchmark-specific and stays per-row only.
-PREFIXES = ("gc_", "latency_", "mmu_", "slo_", "alloc_", "executor_")
+PREFIXES = ("gc_", "latency_", "mmu_", "slo_", "alloc_", "executor_",
+            "transfer_", "messages_")
 
 # Percentile/extremum shape: aggregate as a distribution, never sum.
 # gc_scope_max_depth is max-merged at the source (deepest nesting seen),

@@ -68,6 +68,12 @@ run_suite() {
   echo "==> [$name] scoped corpus"
   "$dir/tools/gcfuzz/gcfuzz" --seed-corpus --scoped on --out "$dir"
   "$dir/tools/gcfuzz/gcfuzz" --vm-diff 30 --scoped on --out "$dir"
+  # Donation corpus: donate-send/receive/drop in the alphabet, the
+  # shadow model's snapshot/adopt bookkeeping as the oracle, and the
+  # exchange arena's donated-segment ownership audited at every
+  # collection and at end of trace.
+  echo "==> [$name] donation corpus"
+  "$dir/tools/gcfuzz/gcfuzz" --seed-corpus --donation on --out "$dir"
   # Canary: a deliberately leaked scope escape must be caught by the
   # scope-aware oracle — a zero exit means scope closes are unchecked.
   echo "==> [$name] scope-leak canary"
@@ -88,6 +94,16 @@ run_suite() {
     echo "[$name] unsound-elision canary was NOT caught" >&2
     exit 1
   fi
+  # Canary: donated segments deliberately leaked on drop must unbalance
+  # the exchange arena's ownership audit and FAIL the run. A zero exit
+  # means donated-segment ownership is not actually being checked.
+  echo "==> [$name] donation-leak canary"
+  if "$dir/tools/gcfuzz/gcfuzz" --traces 40 --config paper --scoped on \
+       --donation on --fault leak-donated-segment --no-shrink \
+       --out "$dir" >/dev/null 2>&1; then
+    echo "[$name] donation-leak canary was NOT caught" >&2
+    exit 1
+  fi
   # Shard-runtime accounting smoke: eight private heaps, cross-shard
   # messages, background finalization with injected transient
   # failures; a nonzero exit means a resource went unaccounted (and
@@ -101,6 +117,15 @@ run_suite() {
   echo "==> [$name] loadgen scoped smoke"
   "$dir/tools/loadgen/loadgen" --shards 4 --sessions 8 --ops 200 \
     --seed 11 --fail-rate 5 --scoped >/dev/null
+  # Zero-copy donation smoke: eight shards exchanging bulk payloads by
+  # segment donation; the same resource accounting must balance, and
+  # the run must actually donate (nonzero transfer counters in JSON).
+  echo "==> [$name] loadgen donation smoke"
+  "$dir/tools/loadgen/loadgen" --shards 8 --sessions 8 --ops 200 \
+    --seed 11 --fail-rate 5 --payload-bytes 16384 --donate on \
+    --json "$dir/loadgen-donate.json" >/dev/null
+  grep -q '"transfer_donated_segments": [1-9]' "$dir/loadgen-donate.json"
+  rm -f "$dir/loadgen-donate.json"
   # Observability smoke: a 2-shard run with causal tracing, heap
   # profiling, and an SLO target. The merged fleet trace must be strict
   # JSON containing flow events (the cross-shard causal arrows), the

@@ -14,6 +14,7 @@
 #include "gc/ScopedGeneration.h"
 #include "gc/Tconc.h"
 #include "gc/telemetry/Telemetry.h"
+#include "heap/SharedImmutableSpace.h"
 
 using namespace gengc;
 
@@ -223,6 +224,27 @@ void Collector::detachFromSpace(unsigned G) {
       }
     }
   }
+
+  // Adopted donation runs live in the exchange arena, tagged with the
+  // oldest generation: a full collection evacuates their survivors into
+  // the private arena like any other old objects, after which the
+  // exchange segments are returned to the process pool.
+  if (G == H.oldestGeneration()) {
+    Arena &EA = H.Exchange->arena();
+    for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
+      for (const SegmentRun &R : H.AdoptedRuns[Sp]) {
+        for (uint32_t Seg = R.FirstSegment;
+             Seg != R.FirstSegment + R.SegmentCount; ++Seg)
+          EA.infoAt(Seg).Flags |= SegmentInfo::FlagFromSpace;
+        S.BytesInFromSpace +=
+            static_cast<uint64_t>(R.UsedWords) * sizeof(uintptr_t);
+      }
+      FromExchangeRuns[Sp].insert(FromExchangeRuns[Sp].end(),
+                                  H.AdoptedRuns[Sp].begin(),
+                                  H.AdoptedRuns[Sp].end());
+      H.AdoptedRuns[Sp].clear();
+    }
+  }
 }
 
 void Collector::freeFromSpace() {
@@ -240,6 +262,25 @@ void Collector::freeFromSpace() {
           Base[I] = FromSpacePoisonPattern;
       }
       H.Segments.freeRun(R.FirstSegment, R.SegmentCount);
+      S.SegmentsFreed += R.SegmentCount;
+    }
+
+  // Evacuated exchange-arena runs (adopted donations taken by
+  // detachFromSpace, or a closing donation scope's segments) go back to
+  // the process-wide pool; Arena::freeRun is internally locked, so this
+  // is safe against other shards allocating donation segments.
+  Arena &EA = H.Exchange->arena();
+  for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+    for (const SegmentRun &R : FromExchangeRuns[Sp]) {
+      if (H.Cfg.PoisonFromSpace) {
+        // rootcheck:allow(segment-base) — collector owns from-space.
+        uintptr_t *Base = EA.segmentBase(R.FirstSegment);
+        const size_t RunWords =
+            static_cast<size_t>(R.SegmentCount) * SegmentWords;
+        for (size_t I = 0; I != RunWords; ++I)
+          Base[I] = FromSpacePoisonPattern;
+      }
+      EA.freeRun(R.FirstSegment, R.SegmentCount);
       S.SegmentsFreed += R.SegmentCount;
     }
 }
@@ -275,7 +316,7 @@ Value Collector::forward(Value V) {
     return Par->forwardShared(V);
   if (!V.isHeapPointer())
     return V;
-  const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
+  const SegmentInfo &Info = H.segInfo(V.heapAddress());
   if (!Info.isFromSpace())
     return V;
 
@@ -338,7 +379,7 @@ void Collector::sweepAllocProfiler() {
   size_t Keep = 0;
   for (AllocProfiler::SampledObject &O : Table) {
     const Value V = Value::fromBits(O.Bits);
-    const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
+    const SegmentInfo &Info = H.segInfo(V.heapAddress());
     if (!Info.isFromSpace()) {
       // Lives in a generation older than those collected: untouched.
       Table[Keep++] = O;
@@ -358,7 +399,7 @@ void Collector::sweepAllocProfiler() {
 bool Collector::isForwarded(Value V) const {
   if (!V.isHeapPointer())
     return true;
-  const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
+  const SegmentInfo &Info = H.segInfo(V.heapAddress());
   if (!Info.isFromSpace())
     return true;
   if (V.isPair())
@@ -369,7 +410,7 @@ bool Collector::isForwarded(Value V) const {
 Value Collector::forwardedAddress(Value V) const {
   if (!V.isHeapPointer())
     return V;
-  const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
+  const SegmentInfo &Info = H.segInfo(V.heapAddress());
   if (!Info.isFromSpace())
     return V;
   if (V.isPair()) {
@@ -434,8 +475,7 @@ void Collector::forwardRememberedObject(Value Container) {
     PairCell *Cell = Container.pairCell();
     // A weak pair's car is weak and handled by the weak-pair pass; only
     // its cdr is a strong pointer.
-    if (H.Segments.infoFor(Container.heapAddress()).Space !=
-        SpaceKind::WeakPair)
+    if (H.segInfo(Container.heapAddress()).Space != SpaceKind::WeakPair)
       forwardWord(&Cell->Car);
     forwardWord(&Cell->Cdr);
     return;
@@ -450,13 +490,15 @@ bool Collector::pointsBelowGeneration(Value Container,
                                       unsigned Generation) const {
   auto Below = [&](uintptr_t Bits) {
     Value V = Value::fromBits(Bits);
+    // SharedGeneration (0xFF) never compares below: shared values need
+    // no remembered entries.
     return V.isHeapPointer() &&
-           H.Segments.infoFor(V.heapAddress()).Generation < Generation;
+           H.segInfo(V.heapAddress()).Generation < Generation;
   };
   if (Container.isPair()) {
     PairCell *Cell = Container.pairCell();
-    bool Weak = H.Segments.infoFor(Container.heapAddress()).Space ==
-                SpaceKind::WeakPair;
+    bool Weak =
+        H.segInfo(Container.heapAddress()).Space == SpaceKind::WeakPair;
     return (!Weak && Below(Cell->Car)) || Below(Cell->Cdr);
   }
   uintptr_t *Header = Container.objectHeader();
@@ -481,8 +523,9 @@ void Collector::kleeneSweep() {
       for (SpaceKind Space :
            {SpaceKind::Pair, SpaceKind::Typed, SpaceKind::WeakPair}) {
         const unsigned Sp = static_cast<unsigned>(Space);
-        Progress |= sweepRange(scopeTargetContext(Sp), ScopeCursors[Sp],
-                               Space, /*ContainerGen=*/0);
+        Progress |=
+            sweepRange(scopeTargetArena(), scopeTargetContext(Sp),
+                       ScopeCursors[Sp], Space, /*ContainerGen=*/0);
       }
     }
     return;
@@ -502,11 +545,11 @@ void Collector::kleeneSweep() {
 
 bool Collector::sweepContext(SpaceKind Space, unsigned Gen, unsigned Age) {
   const unsigned Sp = static_cast<unsigned>(Space);
-  return sweepRange(H.Contexts[Sp][Gen][Age], Cursors[Sp][Gen][Age], Space,
-                    Gen);
+  return sweepRange(H.Segments, H.Contexts[Sp][Gen][Age],
+                    Cursors[Sp][Gen][Age], Space, Gen);
 }
 
-bool Collector::sweepRange(SpaceContext &Ctx, SweepCursor &Cur,
+bool Collector::sweepRange(Arena &A, SpaceContext &Ctx, SweepCursor &Cur,
                            SpaceKind Space, unsigned ContainerGen) {
   bool Progress = false;
 
@@ -514,7 +557,7 @@ bool Collector::sweepRange(SpaceContext &Ctx, SweepCursor &Cur,
     const std::vector<SegmentRun> &Runs = Ctx.runs();
     if (Cur.RunIndex >= Runs.size())
       break;
-    const size_t Used = Ctx.usedWordsOf(H.Segments, Cur.RunIndex);
+    const size_t Used = Ctx.usedWordsOf(A, Cur.RunIndex);
     if (Cur.OffsetWords >= Used) {
       if (Cur.RunIndex + 1 < Runs.size()) {
         ++Cur.RunIndex;
@@ -525,9 +568,8 @@ bool Collector::sweepRange(SpaceContext &Ctx, SweepCursor &Cur,
     }
     // rootcheck:allow(segment-base) — the Cheney sweep is the allocation
     // walk itself.
-    uintptr_t *P =
-        H.Segments.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
-        Cur.OffsetWords;
+    uintptr_t *P = A.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
+                   Cur.OffsetWords;
     if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair) {
       sweepPairAt(P, Space == SpaceKind::WeakPair, ContainerGen);
       Cur.OffsetWords += 2;
@@ -551,7 +593,7 @@ void Collector::maybeReRemember(uintptr_t ContainerBits,
   Value Field = Value::fromBits(FieldBits);
   if (!Field.isHeapPointer())
     return;
-  if (H.Segments.infoFor(Field.heapAddress()).Generation < ContainerGen) {
+  if (H.segInfo(Field.heapAddress()).Generation < ContainerGen) {
     // PtrHashSet is not thread-safe; workers buffer the insert and the
     // coordinator replays the buffers in worker order after the join.
     if (Par)
@@ -597,12 +639,13 @@ void Collector::sweepTypedAt(uintptr_t *Header, unsigned ContainerGen) {
 unsigned Collector::entryListIndex(Value Obj, Value Tconc,
                                    Value Agent) const {
   unsigned Index = H.oldestGeneration();
+  // A shared participant's SharedGeneration (0xFF) loses the min against
+  // the oldest real generation, which is the right list for an entry
+  // that can only be reaped when everything else ages out.
   for (Value V : {Obj, Tconc, Agent})
     if (V.isHeapPointer())
-      Index = std::min(
-          Index,
-          static_cast<unsigned>(
-              H.Segments.infoFor(V.heapAddress()).Generation));
+      Index = std::min(Index, static_cast<unsigned>(
+                                  H.segInfo(V.heapAddress()).Generation));
   return Index;
 }
 
@@ -783,9 +826,15 @@ void Collector::processFinalizeLists(unsigned G,
   }
   for (const Heap::FinalizeEntry &E : Kept) {
     Value Obj = Value::fromBits(E.ObjectBits);
-    unsigned Index = Obj.isHeapPointer()
-                         ? H.Segments.infoFor(Obj.heapAddress()).Generation
-                         : H.oldestGeneration();
+    // Clamp SharedGeneration (0xFF): an entry whose object was frozen
+    // into the shared space parks on the oldest list, like a non-heap
+    // one.
+    unsigned Index =
+        Obj.isHeapPointer()
+            ? std::min(static_cast<unsigned>(
+                           H.segInfo(Obj.heapAddress()).Generation),
+                       H.oldestGeneration())
+            : H.oldestGeneration();
     H.FinalizeLists[Index].push_back(E);
   }
 }
@@ -836,7 +885,7 @@ void Collector::weakPairPass(unsigned G) {
       fixWeakCar(P);
       Value Car = pairCar(P);
       if (Car.isHeapPointer() &&
-          H.Segments.infoFor(Car.heapAddress()).Generation < I)
+          H.segInfo(Car.heapAddress()).Generation < I)
         H.WeakRemembered[I].insert(Bits);
     }
   }
@@ -850,13 +899,14 @@ void Collector::weakPairPass(unsigned G) {
 void Collector::scopeWeakContextPass() {
   const unsigned Sp = static_cast<unsigned>(SpaceKind::WeakPair);
   for (auto &SG : H.ScopeStack) {
+    Arena &A = *SG->ScopeArena;
     SpaceContext &Ctx = SG->Contexts[Sp];
-    Ctx.sealCurrentRun(H.Segments);
+    Ctx.sealCurrentRun(A);
     const std::vector<SegmentRun> &Runs = Ctx.runs();
     for (size_t R = 0; R != Runs.size(); ++R) {
       // rootcheck:allow(segment-base) — replays the scope's bump walk.
-      uintptr_t *Base = H.Segments.segmentBase(Runs[R].FirstSegment);
-      const size_t Used = Ctx.usedWordsOf(H.Segments, R);
+      uintptr_t *Base = A.segmentBase(Runs[R].FirstSegment);
+      const size_t Used = Ctx.usedWordsOf(A, R);
       for (size_t Off = 0; Off != Used; Off += 2)
         fixWeakCar(Value::pair(reinterpret_cast<PairCell *>(Base + Off)));
     }
@@ -875,7 +925,8 @@ void Collector::scanOpenScopes() {
          {SpaceKind::Pair, SpaceKind::Typed, SpaceKind::WeakPair}) {
       const unsigned Sp = static_cast<unsigned>(Space);
       SweepCursor Cur{0, 0};
-      sweepRange(SG->Contexts[Sp], Cur, Space, /*ContainerGen=*/0);
+      sweepRange(*SG->ScopeArena, SG->Contexts[Sp], Cur, Space,
+                 /*ContainerGen=*/0);
     }
   }
 }
@@ -887,7 +938,7 @@ void Collector::fixupScopeEscapes() {
       Set->clear();
       for (uintptr_t Bits : Snapshot) {
         Value C = Value::fromBits(Bits);
-        const SegmentInfo &Info = H.Segments.infoFor(C.heapAddress());
+        const SegmentInfo &Info = H.segInfo(C.heapAddress());
         if (!Info.isFromSpace()) {
           Set->insert(Bits);
         } else if (isForwarded(C)) {
@@ -906,7 +957,7 @@ void Collector::fixWeakCar(Value WeakPair) {
   Value Car = Value::fromBits(Cell->Car);
   if (!Car.isHeapPointer())
     return;
-  const SegmentInfo &Info = H.Segments.infoFor(Car.heapAddress());
+  const SegmentInfo &Info = H.segInfo(Car.heapAddress());
   if (!Info.isFromSpace())
     return;
   // "If the object pointed to by the car field has been forwarded, the
@@ -920,10 +971,9 @@ void Collector::fixWeakCar(Value WeakPair) {
     // Track a young car (possible under tenure policies, or after this
     // pair was copied while its car stayed behind) so later collections
     // can find it.
-    unsigned PairGen =
-        H.Segments.infoFor(WeakPair.heapAddress()).Generation;
+    unsigned PairGen = H.segInfo(WeakPair.heapAddress()).Generation;
     if (NewCar.isHeapPointer() &&
-        H.Segments.infoFor(NewCar.heapAddress()).Generation < PairGen)
+        H.segInfo(NewCar.heapAddress()).Generation < PairGen)
       H.WeakRemembered[PairGen].insert(WeakPair.bits());
   } else {
     Cell->Car = Value::falseV().bits();
@@ -942,7 +992,7 @@ void Collector::updateSymbolTable() {
   // died; update entries whose symbol moved.
   for (auto It = H.SymbolTable.begin(); It != H.SymbolTable.end();) {
     Value Sym = Value::fromBits(It->second);
-    const SegmentInfo &Info = H.Segments.infoFor(Sym.heapAddress());
+    const SegmentInfo &Info = H.segInfo(Sym.heapAddress());
     if (!Info.isFromSpace()) {
       ++It;
       continue;

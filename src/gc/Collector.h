@@ -126,8 +126,8 @@ private:
   /// its allocation frontier. Also used for the scope-close targets and
   /// the open-scope root scan, which sweep contexts outside the
   /// Contexts[][][] array.
-  bool sweepRange(SpaceContext &Ctx, SweepCursor &Cur, SpaceKind Space,
-                  unsigned ContainerGen);
+  bool sweepRange(Arena &A, SpaceContext &Ctx, SweepCursor &Cur,
+                  SpaceKind Space, unsigned ContainerGen);
   void sweepPairAt(uintptr_t *Cell, bool Weak, unsigned ContainerGen);
   void sweepTypedAt(uintptr_t *Header, unsigned ContainerGen);
   /// Re-records \p Container in the remembered set if \p FieldBits now
@@ -181,6 +181,11 @@ private:
 
   /// Scope-close helpers (defined in gc/ScopedGeneration.cpp).
   SpaceContext &scopeTargetContext(unsigned Sp);
+  /// Arena the scope-close target contexts allocate from: the enclosing
+  /// scope's arena (the exchange arena when closing into a donation
+  /// scope), or the heap's private arena when survivors graduate to the
+  /// ordinary generation 0.
+  Arena &scopeTargetArena();
   uintptr_t *scopeAllocate(SpaceKind Space, size_t Words);
   void scopeDetachFromSpace(ScopedGeneration &Scope);
   void scopeForwardEscapeRoots(ScopedGeneration &Scope);
@@ -204,6 +209,12 @@ private:
   ParallelScavenge *Par = nullptr;
 
   std::vector<SegmentRun> FromRuns[NumSpaces];
+  /// From-space runs that live in the exchange arena rather than the
+  /// heap's private arena: adopted donation runs taken from
+  /// Heap::AdoptedRuns during a full collection, and the segments of a
+  /// closing donation scope that failed the wholesale-transfer check.
+  /// Freed through the exchange arena in freeFromSpace.
+  std::vector<SegmentRun> FromExchangeRuns[NumSpaces];
   SweepCursor Cursors[NumSpaces][MaxGenerations][MaxTenureCopies];
   /// Start positions of the weak-pair regions copied during this
   /// collection, for the second (weak) pass.

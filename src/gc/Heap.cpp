@@ -17,6 +17,7 @@
 #include "gc/ScopedGeneration.h"
 #include "gc/Tconc.h"
 #include "gc/telemetry/TraceExport.h"
+#include "heap/SharedImmutableSpace.h"
 
 using namespace gengc;
 
@@ -60,6 +61,8 @@ unsigned resolveGcThreads(const HeapConfig &Cfg) {
 
 Heap::Heap(HeapConfig Config)
     : Cfg(Config), Segments(Config.ArenaBytes),
+      Exchange(Config.Exchange ? Config.Exchange
+                               : &SharedImmutableSpace::process()),
       OwnerThread(std::this_thread::get_id()) {
   GENGC_ASSERT(Cfg.Generations >= 1 && Cfg.Generations <= MaxGenerations,
                "generation count out of range");
@@ -155,8 +158,9 @@ uintptr_t *Heap::allocateRaw(SpaceKind Space, size_t Words) {
     // safepoint counter, not the byte budget.
     ScopedGeneration &SG = *ScopeStack.back();
     W = SG.Contexts[static_cast<unsigned>(Space)].allocate(
-        Segments, Space, 0, Words, /*Age=*/0,
-        static_cast<uint8_t>(SG.Depth));
+        *SG.ScopeArena, Space, 0, Words, /*Age=*/0,
+        static_cast<uint8_t>(SG.Depth),
+        SG.Donation ? SegmentInfo::FlagDonated : static_cast<uint8_t>(0));
   } else {
     BytesSinceGc += Bytes;
     if (BytesSinceGc >= Cfg.Gen0CollectBytes)
@@ -409,16 +413,25 @@ Value Heap::makeList(const std::vector<Value> &Elements) {
 void Heap::writeBarrier(Value Container, Value V, bool WeakField) {
   checkOwner("barriered store");
   ++BarriersExecutedTotal;
+  // Shared immutable containers (Generation == SharedGeneration) are
+  // frozen: a store into one — even of an immediate — would be visible
+  // to every shard with no synchronization and no remembered-set
+  // coverage. Checked before the non-pointer early-out for that reason.
+  const SegmentInfo &CInfo = segInfo(Container.heapAddress());
+  if (CInfo.Generation == SharedGeneration)
+    fatalError(__FILE__, __LINE__,
+               "store into the shared immutable space: frozen objects "
+               "are published read-only to every shard "
+               "(heap/SharedImmutableSpace.h)");
   if (!V.isHeapPointer())
     return;
   if (!ScopeStack.empty()) {
     scopeBarrier(Container, V, WeakField);
     return;
   }
-  const SegmentInfo &CInfo = Segments.infoFor(Container.heapAddress());
   if (CInfo.Generation == 0)
     return;
-  const SegmentInfo &VInfo = Segments.infoFor(V.heapAddress());
+  const SegmentInfo &VInfo = segInfo(V.heapAddress());
   if (VInfo.Generation >= CInfo.Generation)
     return;
   if (WeakField)
@@ -433,8 +446,13 @@ void Heap::scopeBarrier(Value Container, Value V, bool WeakField) {
   // evacuation root (escape) for the value's scope. Checked before the
   // generational early-outs because even a generation-0 container can
   // hold the only outside reference into a scope.
-  const SegmentInfo &CInfo = Segments.infoFor(Container.heapAddress());
-  const SegmentInfo &VInfo = Segments.infoFor(V.heapAddress());
+  const SegmentInfo &CInfo = segInfo(Container.heapAddress());
+  if (CInfo.Generation == SharedGeneration)
+    fatalError(__FILE__, __LINE__,
+               "store into the shared immutable space: frozen objects "
+               "are published read-only to every shard "
+               "(heap/SharedImmutableSpace.h)");
+  const SegmentInfo &VInfo = segInfo(V.heapAddress());
   if (VInfo.ScopeDepth > CInfo.ScopeDepth) {
     ScopedGeneration &SG = *ScopeStack[VInfo.ScopeDepth - 1];
     (WeakField ? SG.WeakEscapes : SG.Escapes).insert(Container.bits());
@@ -477,9 +495,9 @@ void Heap::vectorSet(Value Vector, size_t Index, Value V) {
     // dynamic verifier (VerifyElision) must abort here; without it, the
     // missing old-to-young entry must be caught by verifyHeap / the
     // fuzz oracle at the next collection.
-    const SegmentInfo &CInfo = Segments.infoFor(Vector.heapAddress());
+    const SegmentInfo &CInfo = segInfo(Vector.heapAddress());
     if (CInfo.Generation != 0 &&
-        Segments.infoFor(V.heapAddress()).Generation < CInfo.Generation) {
+        segInfo(V.heapAddress()).Generation < CInfo.Generation) {
       UnsoundElisionFired = true;
       vectorSetElided(Vector, Index, V, StoreElision::Initializing);
       return;
@@ -523,7 +541,7 @@ void Heap::elidedStore(Value Container, Value V, StoreElision Claim) {
   // have inserted a remembered-set entry.
   switch (Claim) {
   case StoreElision::Initializing: {
-    const SegmentInfo &CInfo = Segments.infoFor(Container.heapAddress());
+    const SegmentInfo &CInfo = segInfo(Container.heapAddress());
     if (CInfo.Generation != 0)
       fatalError(__FILE__, __LINE__,
                  "unsound barrier elision: store classified 'initializing' "
@@ -586,23 +604,27 @@ void Heap::recordSetElided(Value Record, size_t Index, Value V,
 unsigned Heap::generationOf(Value V) const {
   if (!V.isHeapPointer())
     return 0;
-  return Segments.infoFor(V.heapAddress()).Generation;
+  return segInfo(V.heapAddress()).Generation;
 }
 
 unsigned Heap::scopeDepthOf(Value V) const {
   if (!V.isHeapPointer())
     return 0;
-  return Segments.infoFor(V.heapAddress()).ScopeDepth;
+  return segInfo(V.heapAddress()).ScopeDepth;
 }
 
 bool Heap::isWeakPair(Value V) const {
   return V.isPair() &&
-         Segments.infoFor(V.heapAddress()).Space == SpaceKind::WeakPair;
+         segInfo(V.heapAddress()).Space == SpaceKind::WeakPair;
 }
 
 SpaceKind Heap::spaceOf(Value V) const {
   GENGC_ASSERT(V.isHeapPointer(), "spaceOf on non-heap value");
-  return Segments.infoFor(V.heapAddress()).Space;
+  return segInfo(V.heapAddress()).Space;
+}
+
+const SegmentInfo &Heap::exchangeInfo(uintptr_t Address) const {
+  return Exchange->arena().infoFor(Address);
 }
 
 Heap::GenerationUsage Heap::generationUsage(unsigned Generation) const {
@@ -615,6 +637,14 @@ Heap::GenerationUsage Heap::generationUsage(unsigned Generation) const {
         Usage.SegmentCount += R.SegmentCount;
       Usage.UsedBytes += Ctx.usedWords(Segments) * sizeof(uintptr_t);
     }
+  // Adopted donation runs are tenured space of the oldest generation.
+  if (Generation == oldestGeneration())
+    for (unsigned S = 0; S != NumSpaces; ++S)
+      for (const SegmentRun &R : AdoptedRuns[S]) {
+        Usage.SegmentCount += R.SegmentCount;
+        Usage.UsedBytes += static_cast<size_t>(R.UsedWords) *
+                           sizeof(uintptr_t);
+      }
   return Usage;
 }
 
@@ -626,7 +656,10 @@ size_t Heap::liveBytes() const {
         Words += Contexts[S][G][A].usedWords(Segments);
   for (const auto &SG : ScopeStack)
     for (unsigned S = 0; S != NumSpaces; ++S)
-      Words += SG->Contexts[S].usedWords(Segments);
+      Words += SG->Contexts[S].usedWords(*SG->ScopeArena);
+  for (unsigned S = 0; S != NumSpaces; ++S)
+    for (const SegmentRun &R : AdoptedRuns[S])
+      Words += R.UsedWords;
   return Words * sizeof(uintptr_t);
 }
 

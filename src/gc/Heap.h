@@ -53,6 +53,8 @@ class GcWorkerPool;
 class NoGcScope;
 class ParallelScavenge;
 class RootVector;
+class SharedImmutableSpace;
+struct DonatedGraph;
 struct HeapCensus;
 struct ScopedGeneration;
 
@@ -190,6 +192,85 @@ public:
   }
   /// Space a heap value lives in.
   SpaceKind spaceOf(Value V) const;
+  /// True if \p V lives in the shared immutable space.
+  bool isShared(Value V) const {
+    return V.isHeapPointer() && segInfo(V.heapAddress()).isShared();
+  }
+
+  /// Segment info for any heap address this heap can reference: its
+  /// private arena, or the exchange arena (shared immutable segments and
+  /// donated segments, which adoption makes part of this heap's tenured
+  /// space). The single classification point every barrier/collector
+  /// path routes through.
+  const SegmentInfo &segInfo(uintptr_t Address) const {
+    if (Segments.containsAddress(Address))
+      return Segments.infoFor(Address);
+    return exchangeInfo(Address);
+  }
+  SegmentInfo &segInfo(uintptr_t Address) {
+    return const_cast<SegmentInfo &>(
+        static_cast<const Heap *>(this)->segInfo(Address));
+  }
+
+  /// The exchange domain this heap donates into and adopts from
+  /// (HeapConfig::Exchange, resolved at construction).
+  SharedImmutableSpace &exchange() const { return *Exchange; }
+
+  //===------------------------------------------------------------------===//
+  // Zero-copy segment donation (gc/Donation.cpp; DESIGN.md §14). The
+  // heap-level primitives under runtime/SegmentTransfer.h's protocol.
+  //===------------------------------------------------------------------===//
+
+  /// Evacuates the object graph rooted at \p Root into fresh sealed
+  /// donation segments of the exchange arena and returns the handle.
+  /// The sender's graph is left untouched (the copy-out uses a side
+  /// map, not forwarding markers); symbols transfer by name as fixups;
+  /// shared-immutable references are kept as-is. Not a safepoint.
+  DonatedGraph donateGraph(Value Root);
+
+  /// Adopts \p Graph: re-interns its symbol fixups, retags its segments
+  /// to this heap's oldest generation, appends the runs to the adopted
+  /// tenured space (collected with the oldest generation from the next
+  /// full collection on), and returns the graph's root. Empties the
+  /// handle. May collect (symbol interning is a safepoint), but only
+  /// before the graph becomes reachable.
+  Value adoptDonatedGraph(DonatedGraph &Graph);
+
+  /// Opens a donation scope: like openScope(), but the scope's nursery
+  /// segments are allocated in the exchange arena, pre-tagged
+  /// FlagDonated, so a fully self-contained scope can be donated
+  /// wholesale at close — zero copies, O(segments) retagging.
+  void openDonationScope();
+
+  /// Attempts the wholesale close of the innermost scope (which must be
+  /// a donation scope): if nothing escaped, no root or guardian still
+  /// reaches into the scope, and a read-only scan proves the scope
+  /// self-contained (every outbound edge immediate / shared / symbol),
+  /// the scope's segments are sealed and handed over as a DonatedGraph
+  /// rooted at \p Root, and the scope is popped. Returns an empty
+  /// handle (Domain == nullptr) WITHOUT closing the scope when any
+  /// check fails — the caller falls back to closeScope() + donateGraph.
+  DonatedGraph tryCloseScopeDonating(Value Root);
+
+  /// Monotonic donation counters (runtime transfer reports).
+  uint64_t graphsDonated() const { return GraphsDonatedTotal; }
+  uint64_t graphsAdopted() const { return GraphsAdoptedTotal; }
+  uint64_t segmentsDonated() const { return SegmentsDonatedTotal; }
+  uint64_t bytesDonated() const { return BytesDonatedTotal; }
+  uint64_t scopesDonatedWholesale() const { return ScopesDonatedTotal; }
+
+  /// Exchange segments this heap currently holds as adopted tenured
+  /// runs (they return to the exchange arena at the next full
+  /// collection). With the in-flight handles a caller tracks itself,
+  /// this accounts for every donated segment a single-heap test owns —
+  /// the fuzzer's ownership audit.
+  size_t adoptedSegments() const {
+    size_t N = 0;
+    for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+      for (const SegmentRun &R : AdoptedRuns[Sp])
+        N += R.SegmentCount;
+    return N;
+  }
 
   //===------------------------------------------------------------------===//
   // Guardians (the paper's Section 3 interface, lowered to the Section 4
@@ -513,8 +594,14 @@ private:
   /// actual container generation / value tag, aborting on violation.
   void elidedStore(Value Container, Value V, StoreElision Claim);
 
+  /// Out-of-line tail of segInfo() for exchange-arena addresses (needs
+  /// the SharedImmutableSpace definition). Asserts containment.
+  const SegmentInfo &exchangeInfo(uintptr_t Address) const;
+
   HeapConfig Cfg;
   Arena Segments;
+  /// The exchange domain (never null after construction).
+  SharedImmutableSpace *Exchange = nullptr;
   /// Resolved parallel-scavenge width (gcThreads()).
   unsigned GcThreadsResolved = 1;
   /// Lazily-created worker threads (gcWorkerPool()).
@@ -542,6 +629,20 @@ private:
 
   /// The collector's protected lists, one per generation (Section 4).
   std::vector<ProtectedEntry> Protected[MaxGenerations];
+
+  /// Adopted donation runs, per space: exchange-arena segments this heap
+  /// received through adoptDonatedGraph, retagged to the oldest
+  /// generation. Logically part of the oldest generation's tenured
+  /// space; a full collection evacuates their survivors into the
+  /// private arena and returns the segments to the exchange arena.
+  std::vector<SegmentRun> AdoptedRuns[NumSpaces];
+
+  /// Monotonic donation counters (graphsDonated() etc.).
+  uint64_t GraphsDonatedTotal = 0;
+  uint64_t GraphsAdoptedTotal = 0;
+  uint64_t SegmentsDonatedTotal = 0;
+  uint64_t BytesDonatedTotal = 0;
+  uint64_t ScopesDonatedTotal = 0;
 
   /// Open request scopes, innermost last (gc/ScopedGeneration.h). While
   /// non-empty, allocateRaw redirects into the innermost scope's

@@ -31,6 +31,8 @@
 
 namespace gengc {
 
+class SharedImmutableSpace;
+
 /// Word written over every evacuated (from-space) segment when
 /// HeapConfig::PoisonFromSpace is on. The low tag bits (0b111) are not a
 /// valid Value tag, and interpreting the pattern as a pointer lands far
@@ -68,6 +70,11 @@ enum class GcFaultInjection : uint8_t {
   /// alive dies in the evacuation while the shadow model keeps it — a
   /// clean, memory-safe divergence the oracle must catch and shrink.
   LeakScopeEscape,
+  /// DonatedGraph destructors skip freeing their exchange-arena runs:
+  /// a dropped (never-adopted) donation leaks its segments. The fuzz
+  /// runner's exchange-ownership audit — donated segments in use must
+  /// equal in-flight plus adopted — must catch and shrink it.
+  LeakDonatedSegment,
 };
 
 struct HeapConfig {
@@ -136,6 +143,23 @@ struct HeapConfig {
   /// segment in a uint8_t, so the hard ceiling is 255; the default is a
   /// sanity bound — scopes model request extents, not recursion.
   unsigned MaxScopeDepth = 8;
+
+  //===------------------------------------------------------------------===//
+  // Zero-copy inter-shard transfer (heap/SharedImmutableSpace.h,
+  // runtime/SegmentTransfer.h; DESIGN.md §14).
+  //===------------------------------------------------------------------===//
+
+  /// Cross-shard payloads at least this large are transferred by segment
+  /// donation (copy-out into fresh exchange-arena segments whose
+  /// ownership moves to the receiver) instead of the per-object deep
+  /// copy through a PinnedMessage. 0 disables donation entirely.
+  size_t DonationThresholdBytes = 0;
+
+  /// The exchange domain this heap donates into and adopts from.
+  /// nullptr — the default — resolves to the process-wide
+  /// SharedImmutableSpace::process() at Heap construction; tests and the
+  /// fuzzer install a private instance for isolated accounting.
+  SharedImmutableSpace *Exchange = nullptr;
 
   /// When true, the symbol intern table holds its symbols weakly:
   /// symbols reachable only from the table are reclaimed and their

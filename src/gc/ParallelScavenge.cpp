@@ -338,7 +338,10 @@ void ParallelScavenge::scanRange(uintptr_t *P, uintptr_t *End,
 Value ParallelScavenge::forwardShared(Value V) {
   if (!V.isHeapPointer())
     return V;
-  const SegmentInfo &Info = H.Segments.infoFor(V.heapAddress());
+  // segInfo: adopted donation runs live in the exchange arena and are
+  // from-space during a full collection; their infos are stable while
+  // the world is stopped, so the unsynchronized read is safe.
+  const SegmentInfo &Info = H.segInfo(V.heapAddress());
   if (!Info.isFromSpace())
     return V;
 

@@ -39,7 +39,8 @@ void Heap::openScope() {
   GENGC_ASSERT(ScopeStack.size() < Cfg.MaxScopeDepth,
                "scope nesting deeper than HeapConfig::MaxScopeDepth");
   ScopeStack.push_back(std::make_unique<ScopedGeneration>(
-      static_cast<unsigned>(ScopeStack.size()) + 1));
+      static_cast<unsigned>(ScopeStack.size()) + 1, &Segments,
+      /*Donation=*/false));
   ++ScopeTotalsRec.ScopesOpened;
   if (ScopeStack.size() > ScopeTotalsRec.MaxDepth)
     ScopeTotalsRec.MaxDepth = ScopeStack.size();
@@ -99,23 +100,38 @@ SpaceContext &Collector::scopeTargetContext(unsigned Sp) {
 
 uintptr_t *Collector::scopeAllocate(SpaceKind Space, size_t Words) {
   const unsigned Sp = static_cast<unsigned>(Space);
-  const uint8_t Depth =
-      TargetScope ? static_cast<uint8_t>(TargetScope->Depth) : 0;
-  return scopeTargetContext(Sp).allocate(H.Segments, Space, /*Generation=*/0,
-                                         Words, /*Age=*/0, Depth);
+  if (TargetScope)
+    return TargetScope->Contexts[Sp].allocate(
+        *TargetScope->ScopeArena, Space, /*Generation=*/0, Words, /*Age=*/0,
+        static_cast<uint8_t>(TargetScope->Depth),
+        TargetScope->Donation ? SegmentInfo::FlagDonated
+                              : static_cast<uint8_t>(0));
+  return H.Contexts[Sp][0][0].allocate(H.Segments, Space, /*Generation=*/0,
+                                       Words, /*Age=*/0, /*ScopeDepth=*/0);
+}
+
+Arena &Collector::scopeTargetArena() {
+  return TargetScope ? *TargetScope->ScopeArena : H.Segments;
 }
 
 void Collector::scopeDetachFromSpace(ScopedGeneration &Scope) {
+  // Donation scopes live in the exchange arena; their dead segments are
+  // freed back there (FromExchangeRuns), never into the private arena's
+  // free list.
+  Arena &A = *Scope.ScopeArena;
+  const bool Exchange = &A != &H.Segments;
   for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
-    std::vector<SegmentRun> Runs = Scope.Contexts[Sp].takeRuns(H.Segments);
+    std::vector<SegmentRun> Runs = Scope.Contexts[Sp].takeRuns(A);
     for (const SegmentRun &R : Runs) {
       for (uint32_t Seg = R.FirstSegment;
            Seg != R.FirstSegment + R.SegmentCount; ++Seg)
-        H.Segments.infoAt(Seg).Flags |= SegmentInfo::FlagFromSpace;
+        A.infoAt(Seg).Flags |= SegmentInfo::FlagFromSpace;
       S.BytesInFromSpace +=
           static_cast<uint64_t>(R.UsedWords) * sizeof(uintptr_t);
     }
-    FromRuns[Sp].insert(FromRuns[Sp].end(), Runs.begin(), Runs.end());
+    std::vector<SegmentRun> &Dst = Exchange ? FromExchangeRuns[Sp]
+                                            : FromRuns[Sp];
+    Dst.insert(Dst.end(), Runs.begin(), Runs.end());
   }
 }
 
@@ -139,12 +155,12 @@ void Collector::scopeForwardEscapeRoots(ScopedGeneration &Scope) {
       auto ClearIfFromSpace = [&](uintptr_t &FieldBits) {
         Value F = Value::fromBits(FieldBits);
         if (F.isHeapPointer() &&
-            H.Segments.infoFor(F.heapAddress()).isFromSpace())
+            H.segInfo(F.heapAddress()).isFromSpace())
           FieldBits = Value::falseV().bits();
       };
       if (C.isPair()) {
         PairCell *Cell = C.pairCell();
-        if (H.Segments.infoFor(C.heapAddress()).Space != SpaceKind::WeakPair)
+        if (H.segInfo(C.heapAddress()).Space != SpaceKind::WeakPair)
           ClearIfFromSpace(Cell->Car);
         ClearIfFromSpace(Cell->Cdr);
       } else {
@@ -167,12 +183,13 @@ void Collector::scopeWeakPairPass(ScopedGeneration &Scope) {
   // the fixpoint before this pass, so they update rather than break.
   const unsigned Sp = static_cast<unsigned>(SpaceKind::WeakPair);
   SpaceContext &Ctx = scopeTargetContext(Sp);
+  Arena &TA = scopeTargetArena();
   SweepCursor Cur = ScopeWeakScanStart;
   while (true) {
     const std::vector<SegmentRun> &Runs = Ctx.runs();
     if (Cur.RunIndex >= Runs.size())
       break;
-    const size_t Used = Ctx.usedWordsOf(H.Segments, Cur.RunIndex);
+    const size_t Used = Ctx.usedWordsOf(TA, Cur.RunIndex);
     if (Cur.OffsetWords >= Used) {
       if (Cur.RunIndex + 1 < Runs.size()) {
         ++Cur.RunIndex;
@@ -183,7 +200,7 @@ void Collector::scopeWeakPairPass(ScopedGeneration &Scope) {
     }
     // rootcheck:allow(segment-base) — weak pass replays the sweep walk.
     uintptr_t *Cell =
-        H.Segments.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
+        TA.segmentBase(Runs[Cur.RunIndex].FirstSegment) +
         Cur.OffsetWords;
     fixWeakCar(Value::pair(reinterpret_cast<PairCell *>(Cell)));
     Cur.OffsetWords += 2;
@@ -199,8 +216,8 @@ void Collector::scopeWeakPairPass(ScopedGeneration &Scope) {
     Value Car = pairCar(W);
     if (!Car.isHeapPointer())
       continue;
-    const SegmentInfo &WI = H.Segments.infoFor(W.heapAddress());
-    const SegmentInfo &CI = H.Segments.infoFor(Car.heapAddress());
+    const SegmentInfo &WI = H.segInfo(W.heapAddress());
+    const SegmentInfo &CI = H.segInfo(Car.heapAddress());
     if (CI.ScopeDepth > WI.ScopeDepth)
       H.ScopeStack[CI.ScopeDepth - 1]->WeakEscapes.insert(Bits);
   }
@@ -217,7 +234,7 @@ void Collector::propagateScopeEscapes(ScopedGeneration &Scope) {
     Value F = Value::fromBits(FieldBits);
     if (!F.isHeapPointer())
       return;
-    const SegmentInfo &FInfo = H.Segments.infoFor(F.heapAddress());
+    const SegmentInfo &FInfo = H.segInfo(F.heapAddress());
     if (FInfo.ScopeDepth > CInfo.ScopeDepth) {
       H.ScopeStack[FInfo.ScopeDepth - 1]->Escapes.insert(C.bits());
     } else if (CInfo.ScopeDepth == 0 && FInfo.ScopeDepth == 0 &&
@@ -228,7 +245,7 @@ void Collector::propagateScopeEscapes(ScopedGeneration &Scope) {
   };
   for (uintptr_t Bits : Scope.Escapes.takeSnapshot()) {
     Value C = Value::fromBits(Bits);
-    const SegmentInfo &CInfo = H.Segments.infoFor(C.heapAddress());
+    const SegmentInfo &CInfo = H.segInfo(C.heapAddress());
     if (C.isPair()) {
       PairCell *Cell = C.pairCell();
       if (CInfo.Space != SpaceKind::WeakPair)
@@ -266,7 +283,7 @@ void Collector::runScopeClose(ScopedGeneration &Scope, ScopeCloseStats &Out) {
     } else {
       size_t Last = Ctx.runs().size() - 1;
       ScopeCursors[Sp] =
-          SweepCursor{Last, Ctx.usedWordsOf(H.Segments, Last)};
+          SweepCursor{Last, Ctx.usedWordsOf(scopeTargetArena(), Last)};
     }
   }
   ScopeWeakScanStart = ScopeCursors[static_cast<unsigned>(SpaceKind::WeakPair)];

@@ -46,11 +46,23 @@
 namespace gengc {
 
 struct ScopedGeneration {
-  explicit ScopedGeneration(unsigned Depth) : Depth(Depth) {}
+  ScopedGeneration(unsigned Depth, Arena *ScopeArena, bool Donation)
+      : Depth(Depth), ScopeArena(ScopeArena), Donation(Donation) {}
 
   /// 1-based nesting depth; equals the ScopeDepth tag of every segment
   /// this scope allocates.
   unsigned Depth;
+
+  /// The arena this scope's segments come from: the heap's private
+  /// arena for ordinary scopes, the exchange arena for donation scopes
+  /// (Heap::openDonationScope) — whose segments can be handed to
+  /// another shard wholesale at close.
+  Arena *ScopeArena;
+
+  /// Donation scope: segments are pre-tagged SegmentInfo::FlagDonated
+  /// and Heap::tryCloseScopeDonating may close the scope by ownership
+  /// transfer instead of evacuation.
+  bool Donation;
 
   /// Bump-allocation contexts, one per space — the scope's private
   /// nursery. Segments are tagged (Space, Generation 0, Age 0, Depth).

@@ -30,6 +30,7 @@
 #include "gc/Heap.h"
 #include "gc/Roots.h"
 #include "gc/ScopedGeneration.h"
+#include "heap/SharedImmutableSpace.h"
 #include "support/PtrHashSet.h"
 
 using namespace gengc;
@@ -42,32 +43,53 @@ struct Verifier {
   using ScopeStackArray =
       const std::vector<std::unique_ptr<ScopedGeneration>>;
 
-  Arena &A;
+  Arena &A;  ///< The heap's private arena.
+  Arena &EA; ///< The exchange arena (shared + adopted/donation segments).
   const HeapConfig &Cfg;
   ContextsArray Contexts;
   ScopeStackArray &Scopes;
+  /// Adopted donation runs (Heap::AdoptedRuns), per space: exchange-arena
+  /// segments that are part of this heap's tenured space.
+  const std::vector<SegmentRun> *Adopted;
   PtrHashSet ValidBits; // Tagged bits of every live object.
   std::vector<std::string> Failures;
 
-  Verifier(Arena &A, const HeapConfig &Cfg, ContextsArray Contexts,
-           ScopeStackArray &Scopes)
-      : A(A), Cfg(Cfg), Contexts(Contexts), Scopes(Scopes) {}
+  Verifier(Arena &A, Arena &EA, const HeapConfig &Cfg,
+           ContextsArray Contexts, ScopeStackArray &Scopes,
+           const std::vector<SegmentRun> *Adopted)
+      : A(A), EA(EA), Cfg(Cfg), Contexts(Contexts), Scopes(Scopes),
+        Adopted(Adopted) {}
+
+  bool inAnyArena(uintptr_t Address) const {
+    return A.containsAddress(Address) || EA.containsAddress(Address);
+  }
+
+  /// Segment info for any address this heap can reference (mirrors
+  /// Heap::segInfo).
+  const SegmentInfo &infoOf(uintptr_t Address) const {
+    if (A.containsAddress(Address))
+      return A.infoFor(Address);
+    return EA.infoFor(Address);
+  }
 
   /// Coordinates of \p Address: segment index, generation, space kind,
   /// and tenure age, from the segment information table.
   std::string describeAddress(uintptr_t Address) {
-    if (!A.containsAddress(Address))
-      return "[address outside the arena]";
-    uint32_t Seg = A.segmentIndexOf(Address);
-    return describeSegment(Seg);
+    if (A.containsAddress(Address))
+      return describeSegment(A, A.segmentIndexOf(Address));
+    if (EA.containsAddress(Address))
+      return describeSegment(EA, EA.segmentIndexOf(Address));
+    return "[address outside the arena]";
   }
 
-  std::string describeSegment(uint32_t Seg) {
-    const SegmentInfo &Info = A.infoAt(Seg);
+  std::string describeSegment(const Arena &In, uint32_t Seg) {
+    const SegmentInfo &Info = In.infoAt(Seg);
     char Buf[128];
     std::snprintf(Buf, sizeof(Buf),
-                  "[segment %" PRIu32 ", generation %u, space %s, age %u]",
-                  Seg, static_cast<unsigned>(Info.Generation),
+                  "[%ssegment %" PRIu32
+                  ", generation %u, space %s, age %u]",
+                  &In == &EA ? "exchange " : "", Seg,
+                  static_cast<unsigned>(Info.Generation),
                   spaceKindName(Info.Space),
                   static_cast<unsigned>(Info.Age));
     return Buf;
@@ -81,9 +103,9 @@ struct Verifier {
     Failures.emplace_back(std::string(Msg) + " " + describeAddress(Address));
   }
 
-  /// Records a violation attributed to segment \p Seg.
-  void failSegment(uint32_t Seg, const char *Msg) {
-    Failures.emplace_back(std::string(Msg) + " " + describeSegment(Seg));
+  /// Records a violation attributed to segment \p Seg of arena \p In.
+  void failSegment(const Arena &In, uint32_t Seg, const char *Msg) {
+    Failures.emplace_back(std::string(Msg) + " " + describeSegment(In, Seg));
   }
 
   /// Reports every accumulated violation and aborts. No-op on a clean
@@ -99,69 +121,97 @@ struct Verifier {
     std::abort();
   }
 
-  /// Walks every object in (Space, Gen), invoking Fn(WordPtr, Space).
+  /// Walks the objects of one run with a known used extent, invoking
+  /// Fn(WordPtr, Space).
   template <typename Fn>
-  void walkContext(const SpaceContext &Ctx, SpaceKind Space, Fn Visit) {
-    const std::vector<SegmentRun> &Runs = Ctx.runs();
-    for (size_t RI = 0; RI != Runs.size(); ++RI) {
-      // rootcheck:allow(segment-base) — the verifier replays the
-      // allocator's bump walk and must address segments directly.
-      uintptr_t *Base = A.segmentBase(Runs[RI].FirstSegment);
-      const size_t Used = Ctx.usedWordsOf(A, RI);
-      size_t Off = 0;
-      while (Off < Used) {
-        uintptr_t *P = Base + Off;
-        size_t Step;
-        if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair)
-          Step = 2;
-        else
-          Step = objectAllocWords(*P);
-        Visit(P, Space);
-        Off += Step;
-      }
-      if (Off != Used)
-        failSegment(Runs[RI].FirstSegment,
-                    "object walk overshot the run's used extent");
+  void walkRun(Arena &In, const SegmentRun &R, size_t Used, SpaceKind Space,
+               Fn Visit) {
+    // rootcheck:allow(segment-base) — the verifier replays the
+    // allocator's bump walk and must address segments directly.
+    uintptr_t *Base = In.segmentBase(R.FirstSegment);
+    size_t Off = 0;
+    while (Off < Used) {
+      uintptr_t *P = Base + Off;
+      size_t Step;
+      if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair)
+        Step = 2;
+      else
+        Step = objectAllocWords(*P);
+      Visit(P, Space);
+      Off += Step;
     }
+    if (Off != Used)
+      failSegment(In, R.FirstSegment,
+                  "object walk overshot the run's used extent");
+  }
+
+  /// Walks every object in a context's runs. \p In is the arena the
+  /// context allocates from — the exchange arena for donation scopes.
+  template <typename Fn>
+  void walkContext(Arena &In, const SpaceContext &Ctx, SpaceKind Space,
+                   Fn Visit) {
+    const std::vector<SegmentRun> &Runs = Ctx.runs();
+    for (size_t RI = 0; RI != Runs.size(); ++RI)
+      walkRun(In, Runs[RI], Ctx.usedWordsOf(In, RI), Space, Visit);
   }
 
   template <typename Fn> void walkHeap(Fn Visit) {
-    for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+    for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
       for (unsigned G = 0; G != Cfg.Generations; ++G)
         for (unsigned Age = 0; Age != Cfg.TenureCopies; ++Age)
-          walkContext(contextOf(Sp, G, Age), static_cast<SpaceKind>(Sp),
+          walkContext(A, contextOf(Sp, G, Age), static_cast<SpaceKind>(Sp),
                       Visit);
+      // Adopted donation runs are tenured space living in the exchange
+      // arena; their runs are sealed, so UsedWords is authoritative.
+      for (const SegmentRun &R : Adopted[Sp])
+        walkRun(EA, R, R.UsedWords, static_cast<SpaceKind>(Sp), Visit);
+    }
     for (const auto &SG : Scopes)
       for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
-        walkContext(SG->Contexts[Sp], static_cast<SpaceKind>(Sp), Visit);
+        walkContext(*SG->ScopeArena, SG->Contexts[Sp],
+                    static_cast<SpaceKind>(Sp), Visit);
   }
 
   const SpaceContext &contextOf(unsigned Sp, unsigned G, unsigned Age) {
     return Contexts[Sp][G][Age];
   }
 
-  void checkSegmentTagging(const SpaceContext &Ctx, SpaceKind Space,
-                           unsigned Gen, unsigned Age, unsigned Depth) {
+  void checkRunTagging(const Arena &In, const SegmentRun &R, SpaceKind Space,
+                       unsigned Gen, unsigned Age, unsigned Depth,
+                       bool ExpectDonated) {
+    for (uint32_t Seg = R.FirstSegment; Seg != R.FirstSegment + R.SegmentCount;
+         ++Seg) {
+      const SegmentInfo &Info = In.infoAt(Seg);
+      if (!Info.inUse())
+        failSegment(In, Seg, "live run contains a free segment");
+      if (Info.isFromSpace())
+        failSegment(In, Seg, "live segment still flagged as from-space");
+      if (Info.isShared())
+        failSegment(In, Seg, "heap-owned segment tagged as shared");
+      if (Info.isDonated() != ExpectDonated)
+        failSegment(In, Seg,
+                    ExpectDonated
+                        ? "exchange-arena segment lost its donation flag"
+                        : "private segment tagged as donated");
+      if (Info.Space != Space)
+        failSegment(In, Seg, "segment space tag disagrees with its context");
+      if (Info.Generation != Gen)
+        failSegment(In, Seg,
+                    "segment generation tag disagrees with its context");
+      if (Info.Age != Age)
+        failSegment(In, Seg,
+                    "segment tenure-age tag disagrees with its context");
+      if (Info.ScopeDepth != Depth)
+        failSegment(In, Seg,
+                    "segment scope-depth tag disagrees with its context");
+    }
+  }
+
+  void checkSegmentTagging(const Arena &In, const SpaceContext &Ctx,
+                           SpaceKind Space, unsigned Gen, unsigned Age,
+                           unsigned Depth, bool ExpectDonated) {
     for (const SegmentRun &R : Ctx.runs())
-      for (uint32_t Seg = R.FirstSegment;
-           Seg != R.FirstSegment + R.SegmentCount; ++Seg) {
-        const SegmentInfo &Info = A.infoAt(Seg);
-        if (!Info.inUse())
-          failSegment(Seg, "live run contains a free segment");
-        if (Info.isFromSpace())
-          failSegment(Seg, "live segment still flagged as from-space");
-        if (Info.Space != Space)
-          failSegment(Seg, "segment space tag disagrees with its context");
-        if (Info.Generation != Gen)
-          failSegment(Seg,
-                      "segment generation tag disagrees with its context");
-        if (Info.Age != Age)
-          failSegment(Seg,
-                      "segment tenure-age tag disagrees with its context");
-        if (Info.ScopeDepth != Depth)
-          failSegment(Seg,
-                      "segment scope-depth tag disagrees with its context");
-      }
+      checkRunTagging(In, R, Space, Gen, Age, Depth, ExpectDonated);
   }
 
   void registerObject(uintptr_t *P, SpaceKind Space) {
@@ -180,28 +230,38 @@ struct Verifier {
   }
 
   void collectValidObjects() {
-    for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
+    auto Register = [&](uintptr_t *P, SpaceKind Space) {
+      registerObject(P, Space);
+    };
+    for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
       for (unsigned G = 0; G != Cfg.Generations; ++G)
        for (unsigned Age = 0; Age != Cfg.TenureCopies; ++Age) {
         const SpaceContext &Ctx = contextOf(Sp, G, Age);
-        checkSegmentTagging(Ctx, static_cast<SpaceKind>(Sp), G, Age,
-                            /*Depth=*/0);
-        walkContext(Ctx, static_cast<SpaceKind>(Sp),
-                    [&](uintptr_t *P, SpaceKind Space) {
-                      registerObject(P, Space);
-                    });
+        checkSegmentTagging(A, Ctx, static_cast<SpaceKind>(Sp), G, Age,
+                            /*Depth=*/0, /*ExpectDonated=*/false);
+        walkContext(A, Ctx, static_cast<SpaceKind>(Sp), Register);
        }
+      // Adopted donation runs: exchange-arena segments retagged to the
+      // oldest generation, still carrying the donation flag.
+      for (const SegmentRun &R : Adopted[Sp]) {
+        checkRunTagging(EA, R, static_cast<SpaceKind>(Sp),
+                        Cfg.Generations - 1, /*Age=*/0, /*Depth=*/0,
+                        /*ExpectDonated=*/true);
+        walkRun(EA, R, R.UsedWords, static_cast<SpaceKind>(Sp), Register);
+      }
+    }
     // Open request scopes: their segments are tagged (generation 0,
     // age 0, the scope's depth) and their objects are as valid as any.
+    // Donation scopes allocate from the exchange arena with the donation
+    // flag pre-set.
     for (const auto &SG : Scopes)
       for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
         const SpaceContext &Ctx = SG->Contexts[Sp];
-        checkSegmentTagging(Ctx, static_cast<SpaceKind>(Sp), /*Gen=*/0,
-                            /*Age=*/0, SG->Depth);
-        walkContext(Ctx, static_cast<SpaceKind>(Sp),
-                    [&](uintptr_t *P, SpaceKind Space) {
-                      registerObject(P, Space);
-                    });
+        checkSegmentTagging(*SG->ScopeArena, Ctx, static_cast<SpaceKind>(Sp),
+                            /*Gen=*/0, /*Age=*/0, SG->Depth,
+                            /*ExpectDonated=*/SG->Donation);
+        walkContext(*SG->ScopeArena, Ctx, static_cast<SpaceKind>(Sp),
+                    Register);
       }
   }
 
@@ -214,20 +274,31 @@ struct Verifier {
     if (V.isFixnum())
       return;
     if (!A.containsAddress(V.heapAddress())) {
-      fail("heap pointer outside the arena");
-      return;
+      if (!EA.containsAddress(V.heapAddress())) {
+        fail("heap pointer outside the arena");
+        return;
+      }
+      const SegmentInfo &Info = EA.infoFor(V.heapAddress());
+      if (Info.isShared())
+        return; // Shared immutables are immortal and never move; the
+                // publisher guarantees object starts, which this heap
+                // cannot re-derive (the shared bump frontier is private
+                // to the SharedImmutableSpace).
+      if (!Info.isDonated()) {
+        failAt(V.heapAddress(),
+               "pointer into a non-shared, non-donated exchange segment");
+        return;
+      }
+      // Donated segments this heap references must be its own: adopted
+      // runs or an open donation scope, both registered in ValidBits.
     }
     if (!ValidBits.contains(V.bits()))
       failAt(V.heapAddress(), What);
   }
 
-  unsigned genOf(Value V) {
-    return A.infoFor(V.heapAddress()).Generation;
-  }
+  unsigned genOf(Value V) { return infoOf(V.heapAddress()).Generation; }
 
-  unsigned depthOf(Value V) {
-    return A.infoFor(V.heapAddress()).ScopeDepth;
-  }
+  unsigned depthOf(Value V) { return infoOf(V.heapAddress()).ScopeDepth; }
 
   void checkField(Value Container, Value Field, bool WeakField,
                   const PtrHashSet *Remembered,
@@ -235,8 +306,11 @@ struct Verifier {
     checkValue(Field, WeakField
                           ? "weak car points to a reclaimed object"
                           : "strong field points to a reclaimed object");
-    if (!Field.isHeapPointer() || !A.containsAddress(Field.heapAddress()))
+    if (!Field.isHeapPointer() || !inAnyArena(Field.heapAddress()))
       return;
+    // Shared immutables are barrier-exempt: SharedGeneration (0xFF) never
+    // compares below any container generation, so the generational rule
+    // below is vacuous for them by construction.
     const unsigned CD = depthOf(Container), FD = depthOf(Field);
     if (FD > CD) {
       // A pointer into a deeper scope must be covered by that scope's
@@ -293,7 +367,8 @@ struct Verifier {
 
 void Heap::verifyHeap() {
   GENGC_ASSERT(!InGc, "verifyHeap during collection");
-  Verifier V(Segments, Cfg, Contexts, ScopeStack);
+  Verifier V(Segments, Exchange->arena(), Cfg, Contexts, ScopeStack,
+             AdoptedRuns);
   V.collectValidObjects();
   V.checkReferences(Remembered, WeakRemembered);
 

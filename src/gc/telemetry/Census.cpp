@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "gc/ScopedGeneration.h"
+#include "heap/SharedImmutableSpace.h"
 #include "heap/SpaceContext.h"
 #include "object/Layout.h"
 
@@ -54,49 +55,61 @@ HeapCensus Heap::census() const {
   HeapCensus C;
   C.Generations = Cfg.Generations;
 
-  auto AccumulateContext = [&](const SpaceContext &Ctx, SpaceKind Space,
-                               HeapCensus::Cell &Cell) {
-    const std::vector<SegmentRun> &Runs = Ctx.runs();
-    for (size_t RI = 0; RI != Runs.size(); ++RI) {
-      Cell.SegmentCount += Runs[RI].SegmentCount;
-      const size_t Used = Ctx.usedWordsOf(Segments, RI);
-      Cell.UsedBytes += Used * sizeof(uintptr_t);
-      // rootcheck:allow(segment-base) — the census replays the
-      // allocator's bump walk, like the verifier.
-      uintptr_t *Base = Segments.segmentBase(Runs[RI].FirstSegment);
-      size_t Off = 0;
-      while (Off < Used) {
-        ++Cell.ObjectCount;
-        size_t Words;
-        CensusKind K;
-        if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair) {
-          Words = 2;
-          K = Space == SpaceKind::Pair ? CensusKind::Pair
-                                       : CensusKind::WeakPair;
-        } else {
-          Words = objectAllocWords(Base[Off]);
-          K = censusKindOf(headerKind(Base[Off]));
-        }
-        C.KindCounts[static_cast<unsigned>(K)] += 1;
-        C.KindBytes[static_cast<unsigned>(K)] += Words * sizeof(uintptr_t);
-        Off += Words;
+  auto AccumulateRun = [&](const Arena &A, const SegmentRun &R, size_t Used,
+                           SpaceKind Space, HeapCensus::Cell &Cell) {
+    Cell.SegmentCount += R.SegmentCount;
+    Cell.UsedBytes += Used * sizeof(uintptr_t);
+    // rootcheck:allow(segment-base) — the census replays the
+    // allocator's bump walk, like the verifier.
+    uintptr_t *Base = A.segmentBase(R.FirstSegment);
+    size_t Off = 0;
+    while (Off < Used) {
+      ++Cell.ObjectCount;
+      size_t Words;
+      CensusKind K;
+      if (Space == SpaceKind::Pair || Space == SpaceKind::WeakPair) {
+        Words = 2;
+        K = Space == SpaceKind::Pair ? CensusKind::Pair
+                                     : CensusKind::WeakPair;
+      } else {
+        Words = objectAllocWords(Base[Off]);
+        K = censusKindOf(headerKind(Base[Off]));
       }
+      C.KindCounts[static_cast<unsigned>(K)] += 1;
+      C.KindBytes[static_cast<unsigned>(K)] += Words * sizeof(uintptr_t);
+      Off += Words;
     }
+  };
+
+  auto AccumulateContext = [&](const Arena &A, const SpaceContext &Ctx,
+                               SpaceKind Space, HeapCensus::Cell &Cell) {
+    const std::vector<SegmentRun> &Runs = Ctx.runs();
+    for (size_t RI = 0; RI != Runs.size(); ++RI)
+      AccumulateRun(A, Runs[RI], Ctx.usedWordsOf(A, RI), Space, Cell);
   };
 
   for (unsigned Sp = 0; Sp != NumSpaces; ++Sp) {
     const SpaceKind Space = static_cast<SpaceKind>(Sp);
     for (unsigned G = 0; G != Cfg.Generations; ++G)
       for (unsigned Age = 0; Age != Cfg.TenureCopies; ++Age)
-        AccumulateContext(Contexts[Sp][G][Age], Space, C.Cells[G][Sp]);
+        AccumulateContext(Segments, Contexts[Sp][G][Age], Space,
+                          C.Cells[G][Sp]);
+    // Adopted donation runs live in the exchange arena but are this
+    // heap's tenured space: count them under the oldest generation,
+    // which their segments are tagged with. Sealed runs, so UsedWords
+    // is authoritative.
+    for (const SegmentRun &R : AdoptedRuns[Sp])
+      AccumulateRun(Exchange->arena(), R, R.UsedWords, Space,
+                    C.Cells[Cfg.Generations - 1][Sp]);
   }
 
   // Open request scopes are counted under generation 0: their segments
   // are tagged generation 0 and their survivors graduate toward it.
+  // Donation scopes allocate from the exchange arena.
   for (const auto &SG : ScopeStack)
     for (unsigned Sp = 0; Sp != NumSpaces; ++Sp)
-      AccumulateContext(SG->Contexts[Sp], static_cast<SpaceKind>(Sp),
-                        C.Cells[0][Sp]);
+      AccumulateContext(*SG->ScopeArena, SG->Contexts[Sp],
+                        static_cast<SpaceKind>(Sp), C.Cells[0][Sp]);
 
   return C;
 }

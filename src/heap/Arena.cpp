@@ -37,7 +37,7 @@ Arena::~Arena() {
 
 uint32_t Arena::allocateRun(uint32_t NumSegments, SpaceKind Space,
                             uint8_t Generation, uint8_t Age,
-                            uint8_t ScopeDepth) {
+                            uint8_t ScopeDepth, uint8_t ExtraFlags) {
   GENGC_ASSERT(NumSegments > 0, "empty run requested");
   std::lock_guard<std::mutex> Guard(RunLock);
   // First fit over the sorted free list.
@@ -59,7 +59,7 @@ uint32_t Arena::allocateRun(uint32_t NumSegments, SpaceKind Space,
       Info.Generation = Generation;
       Info.Age = Age;
       Info.ScopeDepth = ScopeDepth;
-      Info.Flags = SegmentInfo::FlagInUse;
+      Info.Flags = SegmentInfo::FlagInUse | ExtraFlags;
     }
     InUseCount += NumSegments;
     if (Observer)

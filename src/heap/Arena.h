@@ -66,6 +66,20 @@ constexpr const char *spaceKindName(SpaceKind Space) {
   return "unknown";
 }
 
+/// Generation sentinel carried by shared-immutable segments. Deliberately
+/// above any collectible generation: the write barrier's "value older than
+/// container" test then skips shared values for free, and every
+/// entry-list/remembered-set index that might see it clamps explicitly.
+constexpr uint8_t SharedGeneration = 0xFF;
+
+/// Generation sentinel carried by in-flight donation segments: copied out
+/// by a sender (or detached wholesale from a donation scope) but not yet
+/// adopted by any heap. Distinct from every collectible generation so that
+/// "in flight" can be told apart from "adopted" even on single-generation
+/// heaps, where the oldest generation is also 0. Adoption retags the
+/// segments to the receiver's oldest generation.
+constexpr uint8_t InFlightGeneration = 0xFE;
+
 /// Per-segment bookkeeping, one entry per segment in the arena.
 struct SegmentInfo {
   static constexpr uint8_t FlagInUse = 1 << 0;
@@ -73,6 +87,16 @@ struct SegmentInfo {
   /// duration of one collection. forwarded?(x) is "x is not in a
   /// from-space segment, or x carries a forwarding marker".
   static constexpr uint8_t FlagFromSpace = 1 << 1;
+  /// Shared immutable space: frozen, barrier-exempt, never collected,
+  /// referenceable from every shard. Always paired with Generation ==
+  /// SharedGeneration.
+  static constexpr uint8_t FlagShared = 1 << 2;
+  /// Donation segment: allocated in the process exchange arena by a
+  /// sending shard's copy-out (Generation == InFlightGeneration while in
+  /// flight), adopted by the receiver's heap as tenured space (retagged to
+  /// its oldest generation). The flag survives adoption so ownership
+  /// accounting can audit the exchange arena.
+  static constexpr uint8_t FlagDonated = 1 << 3;
 
   SpaceKind Space = SpaceKind::Pair;
   uint8_t Generation = 0;
@@ -88,6 +112,8 @@ struct SegmentInfo {
 
   bool inUse() const { return Flags & FlagInUse; }
   bool isFromSpace() const { return Flags & FlagFromSpace; }
+  bool isShared() const { return Flags & FlagShared; }
+  bool isDonated() const { return Flags & FlagDonated; }
 };
 
 /// Reserves a contiguous virtual region and manages it as runs of
@@ -122,9 +148,11 @@ public:
   /// affected SegmentInfo entries, and the observer callback are all
   /// updated under one internal lock (runs, not objects — the
   /// allocation fast path never comes here).
+  /// \p ExtraFlags is OR'd into every segment's flags beyond FlagInUse —
+  /// FlagShared for shared-immutable runs, FlagDonated for donation runs.
   uint32_t allocateRun(uint32_t NumSegments, SpaceKind Space,
                        uint8_t Generation, uint8_t Age = 0,
-                       uint8_t ScopeDepth = 0);
+                       uint8_t ScopeDepth = 0, uint8_t ExtraFlags = 0);
 
   /// Returns a run to the free list and clears its segment entries.
   /// Thread-safe, like allocateRun.

@@ -41,7 +41,7 @@ public:
   /// triggers collection; collection policy lives above this layer.
   uintptr_t *allocate(Arena &A, SpaceKind Space, uint8_t Generation,
                       size_t Words, uint8_t Age = 0,
-                      uint8_t ScopeDepth = 0) {
+                      uint8_t ScopeDepth = 0, uint8_t ExtraFlags = 0) {
     GENGC_ASSERT(Words >= 2, "objects must be at least two words");
     if (Alloc + Words <= Limit) {
       uintptr_t *P = Alloc;
@@ -49,7 +49,8 @@ public:
       BytesAllocated += Words * sizeof(uintptr_t);
       return P;
     }
-    return allocateSlow(A, Space, Generation, Words, Age, ScopeDepth);
+    return allocateSlow(A, Space, Generation, Words, Age, ScopeDepth,
+                        ExtraFlags);
   }
 
   const std::vector<SegmentRun> &runs() const { return Runs; }
@@ -121,12 +122,14 @@ public:
 
 private:
   uintptr_t *allocateSlow(Arena &A, SpaceKind Space, uint8_t Generation,
-                          size_t Words, uint8_t Age, uint8_t ScopeDepth) {
+                          size_t Words, uint8_t Age, uint8_t ScopeDepth,
+                          uint8_t ExtraFlags) {
     sealCurrentRun(A);
     uint32_t NumSegments =
         static_cast<uint32_t>(divideCeil(Words, SegmentWords));
     uint32_t First =
-        A.allocateRun(NumSegments, Space, Generation, Age, ScopeDepth);
+        A.allocateRun(NumSegments, Space, Generation, Age, ScopeDepth,
+                      ExtraFlags);
     Runs.push_back({First, NumSegments, 0});
     uintptr_t *RunBase = A.segmentBase(First);
     Alloc = RunBase + Words;

@@ -32,9 +32,11 @@
 #define GENGC_RUNTIME_PINNEDMESSAGE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "heap/SharedImmutableSpace.h"
 #include "object/Value.h"
 
 namespace gengc {
@@ -85,11 +87,21 @@ struct PinnedNode {
   double Flonum = 0.0;
 };
 
-/// A deep-copied value snapshot with no pointers into any heap.
+/// A deep-copied value snapshot with no pointers into any heap — or,
+/// for large payloads, a zero-copy segment donation riding the same
+/// mailbox rails.
 struct PinnedMessage {
   std::vector<PinnedNode> Nodes;
   PinnedField RootField;
   uint64_t SeveredEdges = 0; ///< Non-transferables replaced under Sever.
+
+  /// Donation transport (runtime/SegmentTransfer.h): when set, Nodes is
+  /// empty and the payload is the sealed exchange-arena segments this
+  /// handle owns; the receiver adopts them instead of decoding. Safe to
+  /// carry across threads: the handle holds no pointer into either
+  /// shard's private heap, and dropping the message frees the segments
+  /// back to the exchange arena.
+  std::unique_ptr<DonatedGraph> Donated;
 
   /// Causal-tracing identifiers, stamped by Shard::sendValue and
   /// carried verbatim to the receiver. TraceId names the whole causal

@@ -12,6 +12,7 @@
 #include "core/TransportGuardian.h"
 #include "gc/Heap.h"
 #include "gc/Roots.h"
+#include "runtime/SegmentTransfer.h"
 
 namespace gengc {
 namespace runtime {
@@ -78,11 +79,20 @@ bool Shard::sendValue(Shard &To, Value V, TransferPolicy Policy) {
   PinnedMessage Msg;
   {
     Root RV(*HeapPtr, V);
-    if (!encodeMessage(*HeapPtr, RV.get(), Msg, Policy))
+    const TransferPlan Plan = planTransfer(*HeapPtr, RV.get());
+    if (Plan.Donate) {
+      // Zero-copy path: one evacuation into exchange-arena segments on
+      // this thread; the receiver adopts by retagging, copying nothing.
+      buildDonationMessage(*HeapPtr, RV.get(), Msg);
+      Rep.TransferDonatedSegments += Msg.Donated->segmentCount();
+      Rep.TransferBytesZeroCopy += Msg.Donated->Bytes;
+    } else if (!encodeMessage(*HeapPtr, RV.get(), Msg, Policy)) {
       return false;
+    }
     // Shard-exit policy: watch the exported value through the transport
     // guardian, so later movement (or death) inside this shard is
-    // observable — the receiver holds only a copy.
+    // observable — the receiver holds only a copy (deep or donated; the
+    // sender's graph is untouched either way).
     ExitWatch->watch(RV.get());
     ++Rep.ExportsWatched;
   }
@@ -103,9 +113,11 @@ bool Shard::sendValue(Shard &To, Value V, TransferPolicy Policy) {
   return To.Inbox.trySend(std::move(Msg));
 }
 
-void Shard::deliverMessage(const PinnedMessage &Msg) {
+void Shard::deliverMessage(PinnedMessage &Msg) {
   ++Rep.MessagesReceived;
   Rep.MessagesDecodedNodes += Msg.nodeCount();
+  if (Msg.Donated)
+    ++Rep.MessagesAdopted;
   {
     GcTelemetry &Tel = HeapPtr->telemetry();
     GcEvent E;
@@ -118,7 +130,7 @@ void Shard::deliverMessage(const PinnedMessage &Msg) {
     Tel.emit(E);
   }
   {
-    Root RV(*HeapPtr, decodeMessage(*HeapPtr, Msg));
+    Root RV(*HeapPtr, receiveTransfer(*HeapPtr, Msg));
     // The handler runs inside the sender's trace: sends and ticket
     // submissions it performs chain onto the same causal arrow.
     CurrentTraceId = Msg.TraceId;

@@ -100,6 +100,13 @@ public:
     uint64_t ExportsWatched = 0;
     uint64_t ExportsMoved = 0; ///< Transport-guardian deliveries observed.
     uint64_t TasksRun = 0;
+    /// Zero-copy transfer accounting (runtime/SegmentTransfer.h).
+    /// Sender side: segments and payload bytes this shard shipped by
+    /// donation instead of deep copy. Receiver side: donated messages
+    /// this shard adopted by retagging.
+    uint64_t TransferDonatedSegments = 0;
+    uint64_t TransferBytesZeroCopy = 0;
+    uint64_t MessagesAdopted = 0;
   };
 
   uint32_t id() const { return Id; }
@@ -125,10 +132,13 @@ public:
   /// Must NOT be called from the shard thread itself.
   void run(Task T);
 
-  /// Deep-copies \p V (which lives in this shard's heap; owner thread
-  /// only), watches it for shard exit, and enqueues it to \p To without
-  /// blocking. Returns false if the destination inbox is full or
-  /// closed, or the value is not transferable. Use on the shard thread.
+  /// Transfers \p V (which lives in this shard's heap; owner thread
+  /// only) to \p To without blocking: payloads at or above
+  /// HeapConfig::DonationThresholdBytes travel by zero-copy segment
+  /// donation (runtime/SegmentTransfer.h), everything else by the
+  /// classic deep copy. Either way the export is watched for shard
+  /// exit. Returns false if the destination inbox is full or closed,
+  /// or the value is not transferable. Use on the shard thread.
   bool sendValue(Shard &To, Value V,
                  TransferPolicy Policy = TransferPolicy::Reject);
 
@@ -166,9 +176,10 @@ private:
   uint64_t newSpanId() {
     return (static_cast<uint64_t>(Id) + 1) << 32 | ++SpanSeq;
   }
-  /// Decodes \p Msg, emits its receive event, and hands the value to
+  /// Materializes \p Msg (adopting its donated segments, or decoding
+  /// its node table), emits its receive event, and hands the value to
   /// the ShardLocal with CurrentTraceId set for the duration.
-  void deliverMessage(const PinnedMessage &Msg);
+  void deliverMessage(PinnedMessage &Msg);
 
   const uint32_t Id;
   const HeapConfig HeapCfg;

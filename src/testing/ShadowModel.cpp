@@ -742,3 +742,127 @@ ModelCensus ShadowModel::censusExpect() const {
   }
   return C;
 }
+
+//===----------------------------------------------------------------------===//
+// Segment donation (DESIGN.md §14).
+//===----------------------------------------------------------------------===//
+
+ShadowModel::GraphSnapshot ShadowModel::snapshotGraph(SVal Root) const {
+  GraphSnapshot G;
+  // Maps already-visited object ids to node indices — the shadow of
+  // donateGraph's donor-bits -> copy-bits map, preserving sharing and
+  // cycles.
+  std::unordered_map<ObjId, uint32_t> Index;
+  std::vector<ObjId> Pending;
+
+  auto symbolName = [&](ObjId Sym) -> const std::string & {
+    const SObj &O = Objects[Sym];
+    GENGC_ASSERT(O.Kind == SKind::Symbol && !O.Fields.empty(),
+                 "snapshotGraph: malformed shadow symbol");
+    return Objects[O.Fields[0].Id].Data;
+  };
+
+  auto snapVal = [&](const SVal &V) -> SnapVal {
+    SnapVal S;
+    if (!V.IsId) {
+      S.Imm = V.Imm;
+      return S;
+    }
+    const SObj &O = Objects[V.Id];
+    if (O.Kind == SKind::Symbol) {
+      // Symbols travel by name (a fixup), never as copies.
+      S.Kind = SnapVal::K::Symbol;
+      S.Name = symbolName(V.Id);
+      return S;
+    }
+    auto Found = Index.find(V.Id);
+    if (Found == Index.end()) {
+      Found = Index.emplace(V.Id, static_cast<uint32_t>(G.Nodes.size()))
+                  .first;
+      G.Nodes.emplace_back();
+      G.Words += allocWords(O);
+      Pending.push_back(V.Id);
+    }
+    S.Kind = SnapVal::K::Node;
+    S.Node = Found->second;
+    return S;
+  };
+
+  G.Root = snapVal(Root);
+  while (!Pending.empty()) {
+    const ObjId Id = Pending.back();
+    Pending.pop_back();
+    const SObj &O = Objects[Id];
+    // Filled into a local first: snapVal may grow G.Nodes.
+    SnapNode N;
+    N.Kind = O.Kind;
+    N.Length = O.Length;
+    N.Data = O.Data;
+    N.FloBits = O.FloBits;
+    N.Fields.reserve(O.Fields.size());
+    // Weak cars are traversed strongly, like donateGraph: the donated
+    // copy must stay structurally complete until the receiver's own
+    // collector gets a chance to break it.
+    for (const SVal &F : O.Fields)
+      N.Fields.push_back(snapVal(F));
+    G.Nodes[Index[Id]] = std::move(N);
+  }
+  return G;
+}
+
+SVal ShadowModel::adoptGraph(const GraphSnapshot &G) {
+  // Phase 1, mirroring Heap::adoptDonatedGraph: intern every fixup
+  // name first (each may allocate a string + symbol in the nursery).
+  // Phase 2 then instantiates the copied nodes directly in the oldest
+  // generation — adoption retags whole donated segments tenured, so
+  // every adopted object is born old, age 0, scope 0.
+  auto internFixup = [&](const SnapVal &S) {
+    if (S.Kind == SnapVal::K::Symbol)
+      intern(S.Name);
+  };
+  internFixup(G.Root);
+  for (const SnapNode &N : G.Nodes)
+    for (const SnapVal &F : N.Fields)
+      internFixup(F);
+
+  const uint8_t Oldest = static_cast<uint8_t>(Generations - 1);
+  std::vector<ObjId> Ids(G.Nodes.size(), NoObj);
+  for (size_t I = 0; I != G.Nodes.size(); ++I) {
+    const SnapNode &N = G.Nodes[I];
+    const ObjId Id = newObject(N.Kind);
+    SObj &O = Objects[Id];
+    O.Gen = Oldest;
+    O.Age = 0;
+    O.Scope = 0;
+    O.Length = N.Length;
+    O.Data = N.Data;
+    O.FloBits = N.FloBits;
+    Ids[I] = Id;
+  }
+
+  auto resolve = [&](const SnapVal &S) -> SVal {
+    switch (S.Kind) {
+    case SnapVal::K::Imm: {
+      SVal V;
+      V.Imm = S.Imm;
+      return V;
+    }
+    case SnapVal::K::Node:
+      return SVal::object(Ids[S.Node]);
+    case SnapVal::K::Symbol:
+      return intern(S.Name);
+    }
+    GENGC_UNREACHABLE("bad SnapVal kind");
+  };
+
+  for (size_t I = 0; I != G.Nodes.size(); ++I) {
+    const SnapNode &N = G.Nodes[I];
+    SObj &O = Objects[Ids[I]];
+    O.Fields.reserve(N.Fields.size());
+    for (const SnapVal &F : N.Fields) {
+      const SVal V = resolve(F); // may not grow Objects: names interned
+      O.Fields.push_back(V);
+    }
+  }
+  return resolve(G.Root);
+}

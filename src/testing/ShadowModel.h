@@ -247,6 +247,56 @@ public:
   /// Predicts Heap::census() from the current alive set.
   ModelCensus censusExpect() const;
 
+  //===------------------------------------------------------------------===//
+  // Segment donation (DESIGN.md §14). The model mirror of
+  // Heap::donateGraph / Heap::adoptDonatedGraph: a GraphSnapshot is a
+  // heap-independent structural copy of a donated graph (the shadow of
+  // a DonatedGraph handle), and adoptGraph instantiates it as fresh
+  // objects in the oldest generation, exactly like adoption retags the
+  // donated segments tenured.
+  //===------------------------------------------------------------------===//
+
+  /// One value inside a snapshot: a raw immediate, an index into
+  /// GraphSnapshot::Nodes, or a symbol carried by name (symbols travel
+  /// as fixups, never as copies — mirroring DonatedSymbolFixup).
+  struct SnapVal {
+    enum class K : uint8_t { Imm, Node, Symbol };
+    K Kind = K::Imm;
+    uintptr_t Imm = 0;
+    uint32_t Node = 0;
+    std::string Name;
+  };
+
+  /// One copied object. Guardian/tconc roles deliberately do not
+  /// travel: donation copies payload bits only, so an adopted copy of
+  /// a tconc cell is an ordinary pair.
+  struct SnapNode {
+    SKind Kind = SKind::Pair;
+    uint32_t Length = 0;
+    std::vector<SnapVal> Fields;
+    std::string Data;
+    uint64_t FloBits = 0;
+  };
+
+  struct GraphSnapshot {
+    SnapVal Root;
+    std::vector<SnapNode> Nodes;
+    /// Words the donation copy-out bump-allocates — must equal
+    /// DonatedGraph::Bytes / 8 (the runner's size cross-check).
+    uint64_t Words = 0;
+  };
+
+  /// Snapshots the graph rooted at \p Root: weak cars traversed
+  /// strongly, symbols recorded by name and not traversed, sharing and
+  /// cycles preserved by node index — the same walk donateGraph does.
+  GraphSnapshot snapshotGraph(SVal Root) const;
+
+  /// Instantiates \p G as fresh objects born directly in the oldest
+  /// generation at scope depth 0 (adopted segments join the tenured
+  /// space), interning each symbol fixup by name. Returns the adopted
+  /// root.
+  SVal adoptGraph(const GraphSnapshot &G);
+
   const SObj &obj(ObjId Id) const { return Objects[Id]; }
   bool alive(ObjId Id) const { return Objects[Id].Alive; }
 

@@ -60,6 +60,12 @@ const OpInfo OpTable[NumOps] = {
     {Op::ScopeOpen, "scope-open", 4},
     {Op::ScopeClose, "scope-close", 5},
     {Op::AllocInScope, "alloc-in-scope", 6},
+    // Donation alphabet: sends outnumber drops so graphs usually get
+    // adopted (the interesting path), but enough drop early that
+    // segment reclamation without adoption is exercised too.
+    {Op::DonateSend, "donate-send", 5},
+    {Op::DonateReceive, "donate-receive", 5},
+    {Op::DonateDrop, "donate-drop", 2},
 };
 
 /// Total weight of the first \p Count table entries. Unscoped traces
@@ -91,12 +97,13 @@ bool gengc::gcfuzz::opFromName(const std::string &Name, Op &O) {
 }
 
 Trace gengc::gcfuzz::generateTrace(uint64_t Seed, size_t OpCount,
-                                   bool Scoped) {
+                                   bool Scoped, bool Donation) {
   Trace T;
   T.Seed = Seed;
   T.Ops.reserve(OpCount);
   XorShift Rng(Seed);
-  const unsigned Total = totalWeight(Scoped ? NumOps : NumUnscopedOps);
+  const unsigned Total = totalWeight(
+      Donation ? NumOps : Scoped ? NumScopedOps : NumUnscopedOps);
   for (size_t I = 0; I != OpCount; ++I) {
     uint64_t Pick = Rng.nextBelow(Total);
     const OpInfo *Chosen = &OpTable[0];

@@ -64,9 +64,16 @@ enum class Op : uint8_t {
   ScopeOpen,    ///< openScope(), bounded nesting.
   ScopeClose,   ///< closeScope(): evacuate escapes, cross-check.
   AllocInScope, ///< A garbage-heavy pair chain in the current extent.
+  // Donation ops (DESIGN.md §14). Appended after the scoped alphabet so
+  // scoped generation, which draws over the first NumScopedOps entries
+  // only, reproduces historical traces byte-for-byte.
+  DonateSend,    ///< donateGraph(slot): snapshot + park in flight.
+  DonateReceive, ///< adoptDonatedGraph of an in-flight graph.
+  DonateDrop,    ///< Drop an in-flight graph (frees its segments).
 };
 constexpr unsigned NumUnscopedOps = 25;
-constexpr unsigned NumOps = 28;
+constexpr unsigned NumScopedOps = 28;
+constexpr unsigned NumOps = 31;
 
 /// Stable text name of an opcode (trace file format).
 const char *opName(Op O);
@@ -84,12 +91,15 @@ struct Trace {
 };
 
 /// Generates a weighted random trace from the deterministic PRNG
-/// (support/XorShift.h). Identical (Seed, OpCount, Scoped) always
-/// yields an identical trace, on every platform. Scoped traces draw
-/// from the full alphabet including scope-open/scope-close/
-/// alloc-in-scope; unscoped traces are byte-identical to those this
-/// function generated before scopes existed.
-Trace generateTrace(uint64_t Seed, size_t OpCount, bool Scoped = false);
+/// (support/XorShift.h). Identical (Seed, OpCount, Scoped, Donation)
+/// always yields an identical trace, on every platform. Scoped traces
+/// draw from the alphabet including scope-open/scope-close/
+/// alloc-in-scope; donation traces add donate-send/donate-receive/
+/// donate-drop on top of the scoped alphabet. Unscoped traces are
+/// byte-identical to those this function generated before scopes or
+/// donation existed.
+Trace generateTrace(uint64_t Seed, size_t OpCount, bool Scoped = false,
+                    bool Donation = false);
 
 /// Text round-trip, for committing shrunk failures and --trace-replay.
 std::string serializeTrace(const Trace &T);

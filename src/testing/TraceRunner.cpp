@@ -11,10 +11,12 @@
 #include <cstring>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "gc/Heap.h"
 #include "gc/Roots.h"
 #include "gc/telemetry/Census.h"
+#include "heap/SharedImmutableSpace.h"
 #include "object/Layout.h"
 #include "testing/ShadowModel.h"
 
@@ -36,7 +38,9 @@ struct Divergence {
 class Session {
 public:
   explicit Session(const HeapConfig &Cfg)
-      : H(Cfg), M(H.config()), RootStackReal(H), ScratchReal(H) {
+      : DonationExchange(8u * 1024 * 1024),
+        H(withExchange(Cfg, &DonationExchange)), M(H.config()),
+        RootStackReal(H), ScratchReal(H) {
     for (size_t I = 0; I != NumSlots; ++I) {
       SlotId[I] = NoObj;
       SlotBits[I] = 0;
@@ -62,6 +66,13 @@ public:
       CurOp = T.Ops.size();
       while (H.scopeDepth() != 0)
         H.closeScope();
+      // Drop any still-in-flight donated graphs (freeing their exchange
+      // segments — or leaking them under the injected fault, which the
+      // audit then catches) before the final full collection.
+      if (!InFlight.empty()) {
+        InFlight.clear();
+        auditDonations();
+      }
       H.collectFull();
     } catch (const Divergence &D) {
       R.Diverged = true;
@@ -78,7 +89,13 @@ private:
   /// Scope nesting the fuzzer exercises (the config's MaxScopeDepth is
   /// an assertion bound, not a target).
   static constexpr unsigned ScopeNestCap = 3;
+  /// Donated graphs parked between donate-send and donate-receive/drop.
+  static constexpr size_t MaxInFlight = 4;
 
+  /// A private exchange arena per session: donated segments never leak
+  /// across traces, so the ownership audit can demand exact counts.
+  /// Declared before H — the config handed to the Heap points at it.
+  SharedImmutableSpace DonationExchange;
   Heap H;
   ShadowModel M;
   /// Mirror of M.RootStack (explicitly pushed long-lived roots).
@@ -96,8 +113,23 @@ private:
   /// collection's worth.
   std::unordered_map<uintptr_t, uintptr_t> Witness;
 
+  /// One donated graph in flight: the real handle plus the model's
+  /// structural snapshot, taken at the same instant. Receive replays
+  /// the snapshot into the model while the heap adopts the handle.
+  struct InFlightDonation {
+    DonatedGraph G;
+    ShadowModel::GraphSnapshot Snap;
+  };
+  std::vector<InFlightDonation> InFlight;
+
   uint64_t Collections = 0;
   size_t CurOp = 0;
+
+  static HeapConfig withExchange(HeapConfig Cfg,
+                                 SharedImmutableSpace *X) {
+    Cfg.Exchange = X;
+    return Cfg;
+  }
 
   static void witnessThunk(void *Ctx, uintptr_t OldBits,
                            uintptr_t NewBits) {
@@ -123,8 +155,30 @@ private:
     checkStats(S, Out.Stats);
     checkGraph();
     checkCensus();
+    auditDonations();
     H.verifyHeap();
     Witness.clear();
+  }
+
+  /// The donation ownership map: every segment the exchange arena has
+  /// handed out must be accounted for by exactly one owner — an
+  /// in-flight DonatedGraph handle or this heap's adopted tenured
+  /// runs. Runs after every donation op and every collection (a full
+  /// collection evacuates adopted runs and returns their segments, so
+  /// both sides of the equation drop together). A graph leaked on drop
+  /// (GcFaultInjection::LeakDonatedSegment) leaves the exchange count
+  /// high with no owner, which this catches immediately.
+  void auditDonations() {
+    size_t Expect = H.adoptedSegments();
+    for (const InFlightDonation &D : InFlight)
+      Expect += D.G.segmentCount();
+    const size_t Actual = DonationExchange.donatedSegmentsInUse();
+    if (Actual != Expect)
+      diverge("donation ownership: exchange arena holds " +
+              std::to_string(Actual) +
+              " donated segments, but in-flight handles + adopted runs "
+              "account for " +
+              std::to_string(Expect) + " (segment leak or double-free)");
   }
 
   /// The scope-close analogue of onCollection: the model predicts the
@@ -715,6 +769,93 @@ private:
       const Value RHead = ScratchReal.back();
       clearOperands();
       storeResult(O.C, MHead.Id, RHead);
+      return;
+    }
+    case Op::DonateSend: {
+      // Snapshot-then-donate (DESIGN.md §14): the model records the
+      // graph's structure at the instant the heap copies it out. The
+      // handle parks in flight; a later receive adopts it, a later
+      // drop frees it. donateGraph never safepoints (it allocates only
+      // in the exchange arena), so the operand needs no rooting.
+      if (InFlight.size() >= MaxInFlight)
+        return;
+      auto V = valueOperand(O.A);
+      InFlightDonation D;
+      D.Snap = M.snapshotGraph(V.first);
+      D.G = H.donateGraph(V.second);
+      // The copy-out bump-allocates exactly the words the snapshot
+      // predicts — the strongest size oracle available pre-adoption.
+      if (D.G.Bytes != D.Snap.Words * sizeof(uintptr_t))
+        diverge("donate-send: heap copied " + std::to_string(D.G.Bytes) +
+                " bytes, model predicts " +
+                std::to_string(D.Snap.Words * sizeof(uintptr_t)));
+      InFlight.push_back(std::move(D));
+      auditDonations();
+      return;
+    }
+    case Op::DonateReceive: {
+      if (InFlight.empty())
+        return;
+      const size_t Pick = O.A % InFlight.size();
+      // Pre-intern every fixup name on both sides, rooted in scratch,
+      // so the heap and model agree on symbol identity before the
+      // adopt replays the snapshot. Each H.intern may safepoint (the
+      // graph is safely parked in flight).
+      std::vector<std::string> Names;
+      {
+        std::unordered_set<std::string> Seen;
+        auto note = [&](const ShadowModel::SnapVal &S) {
+          if (S.Kind == ShadowModel::SnapVal::K::Symbol &&
+              Seen.insert(S.Name).second)
+            Names.push_back(S.Name);
+        };
+        const ShadowModel::GraphSnapshot &Snap = InFlight[Pick].Snap;
+        note(Snap.Root);
+        for (const ShadowModel::SnapNode &N : Snap.Nodes)
+          for (const ShadowModel::SnapVal &F : N.Fields)
+            note(F);
+      }
+      for (const std::string &Name : Names) {
+        const Value RSym = H.intern(Name);
+        const SVal MSym = M.intern(Name);
+        checkIdentity(MSym.Id, RSym);
+        ScratchReal.push_back(RSym);
+        M.Scratch.push_back(MSym);
+      }
+      // Adopt IN PLACE, erase after: adoptDonatedGraph's phase 1 may
+      // still collect (intern polls the safepoint even for a pure
+      // lookup, which under GENGC_STRESS is a collection), and the
+      // mid-adopt audit must find the handle owning its segments.
+      // Phase 2 empties the handle's runs in the same breath as it
+      // appends them to the heap's adopted space, so the books stay
+      // balanced through the handoff.
+      const Value RV = H.adoptDonatedGraph(InFlight[Pick].G);
+      const ShadowModel::GraphSnapshot Snap =
+          std::move(InFlight[Pick].Snap);
+      InFlight.erase(InFlight.begin() +
+                     static_cast<ptrdiff_t>(Pick));
+      const SVal MV = M.adoptGraph(Snap);
+      clearOperands();
+      if (MV.IsId) {
+        if (!RV.isHeapPointer())
+          diverge("donate-receive: model object, heap non-pointer");
+        checkIdentity(MV.Id, RV);
+        storeResult(O.C, MV.Id, RV);
+      } else if (RV.bits() != MV.Imm) {
+        diverge("donate-receive: immediate mismatch");
+      }
+      auditDonations();
+      return;
+    }
+    case Op::DonateDrop: {
+      if (InFlight.empty())
+        return;
+      const size_t Pick = O.A % InFlight.size();
+      // The handle's destructor frees the donated segments back to the
+      // exchange arena — unless the injected fault leaks them, which
+      // the audit turns into a divergence on the spot.
+      InFlight.erase(InFlight.begin() + static_cast<ptrdiff_t>(Pick));
+      auditDonations();
       return;
     }
     }

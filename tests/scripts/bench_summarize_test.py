@@ -3,8 +3,8 @@
 
 Feeds a synthetic Google-Benchmark JSON through the summarizer and
 asserts the property the hand-maintained GC_KEYS list used to violate:
-every gc_*/latency_*/mmu_*/slo_*/alloc_*/executor_* counter present in
-the input — including ones this repo has never seen before — appears in
+every gc_*/latency_*/mmu_*/slo_*/alloc_*/executor_*/transfer_*/
+messages_* counter present in the input — including ones this repo has never seen before — appears in
 the summary, classified by shape (summed total, distribution, or
 per-row ratio).
 
@@ -49,7 +49,9 @@ def main():
     # enumerates; untracked counters stay out.
     for key in ("gc_novel_counter_added_later", "latency_op_count",
                 "mmu_10ms", "slo_pass", "alloc_sampled_sites",
-                "executor_max_pending", "gc_pause_p999_ns"):
+                "executor_max_pending", "gc_pause_p999_ns",
+                "transfer_donated_segments", "transfer_bytes_zero_copy",
+                "messages_adopted"):
         assert key in alpha, f"row missing {key}"
     assert "unrelated_counter" not in alpha
 
@@ -67,6 +69,10 @@ def main():
     assert totals["gc_scope_closes"] == 20, totals
     assert totals["gc_scope_bytes_reclaimed"] == 4608, totals
     assert "gc_scope_max_depth" not in totals, totals
+    # Zero-copy transfer counters are event counts: they sum fleet-wide.
+    assert totals["transfer_donated_segments"] == 24, totals
+    assert totals["transfer_bytes_zero_copy"] == 98304, totals
+    assert totals["messages_adopted"] == 11, totals
 
     # Percentiles and high-water marks must NOT be summed: they show up
     # as max/median distributions instead.

@@ -27,6 +27,14 @@
 //                                        --vm-diff mode, runs half the
 //                                        generated forms inside
 //                                        (call-in-new-scope ...)
+//   gcfuzz --donation on                 extend the alphabet further with
+//                                        donate-send / donate-receive /
+//                                        donate-drop (zero-copy segment
+//                                        donation): the runner keeps an
+//                                        ownership map of every donated
+//                                        exchange segment and audits it
+//                                        after each donation op and
+//                                        collection
 //   gcfuzz --vm-diff N                   N random Scheme programs, each
 //                                        run elide-on vs elide-off in
 //                                        lockstep; outputs must agree
@@ -63,6 +71,7 @@ struct Options {
   bool NoShrink = false;
   std::string Elide; ///< "", "on", or "off": override ElideBarriers.
   bool Scoped = false; ///< Scoped trace alphabet / scoped vm-diff programs.
+  bool Donation = false; ///< Donation trace alphabet (implies scoped ops).
   uint64_t VmDiff = 0; ///< Number of vm-diff programs (0 = off).
   int GcThreads = -1; ///< -1 = leave configs alone; else force this width.
 };
@@ -72,10 +81,12 @@ void usage() {
       stderr,
       "usage: gcfuzz [--seed N] [--traces N] [--ops K]\n"
       "              [--config NAME|all] [--fault none|drop-resurrection|"
-      "break-weak|unsound-elision|leak-scope-escape]\n"
-      "              [--elide on|off] [--scoped on|off] [--gc-threads N]\n"
-      "              [--vm-diff N] [--seed-corpus] [--trace-replay FILE]\n"
-      "              [--out DIR] [--no-shrink]\n"
+      "break-weak|unsound-elision|leak-scope-escape|"
+      "leak-donated-segment]\n"
+      "              [--elide on|off] [--scoped on|off] [--donation "
+      "on|off]\n"
+      "              [--gc-threads N] [--vm-diff N] [--seed-corpus]\n"
+      "              [--trace-replay FILE] [--out DIR] [--no-shrink]\n"
       "configs (--config):");
   // Enumerate the live config list so this help text cannot drift from
   // standardConfigs() again.
@@ -101,6 +112,10 @@ bool applyFault(const std::string &Name, HeapConfig &Cfg) {
   }
   if (Name == "leak-scope-escape") {
     Cfg.InjectedFault = GcFaultInjection::LeakScopeEscape;
+    return true;
+  }
+  if (Name == "leak-donated-segment") {
+    Cfg.InjectedFault = GcFaultInjection::LeakDonatedSegment;
     return true;
   }
   return false;
@@ -157,7 +172,7 @@ int runSeeds(const std::vector<FuzzConfig> &Configs, uint64_t FirstSeed,
   uint64_t TotalCollections = 0, TotalTraces = 0;
   for (const FuzzConfig &Cfg : Configs) {
     for (uint64_t S = FirstSeed; S != FirstSeed + Count; ++S) {
-      Trace T = generateTrace(S, Opt.Ops, Opt.Scoped);
+      Trace T = generateTrace(S, Opt.Ops, Opt.Scoped, Opt.Donation);
       RunResult R = runTrace(T, Cfg.Config);
       if (R.Diverged)
         return reportDivergence(T, Cfg, R, Opt);
@@ -560,6 +575,13 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opt.Scoped = V == "on";
+    } else if (A == "--donation") {
+      const std::string V = next();
+      if (V != "on" && V != "off") {
+        std::fprintf(stderr, "gcfuzz: --donation takes on|off\n");
+        return 2;
+      }
+      Opt.Donation = V == "on";
     } else if (A == "--gc-threads") {
       Opt.GcThreads = static_cast<int>(std::strtol(next(), nullptr, 0));
       if (Opt.GcThreads < 1 ||

@@ -86,6 +86,8 @@ struct Options {
   unsigned FailRatePct = 0; ///< Transient ticket-failure injection.
   unsigned GcThreads = 0;   ///< Scavenge workers per shard heap (0=auto).
   bool Scoped = false;      ///< Run each session inside a request scope.
+  size_t PayloadBytes = 0;  ///< Bulk payload attached to each message.
+  bool Donate = false;      ///< Enable zero-copy segment donation sends.
   std::string JsonPath;     ///< Google-Benchmark-format output file.
   std::string TracePath;    ///< Merged fleet Chrome trace output.
   std::string ProfilePath;  ///< Collapsed allocation-site stacks output.
@@ -97,6 +99,7 @@ void usage(const char *Argv0) {
                "usage: %s [--shards N] [--sessions N] [--ops N] [--seed N]\n"
                "          [--think-time-us N] [--fail-rate PCT]\n"
                "          [--gc-threads N] [--scoped] [--json PATH]\n"
+               "          [--payload-bytes N] [--donate on|off]\n"
                "          [--trace PATH] [--profile PATH]\n"
                "          [--slo-max-pause-us N] [--slo-pause-p99-us N]\n"
                "          [--slo-op-p99-us N] [--slo-mmu-floor-pct N]\n",
@@ -129,7 +132,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       Opt.GcThreads = static_cast<unsigned>(V);
     else if (Arg == "--scoped")
       Opt.Scoped = true;
-    else if (Arg == "--json" && I + 1 < Argc)
+    else if (Arg == "--payload-bytes" && NextInt(V))
+      Opt.PayloadBytes = V;
+    else if (Arg == "--donate" && I + 1 < Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode != "on" && Mode != "off") {
+        usage(Argv[0]);
+        return false;
+      }
+      Opt.Donate = Mode == "on";
+    } else if (Arg == "--json" && I + 1 < Argc)
       Opt.JsonPath = Argv[++I];
     else if (Arg == "--trace" && I + 1 < Argc)
       Opt.TracePath = Argv[++I];
@@ -352,6 +364,14 @@ struct World : ShardLocal {
         Root Msg(H, H.makeRecord(H.intern("session-msg"), 2,
                                  Value::fixnum(static_cast<intptr_t>(
                                      next() % 4096))));
+        if (Opt.PayloadBytes) {
+          // Bulk payload: a fixnum list sized to --payload-bytes (one
+          // pair is two words), so the transfer path sees graphs on
+          // either side of the donation threshold.
+          const size_t Cells = Opt.PayloadBytes / (2 * sizeof(uintptr_t));
+          for (size_t P = 0; P != Cells; ++P)
+            Msg = H.cons(Value::fixnum(static_cast<intptr_t>(P)), Msg.get());
+        }
         if (Self.sendValue(Self.peer(To), Msg))
           ++C.MessagesSent;
         else
@@ -426,6 +446,11 @@ int main(int Argc, char **Argv) {
   // Per-shard scavenge worker width; each shard heap gets its own pool,
   // so total GC threads is Shards * GcThreads when forced above 1.
   Cfg.HeapCfg.GcThreads = Opt.GcThreads;
+  // Zero-copy donation: any message graph of at least one segment's worth
+  // of payload is donated instead of deep-copied (0 keeps donation off,
+  // which is the deep-copy A leg of a --donate A/B pair).
+  if (Opt.Donate)
+    Cfg.HeapCfg.DonationThresholdBytes = 4096;
   Cfg.MailboxCapacity = 128;
   Cfg.ExecutorCfg.BaseBackoff = std::chrono::microseconds(200);
   if (!Opt.TracePath.empty()) {
@@ -535,8 +560,13 @@ int main(int Argc, char **Argv) {
   //===--- Reporting ------------------------------------------------------===//
 
   std::vector<ShardGcSample> Samples;
-  for (const auto &R : RT.reports())
+  uint64_t DonatedSegs = 0, ZeroCopyBytes = 0, MessagesAdopted = 0;
+  for (const auto &R : RT.reports()) {
     Samples.push_back(R.Gc);
+    DonatedSegs += R.TransferDonatedSegments;
+    ZeroCopyBytes += R.TransferBytesZeroCopy;
+    MessagesAdopted += R.MessagesAdopted;
+  }
   FleetGcStats Fleet = RT.fleetGcStats();
 
   // Merged per-op latency across every shard's sessions.
@@ -622,6 +652,12 @@ int main(int Argc, char **Argv) {
                           static_cast<double>(ScopeAgg.BytesInScopes)
                     : 0.0,
                 static_cast<unsigned long long>(ScopeAgg.ObjectsEvacuated));
+  if (Opt.Donate || DonatedSegs)
+    std::printf("loadgen: transfer: %llu segments donated (%.1f MB "
+                "zero-copy), %llu messages adopted\n",
+                static_cast<unsigned long long>(DonatedSegs),
+                static_cast<double>(ZeroCopyBytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(MessagesAdopted));
   std::printf("loadgen: %s\n",
               formatSloVerdict(Opt.Slo, Verdict).c_str());
   std::printf("loadgen: accounting %s\n", Failures ? "FAILED" : "clean");
@@ -668,7 +704,8 @@ int main(int Argc, char **Argv) {
         "  \"context\": {\"executable\": \"loadgen\", \"shards\": %zu,\n"
         "              \"sessions_per_shard\": %zu, \"ops_per_session\": %zu,\n"
         "              \"seed\": %llu, \"think_time_us\": %u,\n"
-        "              \"fail_rate_pct\": %u, \"scoped\": %d},\n"
+        "              \"fail_rate_pct\": %u, \"scoped\": %d,\n"
+        "              \"payload_bytes\": %zu, \"donate\": %d},\n"
         "  \"benchmarks\": [\n"
         "    {\"name\": \"loadgen/shards:%zu\", \"run_type\": \"iteration\",\n"
         "     \"iterations\": 1, \"real_time\": %.0f, \"cpu_time\": %.0f,\n"
@@ -696,12 +733,16 @@ int main(int Argc, char **Argv) {
         "     \"executor_tickets\": %llu, \"executor_retries\": %llu,\n"
         "     \"executor_wait_p99_ns\": %llu, \"executor_run_p99_ns\": %llu,\n"
         "     \"executor_max_pending\": %llu,\n"
-        "     \"messages_sent\": %llu, \"accounting_failures\": %d}\n"
+        "     \"messages_sent\": %llu, \"messages_adopted\": %llu,\n"
+        "     \"transfer_donated_segments\": %llu,\n"
+        "     \"transfer_bytes_zero_copy\": %llu,\n"
+        "     \"accounting_failures\": %d}\n"
         "  ]\n"
         "}\n",
         Opt.Shards, Opt.Sessions, Opt.Ops,
         static_cast<unsigned long long>(Opt.Seed), Opt.ThinkTimeUs,
-        Opt.FailRatePct, Opt.Scoped ? 1 : 0, Opt.Shards, RealNs, RealNs,
+        Opt.FailRatePct, Opt.Scoped ? 1 : 0, Opt.PayloadBytes,
+        Opt.Donate ? 1 : 0, Opt.Shards, RealNs, RealNs,
         static_cast<unsigned long long>(TotalOps), Throughput,
         static_cast<unsigned long long>(Fleet.Combined.Collections),
         static_cast<unsigned long long>(Fleet.Combined.FullCollections),
@@ -750,6 +791,9 @@ int main(int Argc, char **Argv) {
             Sent += Env->Out.MessagesSent;
           return static_cast<unsigned long long>(Sent);
         }(),
+        static_cast<unsigned long long>(MessagesAdopted),
+        static_cast<unsigned long long>(DonatedSegs),
+        static_cast<unsigned long long>(ZeroCopyBytes),
         Failures);
     std::fclose(F);
   }

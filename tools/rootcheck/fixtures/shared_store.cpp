@@ -1,0 +1,68 @@
+//===- fixtures/shared_store.cpp - shared-store rule catalogue -----------===//
+//
+// Self-test fixture: Heap mutation calls whose target came from the
+// freeze-and-publish protocol must be flagged; mutations of private
+// values, values re-assigned away from shared space, and reasoned
+// suppressions must not. (The fixture lives outside src/heap/, so the
+// publisher-internal exemption does not apply here.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+#include "heap/SharedImmutableSpace.h"
+
+using namespace gengc;
+
+void storeIntoFrozenValue(Heap &H, SharedImmutableSpace &Shared, Value V) {
+  Value Frozen = Shared.freeze(H, V);
+  H.setCar(Frozen, Value::nil());         // expect: shared-store
+  H.setCdr(Frozen, Value::nil());         // expect: shared-store
+  H.vectorSet(Frozen, 0, Value::nil());   // expect: shared-store
+}
+
+void storeIntoSharedSymbol(Heap &H, SharedImmutableSpace &Shared) {
+  Value Sym = Shared.internShared(H, "published");
+  H.recordSet(Sym, 0, Value::nil()); // expect: shared-store
+}
+
+void elidedVariantsAreStillStores(Heap &H, SharedImmutableSpace &Shared,
+                                  Value V) {
+  Value Frozen = Shared.freeze(H, V);
+  H.setCarElided(Frozen,                            // expect: shared-store
+                 Value::falseV(), StoreElision::Immediate);
+  H.vectorSetInitializing(Frozen, 0, Value::nil()); // expect: shared-store
+}
+
+void rootedFrozenTarget(Heap &H, SharedImmutableSpace &Shared, Value V) {
+  Root S(H, Shared.freeze(H, V));
+  H.setCar(S.get(), Value::nil()); // expect: shared-store
+}
+
+void privateMutationIsFine(Heap &H, Value V) {
+  Value P = H.cons(Value::nil(), Value::nil());
+  H.setCar(P, V);
+  H.setCdr(P, V);
+}
+
+void reassignmentClearsTheTaint(Heap &H, SharedImmutableSpace &Shared,
+                                Value V) {
+  Value X = Shared.freeze(H, V);
+  X = H.cons(Value::nil(), Value::nil()); // Private again.
+  H.setCar(X, V);
+}
+
+void frozenAsStoredValueIsFine(Heap &H, SharedImmutableSpace &Shared,
+                               Value V) {
+  // Storing a shared value INTO a private container is the whole
+  // point of shared space; only stores into shared targets abort.
+  Value P = H.cons(Value::nil(), Value::nil());
+  Value Frozen = Shared.freeze(H, V);
+  H.setCar(P, Frozen);
+}
+
+void reasonedSuppression(Heap &H, SharedImmutableSpace &Shared, Value V) {
+  Value Frozen = Shared.freeze(H, V);
+  // A death test proving the runtime abort fires wants exactly this
+  // store. rootcheck:allow(shared-store)
+  H.setCar(Frozen, Value::nil());
+}
